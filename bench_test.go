@@ -1,0 +1,200 @@
+package bolt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drivers"
+	"repro/internal/harness"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+// The benchmarks below regenerate the paper's tables and figures (§5) at
+// benchmark-friendly scale; `cmd/boltbench` runs the full versions whose
+// outputs are recorded in EXPERIMENTS.md. Reported metrics: virtual ticks
+// (the deterministic cost model) per table/figure unit of work.
+
+func benchCheck(b *testing.B, driver, prop string, threads int) {
+	b.Helper()
+	check := drivers.NamedCheck(driver, prop, false)
+	opts := harness.Options{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.RunCheck(check, threads, opts)
+		if r.Verdict != core.Safe {
+			b.Fatalf("verdict = %v", r.Verdict)
+		}
+		b.ReportMetric(float64(r.Ticks), "vticks")
+	}
+}
+
+// BenchmarkTable1Speedups: one fast row of Table 1 (parport /
+// MarkPowerDown) at the sequential and 8-thread points.
+func BenchmarkTable1Speedups(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchCheck(b, "parport", "MarkPowerDown", 1) })
+	b.Run("threads8", func(b *testing.B) { benchCheck(b, "parport", "MarkPowerDown", 8) })
+}
+
+// BenchmarkTable2Cumulative: a small suite slice, sequential vs 64
+// threads (the full 45-driver sweep is cmd/boltbench -table 2).
+func BenchmarkTable2Cumulative(b *testing.B) {
+	checks := []drivers.Check{
+		drivers.NamedCheck("parport", "PnpIrpCompletion", false),
+		drivers.NamedCheck("drv10", "IoAllocateFree", false),
+	}
+	for i := 0; i < b.N; i++ {
+		var seq, par int64
+		for _, c := range checks {
+			seq += harness.RunCheck(c, 1, harness.Options{}).Ticks
+			par += harness.RunCheck(c, 64, harness.Options{}).Ticks
+		}
+		if par > 0 {
+			b.ReportMetric(float64(seq)/float64(par), "speedup")
+		}
+	}
+}
+
+// BenchmarkTable3Timeouts: the sequential/parallel budget race on one of
+// the Table 3 checks.
+func BenchmarkTable3Timeouts(b *testing.B) {
+	check := drivers.NamedCheck("selsusp", "IrqlExAllocatePool", false)
+	for i := 0; i < b.N; i++ {
+		seq := harness.RunCheck(check, 1, harness.Options{})
+		par := harness.RunCheck(check, 64, harness.Options{})
+		if par.Ticks > 0 {
+			b.ReportMetric(float64(seq.Ticks)/float64(par.Ticks), "speedup")
+		}
+	}
+}
+
+// BenchmarkTable4QueryCounts: total query count under 2 vs 64 threads
+// (the order-effect measurement).
+func BenchmarkTable4QueryCounts(b *testing.B) {
+	check := drivers.NamedCheck("parport", "PendedCompletedRequest", false)
+	for i := 0; i < b.N; i++ {
+		q2 := harness.RunCheck(check, 2, harness.Options{}).Queries
+		q64 := harness.RunCheck(check, 64, harness.Options{}).Queries
+		b.ReportMetric(float64(q2), "queries2t")
+		b.ReportMetric(float64(q64), "queries64t")
+	}
+}
+
+// BenchmarkFig3ReadyQueries: the sequential instrumentation run behind
+// Fig. 3 (peak Ready count reported).
+func BenchmarkFig3ReadyQueries(b *testing.B) {
+	check := drivers.NamedCheck("parport", "PowerUpFail", false)
+	for i := 0; i < b.N; i++ {
+		r := harness.RunCheck(check, 1, harness.Options{})
+		b.ReportMetric(float64(r.Peak), "peakready")
+	}
+}
+
+// BenchmarkFig7Concurrency: the 8-thread instrumentation run behind
+// Fig. 7 (mean batch size reported).
+func BenchmarkFig7Concurrency(b *testing.B) {
+	check := drivers.NamedCheck("parport", "PowerUpFail", false)
+	for i := 0; i < b.N; i++ {
+		r := harness.RunCheck(check, 8, harness.Options{})
+		var sum, n float64
+		for _, s := range r.Trace {
+			sum += float64(s.Processed)
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(sum/n, "meanbatch")
+		}
+	}
+}
+
+// runAblation builds an engine with custom options on a fixed check.
+func runAblation(b *testing.B, mutate func(*core.Options)) core.Result {
+	b.Helper()
+	prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+	o := core.Options{Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8, MaxIterations: 1 << 19}
+	mutate(&o)
+	return core.New(prog, o).Run(core.AssertionQuestion(prog))
+}
+
+// BenchmarkAblationNoGC: REDUCE-stage garbage collection disabled.
+func BenchmarkAblationNoGC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runAblation(b, func(o *core.Options) { o.DisableGC = true })
+		b.ReportMetric(float64(r.PeakLive), "peaklive")
+	}
+}
+
+// BenchmarkAblationSpeculation: the §7 speculative extension enabled.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runAblation(b, func(o *core.Options) { o.Speculate = true })
+		b.ReportMetric(float64(r.VirtualTicks), "vticks")
+	}
+}
+
+// BenchmarkAblationStepBudget: PUNCH preemption budget sweep.
+func BenchmarkAblationStepBudget(b *testing.B) {
+	for _, budget := range []int64{300, 900, 2700} {
+		b.Run(map[int64]string{300: "small", 900: "default", 2700: "large"}[budget], func(b *testing.B) {
+			prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+			for i := 0; i < b.N; i++ {
+				p := maymust.New()
+				p.Budget = budget
+				r := core.New(prog, core.Options{Punch: p, MaxThreads: 8, VirtualCores: 8, MaxIterations: 1 << 19}).
+					Run(core.AssertionQuestion(prog))
+				b.ReportMetric(float64(r.VirtualTicks), "vticks")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoSumDB: summary reuse disabled on a call-free check
+// (with calls the engine cannot finish without SUMDB, by design).
+func BenchmarkAblationNoSumDB(b *testing.B) {
+	prog := parser.MustParse(`proc main { locals x; havoc x; if (x > 0) { assert(x >= 1); } }`)
+	for i := 0; i < b.N; i++ {
+		r := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 4, DisableSumDB: true, MaxIterations: 1 << 16}).
+			Run(core.AssertionQuestion(prog))
+		b.ReportMetric(float64(r.VirtualTicks), "vticks")
+	}
+}
+
+// BenchmarkSolver: the QF_LIA substrate on a representative formula mix.
+func BenchmarkSolver(b *testing.B) {
+	prog := drivers.Generate(drivers.NamedCheck("parport", "PnpIrpCompletion", false).Config)
+	for i := 0; i < b.N; i++ {
+		r := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 1, MaxIterations: 1 << 19}).
+			Run(core.AssertionQuestion(prog))
+		b.ReportMetric(float64(r.Solver.SatCalls), "satcalls")
+	}
+}
+
+// BenchmarkDistributed: the §7 "Distributed BOLT" simulation — cluster
+// sizes 1, 2 and 4 on one check, reporting the busiest shard's peak live
+// queries (the per-machine memory story).
+func BenchmarkDistributed(b *testing.B) {
+	prog := drivers.Generate(drivers.NamedCheck("parport", "PowerDownFail", false).Config)
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "nodes1", 2: "nodes2", 4: "nodes4"}[nodes], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.NewDistributed(prog, core.DistOptions{
+					Punch:          maymust.New(),
+					Nodes:          nodes,
+					ThreadsPerNode: 4,
+					MaxRounds:      1 << 18,
+				}).Run(core.AssertionQuestion(prog))
+				if r.Verdict != core.Safe {
+					b.Fatalf("verdict = %v", r.Verdict)
+				}
+				peak := 0
+				for _, p := range r.PerNodePeakLive {
+					if p > peak {
+						peak = p
+					}
+				}
+				b.ReportMetric(float64(peak), "shardpeak")
+				b.ReportMetric(float64(r.VirtualTicks), "vticks")
+			}
+		})
+	}
+}

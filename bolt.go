@@ -1,0 +1,238 @@
+// Package bolt is the public API of this reproduction of "Parallelizing
+// Top-Down Interprocedural Analyses" (Albarghouthi, Kumar, Nori, Rajamani;
+// PLDI 2012). It parses programs in a small imperative language and
+// verifies reachability/safety questions with BOLT: a MapReduce-style
+// parallel engine over demand-driven interprocedural queries,
+// parameterized by an intraprocedural analysis (PUNCH) — a may-must
+// (DASH-style) analysis by default, with pure may (SLAM/BLAST-style) and
+// pure must (DART-style) instantiations available.
+//
+// Quickstart:
+//
+//	prog, err := bolt.Parse(src)
+//	res := prog.Check(bolt.Options{Threads: 8})
+//	fmt.Println(res.Verdict)
+package bolt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/punch"
+	"repro/internal/punch/may"
+	"repro/internal/punch/maymust"
+	"repro/internal/punch/must"
+	"repro/internal/summary"
+	"repro/internal/witness"
+)
+
+// Program is a parsed, validated program.
+type Program struct {
+	prog *cfg.Program
+}
+
+// Parse parses a program in the input language. Assertions and aborts are
+// compiled to the standard error-flag encoding checked by Check.
+func Parse(src string) (*Program, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the program's control-flow graphs.
+func (p *Program) String() string { return p.prog.String() }
+
+// Dot renders the control-flow graphs in Graphviz DOT format.
+func (p *Program) Dot() string { return p.prog.Dot() }
+
+// Procedures returns the procedure names.
+func (p *Program) Procedures() []string { return p.prog.ProcNames() }
+
+// Main returns the entry procedure name.
+func (p *Program) Main() string { return p.prog.Main }
+
+// Analysis selects the PUNCH instantiation.
+type Analysis int
+
+// Available intraprocedural analyses.
+const (
+	// MayMust is the DASH/SYNERGY-style combination used in the paper's
+	// evaluation (the default).
+	MayMust Analysis = iota
+	// May is the SLAM/BLAST-style abstraction-refinement analysis.
+	May
+	// Must is the DART/CUTE-style directed-testing analysis (finds bugs;
+	// proves safety only for exhaustively explorable procedures).
+	Must
+)
+
+func (a Analysis) String() string {
+	switch a {
+	case MayMust:
+		return "may-must"
+	case May:
+		return "may"
+	case Must:
+		return "must"
+	}
+	return fmt.Sprintf("Analysis(%d)", int(a))
+}
+
+// Verdict is the outcome of a verification run.
+type Verdict int
+
+// Verdicts.
+const (
+	// Unknown: resources exhausted before an answer was found.
+	Unknown Verdict = iota
+	// Safe: the error states are proven unreachable.
+	Safe
+	// ErrorReachable: some execution reaches the error states.
+	ErrorReachable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "Program is Safe"
+	case ErrorReachable:
+		return "Error Reachable"
+	}
+	return "Unknown (resources exhausted)"
+}
+
+// Options configure a verification run.
+type Options struct {
+	// Analysis selects the PUNCH instantiation (default MayMust).
+	Analysis Analysis
+	// Threads is the paper's throttle: Ready queries processed per MAP
+	// stage and concurrent PUNCH instances. 1 = sequential. Default 1.
+	Threads int
+	// VirtualCores for the deterministic virtual clock (default: Threads).
+	VirtualCores int
+	// MaxVirtualTicks bounds virtual time (0 = unbounded).
+	MaxVirtualTicks int64
+	// Timeout bounds wall-clock time (0 = unbounded).
+	Timeout time.Duration
+	// Speculate enables the §7 speculative extension.
+	Speculate bool
+	// DisableGC and DisableSumDB are the ablation switches.
+	DisableGC    bool
+	DisableSumDB bool
+	// FindWitness, on an ErrorReachable verdict from Check, searches for a
+	// concrete counterexample (inputs + trace) and attaches it to the
+	// result.
+	FindWitness bool
+}
+
+// Result reports a verification run.
+type Result struct {
+	Verdict      Verdict
+	TotalQueries int64
+	PeakReady    int
+	Iterations   int
+	VirtualTicks int64
+	WallTime     time.Duration
+	TimedOut     bool
+	// Witness is a concrete counterexample (present only when the verdict
+	// is ErrorReachable and Options.FindWitness was set, and the directed
+	// search succeeded).
+	Witness *Witness
+}
+
+// Witness is a concrete failing execution.
+type Witness struct {
+	// Inputs are the nondeterministic values, in draw order.
+	Inputs []int64
+	// Text is the human-readable trace.
+	Text string
+}
+
+func newPunch(a Analysis) punch.Punch {
+	switch a {
+	case May:
+		return may.New()
+	case Must:
+		return must.New()
+	default:
+		return maymust.New()
+	}
+}
+
+func (o Options) engine(prog *cfg.Program) *core.Engine {
+	return core.New(prog, core.Options{
+		Punch:           newPunch(o.Analysis),
+		MaxThreads:      max(1, o.Threads),
+		VirtualCores:    o.VirtualCores,
+		MaxVirtualTicks: o.MaxVirtualTicks,
+		RealTimeout:     o.Timeout,
+		Speculate:       o.Speculate,
+		DisableGC:       o.DisableGC,
+		DisableSumDB:    o.DisableSumDB,
+	})
+}
+
+func toResult(r core.Result) Result {
+	out := Result{
+		TotalQueries: r.TotalQueries,
+		PeakReady:    r.PeakReady,
+		Iterations:   r.Iterations,
+		VirtualTicks: r.VirtualTicks,
+		WallTime:     r.WallTime,
+		TimedOut:     r.TimedOut,
+	}
+	switch r.Verdict {
+	case core.Safe:
+		out.Verdict = Safe
+	case core.ErrorReachable:
+		out.Verdict = ErrorReachable
+	}
+	return out
+}
+
+// Check verifies the program's assertions: can main reach its exit with
+// the error flag raised?
+func (p *Program) Check(opts Options) Result {
+	res := toResult(opts.engine(p.prog).Run(core.AssertionQuestion(p.prog)))
+	if res.Verdict == ErrorReachable && opts.FindWitness {
+		if tr, ok := witness.Find(p.prog, witness.Options{}); ok {
+			res.Witness = &Witness{Inputs: tr.Havocs, Text: tr.Format()}
+		}
+	}
+	return res
+}
+
+// CheckReach answers a general reachability question: can procedure proc,
+// started in a state satisfying pre (a boolean expression over globals),
+// reach its exit in a state satisfying post? A Safe verdict means post is
+// unreachable; ErrorReachable means some execution reaches it.
+func (p *Program) CheckReach(proc, pre, post string, opts Options) (Result, error) {
+	if p.prog.Proc(proc) == nil {
+		return Result{}, fmt.Errorf("bolt: no procedure %q", proc)
+	}
+	preB, err := parser.ParseBoolExpr(pre)
+	if err != nil {
+		return Result{}, fmt.Errorf("bolt: precondition: %w", err)
+	}
+	postB, err := parser.ParseBoolExpr(post)
+	if err != nil {
+		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
+	}
+	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
+	return toResult(opts.engine(p.prog).Run(q)), nil
+}

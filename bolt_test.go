@@ -1,0 +1,160 @@
+package bolt_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	bolt "repro"
+	"repro/internal/drivers"
+)
+
+const apiSample = `
+program sample;
+globals g;
+
+proc main {
+  g = 0;
+  step();
+  step();
+  assert(g <= 2);
+}
+
+proc step { g = g + 1; }
+`
+
+func TestParseAndCheck(t *testing.T) {
+	prog, err := bolt.Parse(apiSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Main() != "main" {
+		t.Errorf("Main = %q", prog.Main())
+	}
+	procs := prog.Procedures()
+	if len(procs) != 2 {
+		t.Fatalf("Procedures = %v", procs)
+	}
+	res := prog.Check(bolt.Options{Threads: 4, Timeout: 30 * time.Second})
+	if res.Verdict != bolt.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.TotalQueries < 2 {
+		t.Errorf("expected sub-queries, got %d", res.TotalQueries)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	_, err := bolt.Parse(`proc main { x = ; }`)
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckReach(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	// Can main exit with g == 2? Yes (both steps taken).
+	res, err := prog.CheckReach("main", "true", "g == 2", bolt.Options{Threads: 2, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bolt.ErrorReachable {
+		t.Fatalf("g==2: %v", res.Verdict)
+	}
+	// Can step exit with g == 10 from g == 0? No.
+	res2, err := prog.CheckReach("step", "g == 0", "g == 10", bolt.Options{Threads: 2, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != bolt.Safe {
+		t.Fatalf("g==10: %v", res2.Verdict)
+	}
+}
+
+func TestCheckReachErrors(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	if _, err := prog.CheckReach("ghost", "true", "true", bolt.Options{}); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+	if _, err := prog.CheckReach("main", "g >", "true", bolt.Options{}); err == nil {
+		t.Error("bad precondition accepted")
+	}
+	if _, err := prog.CheckReach("main", "true", "g > )", bolt.Options{}); err == nil {
+		t.Error("bad postcondition accepted")
+	}
+}
+
+func TestAnalysisSelection(t *testing.T) {
+	buggy := bolt.MustParse(`proc main { locals x; x = 1; assert(x > 5); }`)
+	for _, a := range []bolt.Analysis{bolt.MayMust, bolt.May, bolt.Must} {
+		res := buggy.Check(bolt.Options{Analysis: a, Threads: 2, Timeout: 30 * time.Second})
+		if res.Verdict != bolt.ErrorReachable {
+			t.Errorf("%v: verdict %v", a, res.Verdict)
+		}
+	}
+}
+
+func TestTimeoutYieldsUnknown(t *testing.T) {
+	// An iteration-starved run must be Unknown, never a wrong answer.
+	prog := bolt.MustParse(apiSample)
+	res := prog.Check(bolt.Options{Threads: 1, MaxVirtualTicks: 1})
+	if res.Verdict == bolt.ErrorReachable {
+		t.Fatalf("wrong verdict under starvation: %v", res.Verdict)
+	}
+	if !res.TimedOut {
+		t.Log("note: check finished within one tick (acceptable)")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if bolt.Safe.String() == "" || bolt.ErrorReachable.String() == "" || bolt.Unknown.String() == "" {
+		t.Fatal("empty verdict strings")
+	}
+	if bolt.MayMust.String() != "may-must" || bolt.May.String() != "may" || bolt.Must.String() != "must" {
+		t.Fatal("analysis strings")
+	}
+}
+
+func TestWitnessAttachment(t *testing.T) {
+	prog := bolt.MustParse(`
+proc main {
+  locals x;
+  havoc x;
+  if (x > 7) { assert(x <= 7); }
+}`)
+	res := prog.Check(bolt.Options{Threads: 2, FindWitness: true, Timeout: 30 * time.Second})
+	if res.Verdict != bolt.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Witness == nil {
+		t.Fatal("no witness attached")
+	}
+	if !strings.Contains(res.Witness.Text, "error state") {
+		t.Errorf("witness text: %s", res.Witness.Text)
+	}
+}
+
+func TestDotFacade(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	if !strings.Contains(prog.Dot(), "digraph") {
+		t.Fatal("Dot output malformed")
+	}
+}
+
+func TestFacadeOnGeneratedDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver verification is not short")
+	}
+	src := drivers.Source(drivers.NamedCheck("parport", "PowerDownFail", false).Config)
+	prog, err := bolt.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Check(bolt.Options{Threads: 8, Timeout: 120 * time.Second})
+	if res.Verdict != bolt.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.VirtualTicks == 0 || res.TotalQueries < 2 {
+		t.Errorf("stats look wrong: %+v", res)
+	}
+}

@@ -1,0 +1,88 @@
+// Command boltbench regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic driver suite.
+//
+// Usage:
+//
+//	boltbench -all
+//	boltbench -table 1   (also 2, 3, 4)
+//	boltbench -fig 3     (also 6, 7)
+//
+// Timing is virtual: see internal/harness for the cost model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate table 1..4")
+		fig       = flag.Int("fig", 0, "regenerate figure 3, 6 or 7")
+		all       = flag.Bool("all", false, "regenerate everything")
+		maxChecks = flag.Int("suite", 110, "suite subset size for table 2 (0 = all 495)")
+		hard      = flag.Int64("hard", 200000, "sequential ticks for a check to count as hard (table 2)")
+		wall      = flag.Duration("wall", 120*time.Second, "wall-clock safety budget per run")
+	)
+	flag.Parse()
+	opts := harness.Options{WallBudget: *wall}
+
+	did := false
+	run := func(n int, f func()) {
+		if *all || *table == n {
+			f()
+			did = true
+			fmt.Println()
+		}
+	}
+	runFig := func(n int, f func()) {
+		if *all || *fig == n {
+			f()
+			did = true
+			fmt.Println()
+		}
+	}
+
+	var table1Rows []harness.Table1Row
+	run(1, func() {
+		table1Rows = harness.Table1(opts)
+		harness.WriteTable1(os.Stdout, table1Rows)
+	})
+	run(2, func() {
+		r := harness.Table2(opts, 64, *hard, *maxChecks)
+		harness.WriteTable2(os.Stdout, r)
+	})
+	run(3, func() {
+		rows, budget := harness.Table3(opts)
+		harness.WriteTable3(os.Stdout, rows, budget)
+	})
+	run(4, func() {
+		harness.WriteTable4(os.Stdout, harness.Table4(opts))
+	})
+	runFig(3, func() {
+		s := harness.Fig3(opts)
+		harness.PlotSeries(os.Stdout, "Figure 3: Ready sub-queries over virtual time (sequential)", []harness.Series{s}, 72, 16)
+		harness.WriteSeries(os.Stdout, "series data:", []harness.Series{s})
+	})
+	runFig(6, func() {
+		if table1Rows == nil {
+			table1Rows = harness.Table1(opts)
+		}
+		series := harness.Fig6(table1Rows)
+		harness.PlotSeries(os.Stdout, "Figure 6: speedup (x100) vs threads", series, 72, 16)
+		harness.WriteSeries(os.Stdout, "series data:", series)
+	})
+	runFig(7, func() {
+		series := harness.Fig7(opts)
+		harness.PlotSeries(os.Stdout, "Figure 7: queries processed in parallel over virtual time", series, 72, 16)
+		harness.WriteSeries(os.Stdout, "series data:", series)
+	})
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Command boltcheck verifies a program against its assertions (or a
+// custom reachability question) with the BOLT engine.
+//
+// Usage:
+//
+//	boltcheck [flags] program.bolt
+//	boltcheck -proc main -pre 'true' -post 'g >= 10' program.bolt
+//
+// Exit status: 0 safe, 1 error reachable, 2 unknown, 3 usage/parsing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bolt "repro"
+)
+
+func main() {
+	var (
+		analysis = flag.String("analysis", "maymust", "intraprocedural analysis: maymust|may|must")
+		threads  = flag.Int("threads", 8, "maximum concurrent queries (1 = sequential)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "wall-clock budget (0 = none)")
+		ticks    = flag.Int64("ticks", 0, "virtual-time budget (0 = none)")
+		proc     = flag.String("proc", "", "procedure for a custom reachability question")
+		pre      = flag.String("pre", "true", "precondition over globals (with -proc)")
+		post     = flag.String("post", "", "postcondition over globals (with -proc)")
+		stats    = flag.Bool("stats", false, "print engine statistics")
+		wit      = flag.Bool("witness", false, "on Error Reachable, print a concrete counterexample")
+		dot      = flag.Bool("dot", false, "print the control-flow graphs in Graphviz DOT format and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: boltcheck [flags] program.bolt")
+		flag.PrintDefaults()
+		os.Exit(3)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	prog, err := bolt.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	if *dot {
+		fmt.Print(prog.Dot())
+		os.Exit(0)
+	}
+	opts := bolt.Options{
+		Threads:         *threads,
+		Timeout:         *timeout,
+		MaxVirtualTicks: *ticks,
+		FindWitness:     *wit,
+	}
+	switch *analysis {
+	case "maymust":
+		opts.Analysis = bolt.MayMust
+	case "may":
+		opts.Analysis = bolt.May
+	case "must":
+		opts.Analysis = bolt.Must
+	default:
+		fmt.Fprintf(os.Stderr, "unknown analysis %q\n", *analysis)
+		os.Exit(3)
+	}
+
+	var res bolt.Result
+	if *proc != "" {
+		res, err = prog.CheckReach(*proc, *pre, *post, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(3)
+		}
+	} else {
+		res = prog.Check(opts)
+	}
+
+	fmt.Println(res.Verdict)
+	if res.Witness != nil {
+		fmt.Print(res.Witness.Text)
+	}
+	if *stats {
+		fmt.Printf("queries:      %d\n", res.TotalQueries)
+		fmt.Printf("peak ready:   %d\n", res.PeakReady)
+		fmt.Printf("iterations:   %d\n", res.Iterations)
+		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
+		fmt.Printf("wall time:    %v\n", res.WallTime)
+	}
+	switch res.Verdict {
+	case bolt.Safe:
+		os.Exit(0)
+	case bolt.ErrorReachable:
+		os.Exit(1)
+	default:
+		os.Exit(2)
+	}
+}

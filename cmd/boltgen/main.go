@@ -1,0 +1,64 @@
+// Command boltgen emits the synthetic device-driver benchmark suite as
+// source files in the input language.
+//
+// Usage:
+//
+//	boltgen -list
+//	boltgen -driver toastmon -property PnpIrpCompletion [-buggy]
+//	boltgen -all -out suite/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/drivers"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list drivers and properties")
+		driver   = flag.String("driver", "", "driver name")
+		property = flag.String("property", "", "property name")
+		buggy    = flag.Bool("buggy", false, "inject a property violation")
+		all      = flag.Bool("all", false, "emit the whole suite")
+		out      = flag.String("out", "suite", "output directory for -all")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("drivers:")
+		for _, d := range drivers.Named() {
+			fmt.Printf("  %-12s fanout=%d depth=%d shared=%d work=%d\n", d.Name, d.Fanout, d.Depth, d.Shared, d.Work)
+		}
+		fmt.Println("properties:")
+		for _, p := range drivers.PropertyNames() {
+			fmt.Printf("  %s\n", p)
+		}
+	case *all:
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n := 0
+		for _, check := range drivers.SuiteChecks() {
+			name := fmt.Sprintf("%s_%s.bolt", check.Driver, check.Property)
+			src := drivers.Source(check.Config)
+			if err := os.WriteFile(filepath.Join(*out, name), []byte(src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			n++
+		}
+		fmt.Printf("wrote %d programs to %s\n", n, *out)
+	case *driver != "" && *property != "":
+		check := drivers.NamedCheck(*driver, *property, *buggy)
+		fmt.Print(drivers.Source(check.Config))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: boltgen -list | -all [-out dir] | -driver D -property P [-buggy]")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+package bolt_test
+
+import (
+	"fmt"
+
+	bolt "repro"
+)
+
+func ExampleProgram_Check() {
+	prog := bolt.MustParse(`
+		globals balance;
+		proc main {
+			balance = 100;
+			withdraw();
+			assert(balance >= 0);
+		}
+		proc withdraw {
+			locals take;
+			havoc take;
+			assume(take >= 0 && take <= balance);
+			balance = balance - take;
+		}`)
+	res := prog.Check(bolt.Options{Threads: 8})
+	fmt.Println(res.Verdict)
+	// Output: Program is Safe
+}
+
+func ExampleProgram_Check_buggy() {
+	prog := bolt.MustParse(`
+		proc main {
+			locals x;
+			havoc x;
+			assume(x > 3);
+			assert(x > 4);
+		}`)
+	res := prog.Check(bolt.Options{Threads: 2})
+	fmt.Println(res.Verdict)
+	// Output: Error Reachable
+}
+
+func ExampleProgram_CheckReach() {
+	prog := bolt.MustParse(`
+		globals g;
+		proc main { g = 0; step(); step(); }
+		proc step { g = g + 1; }`)
+	res, err := prog.CheckReach("main", "true", "g == 2", bolt.Options{Threads: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	// Output: Error Reachable
+}
+
+func ExampleAnalysis() {
+	for _, a := range []bolt.Analysis{bolt.MayMust, bolt.May, bolt.Must} {
+		fmt.Println(a)
+	}
+	// Output:
+	// may-must
+	// may
+	// must
+}

@@ -1,0 +1,78 @@
+// Analyses: run the same verification question under all three PUNCH
+// instantiations — may-must (DASH-style), may (SLAM/BLAST-style), and
+// must (DART-style) — illustrating BOLT's pluggable architecture.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	bolt "repro"
+)
+
+const src = `
+program analyses;
+globals reqs, grants;
+
+proc main {
+  reqs = 0; grants = 0;
+  client();
+  client();
+  server();
+  assert(grants <= reqs);
+}
+
+proc client {
+  locals want;
+  havoc want;
+  if (want > 0) { reqs = reqs + 1; }
+}
+
+proc server {
+  if (grants < reqs) { grants = grants + 1; }
+}
+`
+
+const buggySrc = `
+program analyses_bug;
+globals reqs, grants;
+
+proc main {
+  reqs = 0; grants = 0;
+  server();
+  assert(grants <= reqs);
+}
+
+proc server {
+  grants = grants + 1;
+}
+`
+
+func main() {
+	fmt.Println("safe protocol:")
+	runAll(src)
+	fmt.Println()
+	fmt.Println("buggy protocol:")
+	runAll(buggySrc)
+}
+
+func runAll(text string) {
+	prog := bolt.MustParse(text)
+	for _, a := range []bolt.Analysis{bolt.MayMust, bolt.May, bolt.Must} {
+		res := prog.Check(bolt.Options{
+			Analysis: a,
+			Threads:  4,
+			Timeout:  30 * time.Second,
+		})
+		note := ""
+		if res.Verdict == bolt.Unknown {
+			switch a {
+			case bolt.Must:
+				note = " (a pure must-analysis cannot prove safety here)"
+			case bolt.May:
+				note = " (pure refinement may diverge here; may-must converges)"
+			}
+		}
+		fmt.Printf("  %-9s → %v%s\n", a, res.Verdict, note)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: parse a small program, verify its assertion with BOLT, and
+// print the verdict for a safe and a buggy variant.
+package main
+
+import (
+	"fmt"
+
+	bolt "repro"
+)
+
+const safe = `
+program quickstart;
+globals balance;
+
+proc main {
+  locals amount;
+  balance = 100;
+  havoc amount;
+  assume(amount >= 0 && amount <= balance);
+  withdraw();
+  assert(balance >= 0);
+}
+
+proc withdraw {
+  // Withdraw any amount up to the current balance.
+  locals take;
+  havoc take;
+  assume(take >= 0 && take <= balance);
+  balance = balance - take;
+}
+`
+
+const buggy = `
+program quickstart_bug;
+globals balance;
+
+proc main {
+  balance = 100;
+  withdraw();
+  assert(balance >= 0);
+}
+
+proc withdraw {
+  // Oops: no bounds check on the withdrawal.
+  locals take;
+  havoc take;
+  assume(take >= 0);
+  balance = balance - take;
+}
+`
+
+func main() {
+	for _, src := range []struct {
+		name string
+		text string
+	}{{"safe", safe}, {"buggy", buggy}} {
+		prog, err := bolt.Parse(src.text)
+		if err != nil {
+			panic(err)
+		}
+		res := prog.Check(bolt.Options{Threads: 4, FindWitness: true})
+		fmt.Printf("%-6s → %v  (%d queries, %d iterations)\n",
+			src.name, res.Verdict, res.TotalQueries, res.Iterations)
+		if res.Witness != nil {
+			fmt.Print(res.Witness.Text)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Scaling: sweep the thread throttle on one driver check and print the
+// speedup curve (the shape of the paper's Fig. 6), measured in
+// deterministic virtual time.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/drivers"
+	"repro/internal/harness"
+)
+
+func main() {
+	check := drivers.NamedCheck("parport", "MarkPowerDown", false)
+	fmt.Printf("check: %s  (#cores=8 virtual)\n\n", check.ID())
+	fmt.Printf("%8s %12s %9s %8s  %s\n", "threads", "ticks", "speedup", "queries", "")
+	var base int64
+	for _, th := range []int{1, 2, 4, 8, 16, 32, 64} {
+		r := harness.RunCheck(check, th, harness.Options{})
+		if th == 1 {
+			base = r.Ticks
+		}
+		speedup := float64(base) / float64(r.Ticks)
+		bar := strings.Repeat("█", int(speedup*6))
+		fmt.Printf("%8d %12d %8.2fx %8d  %s\n", th, r.Ticks, speedup, r.Queries, bar)
+	}
+}

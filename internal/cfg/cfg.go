@@ -1,0 +1,248 @@
+// Package cfg represents programs as the paper's §3.1 model: a program is
+// a set of procedures, each a control-flow graph whose edges are labelled
+// with simple statements or parameterless calls; procedures communicate
+// through shared global variables.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// NodeID identifies a control location within a procedure.
+type NodeID int
+
+// Edge is a labelled control-flow edge.
+type Edge struct {
+	From, To NodeID
+	Stmt     lang.Stmt
+}
+
+// Proc is a procedure: a CFG with entry and exit locations. The exit
+// location has no outgoing edges (enforced by Validate).
+type Proc struct {
+	Name   string
+	Locals []lang.Var
+	NNodes int
+	Entry  NodeID
+	Exit   NodeID
+	Edges  []Edge
+	// Out[n] and In[n] list indices into Edges.
+	Out [][]int
+	In  [][]int
+}
+
+// Program is a set of procedures with shared globals and a designated main
+// procedure.
+type Program struct {
+	Name    string
+	Globals []lang.Var
+	Procs   map[string]*Proc
+	Main    string
+}
+
+// Proc returns the named procedure or nil.
+func (p *Program) Proc(name string) *Proc {
+	return p.Procs[name]
+}
+
+// MainProc returns the entry procedure.
+func (p *Program) MainProc() *Proc { return p.Procs[p.Main] }
+
+// ProcNames returns the procedure names in sorted order.
+func (p *Program) ProcNames() []string {
+	out := make([]string, 0, len(p.Procs))
+	for n := range p.Procs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsGlobal reports whether v is a global of the program.
+func (p *Program) IsGlobal(v lang.Var) bool {
+	for _, g := range p.Globals {
+		if g == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns all variables visible in proc (globals plus its locals).
+func (p *Program) Vars(proc *Proc) []lang.Var {
+	out := make([]lang.Var, 0, len(p.Globals)+len(proc.Locals))
+	out = append(out, p.Globals...)
+	out = append(out, proc.Locals...)
+	return out
+}
+
+// CallGraph returns, for every procedure, the sorted set of procedures it
+// calls.
+func (p *Program) CallGraph() map[string][]string {
+	out := make(map[string][]string, len(p.Procs))
+	for name, proc := range p.Procs {
+		set := map[string]bool{}
+		for _, e := range proc.Edges {
+			if c, ok := e.Stmt.(lang.Call); ok {
+				set[c.Proc] = true
+			}
+		}
+		callees := make([]string, 0, len(set))
+		for c := range set {
+			callees = append(callees, c)
+		}
+		sort.Strings(callees)
+		out[name] = callees
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the §3.1 program model.
+func (p *Program) Validate() error {
+	if p.Main == "" {
+		return fmt.Errorf("cfg: program %q has no main procedure", p.Name)
+	}
+	if p.Procs[p.Main] == nil {
+		return fmt.Errorf("cfg: main procedure %q not defined", p.Main)
+	}
+	declared := map[lang.Var]bool{}
+	for _, g := range p.Globals {
+		if declared[g] {
+			return fmt.Errorf("cfg: duplicate global %q", g)
+		}
+		declared[g] = true
+	}
+	for _, name := range p.ProcNames() {
+		proc := p.Procs[name]
+		if proc.Name != name {
+			return fmt.Errorf("cfg: procedure map key %q does not match name %q", name, proc.Name)
+		}
+		scope := map[lang.Var]bool{}
+		for g := range declared {
+			scope[g] = true
+		}
+		for _, l := range proc.Locals {
+			if scope[l] {
+				return fmt.Errorf("cfg: %s: variable %q shadows a global or duplicates a local", name, l)
+			}
+			scope[l] = true
+		}
+		if proc.Entry < 0 || int(proc.Entry) >= proc.NNodes {
+			return fmt.Errorf("cfg: %s: entry node %d out of range", name, proc.Entry)
+		}
+		if proc.Exit < 0 || int(proc.Exit) >= proc.NNodes {
+			return fmt.Errorf("cfg: %s: exit node %d out of range", name, proc.Exit)
+		}
+		for i, e := range proc.Edges {
+			if e.From < 0 || int(e.From) >= proc.NNodes || e.To < 0 || int(e.To) >= proc.NNodes {
+				return fmt.Errorf("cfg: %s: edge %d endpoints out of range", name, i)
+			}
+			if e.From == proc.Exit {
+				return fmt.Errorf("cfg: %s: edge %d leaves the exit node", name, i)
+			}
+			for _, v := range lang.VarsOfStmt(e.Stmt, nil) {
+				if !scope[v] {
+					return fmt.Errorf("cfg: %s: edge %d uses undeclared variable %q", name, i, v)
+				}
+			}
+			if c, ok := e.Stmt.(lang.Call); ok {
+				if p.Procs[c.Proc] == nil {
+					return fmt.Errorf("cfg: %s: edge %d calls undefined procedure %q", name, i, c.Proc)
+				}
+			}
+		}
+		if len(proc.Out) != proc.NNodes || len(proc.In) != proc.NNodes {
+			return fmt.Errorf("cfg: %s: adjacency not built (call Finish)", name)
+		}
+	}
+	return nil
+}
+
+// String renders the program in a readable edge-list form.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\nglobals %s\n", p.Name, lang.FormatVars(p.Globals))
+	for _, name := range p.ProcNames() {
+		proc := p.Procs[name]
+		fmt.Fprintf(&b, "proc %s (entry n%d, exit n%d", name, proc.Entry, proc.Exit)
+		if len(proc.Locals) > 0 {
+			fmt.Fprintf(&b, ", locals %s", lang.FormatVars(proc.Locals))
+		}
+		fmt.Fprintf(&b, ")\n")
+		for _, e := range proc.Edges {
+			fmt.Fprintf(&b, "  n%d -> n%d : %s\n", e.From, e.To, e.Stmt)
+		}
+	}
+	return b.String()
+}
+
+// Builder incrementally constructs a procedure.
+type Builder struct {
+	proc *Proc
+}
+
+// NewProc starts building a procedure. The entry node is created
+// immediately; the exit node is fixed by Finish.
+func NewProc(name string, locals ...lang.Var) *Builder {
+	b := &Builder{proc: &Proc{Name: name, Locals: locals}}
+	b.proc.Entry = b.NewNode()
+	return b
+}
+
+// NewNode allocates a fresh control location.
+func (b *Builder) NewNode() NodeID {
+	id := NodeID(b.proc.NNodes)
+	b.proc.NNodes++
+	return id
+}
+
+// AddEdge adds an edge labelled with stmt.
+func (b *Builder) AddEdge(from, to NodeID, stmt lang.Stmt) {
+	b.proc.Edges = append(b.proc.Edges, Edge{From: from, To: to, Stmt: stmt})
+}
+
+// Entry returns the entry node.
+func (b *Builder) Entry() NodeID { return b.proc.Entry }
+
+// Finish declares exit as the exit node, builds adjacency lists, and
+// returns the procedure.
+func (b *Builder) Finish(exit NodeID) *Proc {
+	p := b.proc
+	p.Exit = exit
+	p.Out = make([][]int, p.NNodes)
+	p.In = make([][]int, p.NNodes)
+	for i, e := range p.Edges {
+		p.Out[e.From] = append(p.Out[e.From], i)
+		p.In[e.To] = append(p.In[e.To], i)
+	}
+	return p
+}
+
+// NewProgram assembles procedures into a validated program.
+func NewProgram(name string, globals []lang.Var, main string, procs ...*Proc) (*Program, error) {
+	prog := &Program{Name: name, Globals: globals, Main: main, Procs: map[string]*Proc{}}
+	for _, p := range procs {
+		if prog.Procs[p.Name] != nil {
+			return nil, fmt.Errorf("cfg: duplicate procedure %q", p.Name)
+		}
+		prog.Procs[p.Name] = p
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustProgram is NewProgram that panics on error, for tests and
+// generators with known-good structure.
+func MustProgram(name string, globals []lang.Var, main string, procs ...*Proc) *Program {
+	prog, err := NewProgram(name, globals, main, procs...)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,58 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Dot renders the program's control-flow graphs in Graphviz DOT format,
+// one cluster per procedure with call edges drawn across clusters.
+func (p *Program) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.Name)
+	fmt.Fprintf(&b, "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	names := p.ProcNames()
+	type callEdge struct{ from, to string }
+	var calls []callEdge
+	for ci, name := range names {
+		proc := p.Procs[name]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+		fmt.Fprintf(&b, "    label=%q;\n", name)
+		fmt.Fprintf(&b, "    %s_n%d [style=bold, xlabel=\"entry\"];\n", name, proc.Entry)
+		fmt.Fprintf(&b, "    %s_n%d [shape=doublecircle, xlabel=\"exit\"];\n", name, proc.Exit)
+		for _, e := range proc.Edges {
+			fmt.Fprintf(&b, "    %s_n%d -> %s_n%d [label=%q, fontsize=9];\n",
+				name, e.From, name, e.To, e.Stmt.String())
+		}
+		fmt.Fprintf(&b, "  }\n")
+		for _, e := range proc.Edges {
+			if callee, ok := calleeOf(e); ok {
+				calls = append(calls, callEdge{
+					from: fmt.Sprintf("%s_n%d", name, e.From),
+					to:   fmt.Sprintf("%s_n%d", callee, p.Procs[callee].Entry),
+				})
+			}
+		}
+	}
+	sort.Slice(calls, func(i, j int) bool {
+		if calls[i].from != calls[j].from {
+			return calls[i].from < calls[j].from
+		}
+		return calls[i].to < calls[j].to
+	})
+	for _, c := range calls {
+		fmt.Fprintf(&b, "  %s -> %s [style=dashed, color=gray, constraint=false];\n", c.from, c.to)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func calleeOf(e Edge) (string, bool) {
+	if c, ok := e.Stmt.(lang.Call); ok {
+		return c.Proc, true
+	}
+	return "", false
+}

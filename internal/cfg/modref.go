@@ -1,0 +1,84 @@
+package cfg
+
+import (
+	"repro/internal/lang"
+)
+
+// ModRef records which globals a procedure may write (Mod) and read (Ref),
+// including transitively through its callees. Frame reasoning built on it
+// lets summaries omit globals a callee cannot touch — the "whole program
+// information such as alias analysis" the paper stores alongside SUMDB.
+type ModRef struct {
+	Mod map[lang.Var]bool
+	Ref map[lang.Var]bool
+}
+
+// Touched reports whether the procedure may read or write g.
+func (mr *ModRef) Touched(g lang.Var) bool { return mr.Mod[g] || mr.Ref[g] }
+
+// ModRef computes the transitive mod/ref sets over globals for every
+// procedure by a fixpoint over the call graph.
+func (p *Program) ModRef() map[string]*ModRef {
+	out := make(map[string]*ModRef, len(p.Procs))
+	isGlobal := make(map[lang.Var]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		isGlobal[g] = true
+	}
+	for name := range p.Procs {
+		out[name] = &ModRef{Mod: map[lang.Var]bool{}, Ref: map[lang.Var]bool{}}
+	}
+	// Direct effects.
+	for name, proc := range p.Procs {
+		mr := out[name]
+		for _, e := range proc.Edges {
+			switch s := e.Stmt.(type) {
+			case lang.Assign:
+				if isGlobal[s.Lhs] {
+					mr.Mod[s.Lhs] = true
+				}
+				for _, v := range lang.VarsOfInt(s.Rhs, nil) {
+					if isGlobal[v] {
+						mr.Ref[v] = true
+					}
+				}
+			case lang.Assume:
+				for _, v := range lang.VarsOfBool(s.Cond, nil) {
+					if isGlobal[v] {
+						mr.Ref[v] = true
+					}
+				}
+			case lang.Havoc:
+				if isGlobal[s.V] {
+					mr.Mod[s.V] = true
+				}
+			}
+		}
+	}
+	// Transitive closure over calls.
+	for changed := true; changed; {
+		changed = false
+		for name, proc := range p.Procs {
+			mr := out[name]
+			for _, e := range proc.Edges {
+				c, ok := e.Stmt.(lang.Call)
+				if !ok {
+					continue
+				}
+				callee := out[c.Proc]
+				for g := range callee.Mod {
+					if !mr.Mod[g] {
+						mr.Mod[g] = true
+						changed = true
+					}
+				}
+				for g := range callee.Ref {
+					if !mr.Ref[g] {
+						mr.Ref[g] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+// TestCorpus verifies the golden regression corpus in testdata/corpus:
+// files prefixed safe_ must prove, bug_ must report the error reachable,
+// under both the sequential and a parallel configuration.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/corpus/*.bolt")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			want := Unknown
+			switch {
+			case strings.HasPrefix(name, "safe_"):
+				want = Safe
+			case strings.HasPrefix(name, "bug_"):
+				want = ErrorReachable
+			default:
+				t.Fatalf("corpus file %s has no verdict prefix", name)
+			}
+			for _, threads := range []int{1, 8} {
+				res := New(prog, Options{
+					Punch:         maymust.New(),
+					MaxThreads:    threads,
+					MaxIterations: 60000,
+					CheckContract: true,
+				}).Run(AssertionQuestion(prog))
+				if res.Verdict != want {
+					t.Errorf("threads=%d: verdict %v, want %v", threads, res.Verdict, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,325 @@
+// Distributed BOLT (§7 "Future Work"): the paper observes that BOLT's
+// MapReduce architecture permits a distributed implementation, and that
+// the limiting factor for scaling is memory, not time — each PUNCH run
+// only needs the procedure under analysis, so the query tree and summary
+// database can be sharded across machines.
+//
+// This file implements that design as a deterministic simulation: a
+// cluster of nodes, each with its own worker pool and its own summary
+// database shard. Queries are routed to nodes by their procedure (so a
+// procedure's summaries are owned by one node), and nodes gossip freshly
+// added summaries with a configurable synchronization period, modelling
+// network staleness. Virtual time advances by the per-round maximum over
+// node-local makespans plus the sync latency. The simulation preserves
+// BOLT's verdict semantics while exposing the quantities of interest for
+// a distributed deployment: per-node live-query and summary-count peaks
+// (the memory story) and the wall-clock effect of sync latency.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// DistOptions configure a simulated cluster run.
+type DistOptions struct {
+	// Punch is the intraprocedural analysis (required).
+	Punch punch.Punch
+	// Nodes is the cluster size. Default 2.
+	Nodes int
+	// ThreadsPerNode is each node's MAP-stage throttle. Default 4.
+	ThreadsPerNode int
+	// CoresPerNode is each node's simulated core count. Default equals
+	// ThreadsPerNode.
+	CoresPerNode int
+	// SyncEvery is how many rounds pass between summary gossip exchanges
+	// (1 = every round). Larger values model higher network latency /
+	// batching. Default 1.
+	SyncEvery int
+	// SyncCost is the virtual-time cost charged per gossip exchange.
+	SyncCost int64
+	// MaxRounds bounds the simulation. Default 1 << 18.
+	MaxRounds int
+	// RealTimeout bounds wall-clock time (0 = none).
+	RealTimeout time.Duration
+}
+
+// DistResult reports a cluster run.
+type DistResult struct {
+	Verdict      Verdict
+	Rounds       int
+	TotalQueries int64
+	VirtualTicks int64
+	WallTime     time.Duration
+	TimedOut     bool
+	// PerNodePeakLive is each node's peak number of live queries — the
+	// memory-sharding payoff the paper's discussion predicts.
+	PerNodePeakLive []int
+	// PerNodeSummaries is each node's final owned-summary count.
+	PerNodeSummaries []int
+	// SyncExchanges counts gossip rounds performed.
+	SyncExchanges int
+}
+
+// distNode is one simulated machine.
+type distNode struct {
+	id    int
+	db    *summary.DB
+	tree  *query.Tree
+	known map[string]bool // summary keys already received via gossip
+}
+
+// DistEngine runs BOLT sharded across simulated nodes.
+type DistEngine struct {
+	prog *cfg.Program
+	opts DistOptions
+}
+
+// NewDistributed returns a distributed engine.
+func NewDistributed(prog *cfg.Program, opts DistOptions) *DistEngine {
+	if opts.Punch == nil {
+		panic("core: DistOptions.Punch is required")
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 2
+	}
+	if opts.ThreadsPerNode <= 0 {
+		opts.ThreadsPerNode = 4
+	}
+	if opts.CoresPerNode <= 0 {
+		opts.CoresPerNode = opts.ThreadsPerNode
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 1
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1 << 18
+	}
+	return &DistEngine{prog: prog, opts: opts}
+}
+
+// nodeOf routes a procedure to its owning node.
+func (e *DistEngine) nodeOf(proc string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(proc))
+	return int(h.Sum32()) % e.opts.Nodes
+}
+
+// Run answers q0 on the simulated cluster.
+func (e *DistEngine) Run(q0 summary.Question) DistResult {
+	start := time.Now()
+	solver := smt.New()
+	alloc := &query.Allocator{}
+	modref := e.prog.ModRef()
+
+	nodes := make([]*distNode, e.opts.Nodes)
+	for i := range nodes {
+		nodes[i] = &distNode{
+			id:    i,
+			db:    summary.New(solver),
+			tree:  query.NewTree(),
+			known: map[string]bool{},
+		}
+	}
+	root := alloc.New(query.NoParent, q0)
+	rootNode := e.nodeOf(q0.Proc)
+	nodes[rootNode].tree.Add(root)
+
+	res := DistResult{
+		Verdict:          Unknown,
+		PerNodePeakLive:  make([]int, e.opts.Nodes),
+		PerNodeSummaries: make([]int, e.opts.Nodes),
+	}
+	var vtime int64
+
+	for round := 0; round < e.opts.MaxRounds; round++ {
+		if e.opts.RealTimeout > 0 && time.Since(start) > e.opts.RealTimeout {
+			res.TimedOut = true
+			break
+		}
+		// Each node runs one MAP stage on its own shard, in parallel.
+		type nodeOutcome struct {
+			results []punch.Result
+			sel     []*query.Query
+			cost    int64
+		}
+		outcomes := make([]nodeOutcome, len(nodes))
+		var wg sync.WaitGroup
+		anyWork := false
+		for ni, n := range nodes {
+			ready := n.tree.InState(query.Ready)
+			if len(ready) == 0 {
+				continue
+			}
+			anyWork = true
+			sel := ready
+			if len(sel) > e.opts.ThreadsPerNode {
+				sel = sel[:e.opts.ThreadsPerNode]
+			}
+			outcomes[ni].sel = sel
+			outcomes[ni].results = make([]punch.Result, len(sel))
+			ctx := &punch.Context{Prog: e.prog, DB: n.db, Alloc: alloc, ModRef: modref}
+			for i := range sel {
+				wg.Add(1)
+				go func(ni, i int) {
+					defer wg.Done()
+					outcomes[ni].results[i] = e.opts.Punch.Step(ctx, outcomes[ni].sel[i])
+				}(ni, i)
+			}
+		}
+		wg.Wait()
+		if !anyWork {
+			// All nodes are blocked: answers may be stranded in remote
+			// shards, so force a gossip exchange and wake blocked queries
+			// to re-examine their databases. If nothing new flowed, the
+			// cluster is genuinely deadlocked.
+			res.SyncExchanges++
+			vtime += e.opts.SyncCost
+			if e.gossip(nodes) == 0 {
+				break
+			}
+			for _, n := range nodes {
+				for _, q := range n.tree.InState(query.Blocked) {
+					q.State = query.Ready
+				}
+			}
+			res.Rounds = round + 1
+			continue
+		}
+
+		// Per-node makespans; the round's virtual time is their maximum
+		// (nodes genuinely run in parallel).
+		var roundCost int64
+		for ni := range outcomes {
+			if outcomes[ni].sel == nil {
+				continue
+			}
+			costs := make([]int64, len(outcomes[ni].results))
+			for i, r := range outcomes[ni].results {
+				costs[i] = r.Cost
+			}
+			c := makespan(costs, e.opts.CoresPerNode)
+			if c > roundCost {
+				roundCost = c
+			}
+		}
+		vtime += roundCost
+
+		// Merge results: children are routed to their owning node (a
+		// remote dispatch in a real deployment).
+		for ni, n := range nodes {
+			if outcomes[ni].sel == nil {
+				continue
+			}
+			for _, r := range outcomes[ni].results {
+				n.tree.Replace(r.Self)
+				for _, c := range r.Children {
+					target := nodes[e.nodeOf(c.Q.Proc)]
+					target.tree.Add(c)
+				}
+			}
+		}
+
+		// REDUCE per node: wake parents (which may live on another node)
+		// and garbage-collect Done subtrees locally. A child's parent
+		// lives where the parent's procedure is owned; scan all nodes.
+		for ni, n := range nodes {
+			if outcomes[ni].sel == nil {
+				continue
+			}
+			for _, r := range outcomes[ni].results {
+				self := r.Self
+				if self.State != query.Done {
+					continue
+				}
+				if self.Parent != query.NoParent {
+					for _, other := range nodes {
+						if p := other.tree.Get(self.Parent); p != nil {
+							if p.State == query.Blocked {
+								p.State = query.Ready
+							}
+							break
+						}
+					}
+				}
+				n.tree.RemoveSubtree(self.ID)
+			}
+		}
+
+		// Root check.
+		if rootQ := nodes[rootNode].tree.Get(root.ID); rootQ != nil && rootQ.State == query.Done {
+			switch rootQ.Outcome {
+			case query.Reachable:
+				res.Verdict = ErrorReachable
+			case query.Unreachable:
+				res.Verdict = Safe
+			}
+			res.Rounds = round + 1
+			break
+		}
+		// Also catch the case where REDUCE removed the Done root already.
+		if nodes[rootNode].tree.Get(root.ID) == nil {
+			if _, verdict := nodes[rootNode].db.Answer(q0); verdict != 0 {
+				if verdict > 0 {
+					res.Verdict = ErrorReachable
+				} else {
+					res.Verdict = Safe
+				}
+				res.Rounds = round + 1
+				break
+			}
+		}
+
+		// Gossip: every SyncEvery rounds nodes exchange new summaries.
+		if (round+1)%e.opts.SyncEvery == 0 {
+			res.SyncExchanges++
+			vtime += e.opts.SyncCost
+			e.gossip(nodes)
+		}
+
+		for ni, n := range nodes {
+			if l := n.tree.Len(); l > res.PerNodePeakLive[ni] {
+				res.PerNodePeakLive[ni] = l
+			}
+		}
+		res.Rounds = round + 1
+	}
+
+	for ni, n := range nodes {
+		res.PerNodeSummaries[ni] = n.db.Count()
+	}
+	res.TotalQueries = alloc.Count()
+	res.VirtualTicks = vtime
+	res.WallTime = time.Since(start)
+	return res
+}
+
+// gossip copies summaries between all node pairs (full exchange),
+// returning how many summary deliveries occurred. Real deployments would
+// batch deltas; the simulation keys on summary structure to avoid
+// rebroadcast.
+func (e *DistEngine) gossip(nodes []*distNode) int {
+	moved := 0
+	for _, from := range nodes {
+		for _, s := range from.db.All() {
+			key := fmt.Sprintf("%d|%s|%s|%s", s.Kind, s.Proc, s.Pre, s.Post)
+			for _, to := range nodes {
+				if to.id == from.id || to.known[key] {
+					continue
+				}
+				to.known[key] = true
+				to.db.Add(s)
+				moved++
+			}
+		}
+	}
+	return moved
+}

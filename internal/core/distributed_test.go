@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Verdict
+	}{
+		{`globals g;
+		  proc main { g = 0; a(); b(); assert(g <= 2); }
+		  proc a { g = g + 1; }
+		  proc b { g = g + 1; }`, Safe},
+		{`globals g;
+		  proc main { g = 0; a(); b(); assert(g <= 1); }
+		  proc a { g = g + 1; }
+		  proc b { g = g + 1; }`, ErrorReachable},
+	}
+	for i, c := range cases {
+		prog := parser.MustParse(c.src)
+		for _, nodes := range []int{1, 2, 4} {
+			eng := NewDistributed(prog, DistOptions{
+				Punch:          maymust.New(),
+				Nodes:          nodes,
+				ThreadsPerNode: 2,
+				MaxRounds:      4000,
+			})
+			res := eng.Run(AssertionQuestion(prog))
+			if res.Verdict != c.want {
+				t.Errorf("case %d nodes=%d: verdict %v, want %v", i, nodes, res.Verdict, c.want)
+			}
+		}
+	}
+}
+
+func TestDistributedShardsMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver verification is not short")
+	}
+	prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+	q := AssertionQuestion(prog)
+
+	single := NewDistributed(prog, DistOptions{Punch: maymust.New(), Nodes: 1, ThreadsPerNode: 8, MaxRounds: 1 << 18}).Run(q)
+	multi := NewDistributed(prog, DistOptions{Punch: maymust.New(), Nodes: 4, ThreadsPerNode: 8, MaxRounds: 1 << 18}).Run(q)
+
+	if single.Verdict != Safe || multi.Verdict != Safe {
+		t.Fatalf("verdicts: single=%v multi=%v", single.Verdict, multi.Verdict)
+	}
+	maxShard := 0
+	for _, p := range multi.PerNodePeakLive {
+		if p > maxShard {
+			maxShard = p
+		}
+	}
+	// The paper's prediction: sharding bounds per-machine memory. The
+	// busiest shard must hold fewer live queries than the single node.
+	if maxShard >= single.PerNodePeakLive[0] && single.PerNodePeakLive[0] > 2 {
+		t.Errorf("no memory sharding benefit: shard peak %d vs single %d", maxShard, single.PerNodePeakLive[0])
+	}
+	if multi.SyncExchanges == 0 {
+		t.Error("no gossip happened")
+	}
+}
+
+func TestDistributedSyncLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver verification is not short")
+	}
+	prog := drivers.Generate(drivers.NamedCheck("parport", "PowerDownFail", false).Config)
+	q := AssertionQuestion(prog)
+	fast := NewDistributed(prog, DistOptions{Punch: maymust.New(), Nodes: 2, ThreadsPerNode: 4, SyncEvery: 1, MaxRounds: 1 << 18}).Run(q)
+	slow := NewDistributed(prog, DistOptions{Punch: maymust.New(), Nodes: 2, ThreadsPerNode: 4, SyncEvery: 8, SyncCost: 50, MaxRounds: 1 << 18}).Run(q)
+	if fast.Verdict != Safe || slow.Verdict != Safe {
+		t.Fatalf("verdicts: fast=%v slow=%v", fast.Verdict, slow.Verdict)
+	}
+	// Staleness must never change the verdict; it may change the cost.
+	t.Logf("sync every round: %d ticks; every 8 rounds: %d ticks", fast.VirtualTicks, slow.VirtualTicks)
+}

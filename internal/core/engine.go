@@ -1,0 +1,367 @@
+// Package core implements BOLT (Fig. 4 of the paper): the parallel
+// top-down verification framework. The engine iterates a MAP stage — which
+// applies the PUNCH parameter to Ready queries in parallel, bounded by the
+// thread throttle — and a REDUCE stage — which reactivates Blocked parents
+// of Done queries and garbage-collects Done subtrees — until the root
+// verification question is answered by a summary in SUMDB.
+//
+// Besides real wall-clock execution with goroutines, the engine maintains
+// a deterministic virtual clock: each PUNCH invocation reports its
+// abstract cost, and a MAP stage advances virtual time by the makespan of
+// its batch (the maximum cost, since the batch size never exceeds the
+// thread count). On this repository's single-core test hardware the
+// virtual clock is what reproduces the paper's speedup tables; the real
+// engine exercises true concurrency for correctness.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// Verdict is the outcome of a verification run.
+type Verdict int
+
+// Verdicts.
+const (
+	// Unknown: resource limits hit, or the analysis got stuck.
+	Unknown Verdict = iota
+	// Safe: a not-may summary answers the root question — the error
+	// states are unreachable.
+	Safe
+	// ErrorReachable: a must summary answers the root question — some
+	// execution reaches the error states.
+	ErrorReachable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "Program is Safe"
+	case ErrorReachable:
+		return "Error Reachable"
+	case Unknown:
+		return "Unknown (resources exhausted)"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// SelectPolicy orders the Ready queries the MAP stage picks from when the
+// throttle is smaller than the Ready set.
+type SelectPolicy int
+
+// Selection policies.
+const (
+	// FIFO processes oldest queries first (the sequential demand-driven
+	// order).
+	FIFO SelectPolicy = iota
+	// LIFO processes newest queries first (depth-first flavour).
+	LIFO
+)
+
+// Options configure an engine run.
+type Options struct {
+	// Punch is the intraprocedural analysis parameter (required).
+	Punch punch.Punch
+	// MaxThreads is the paper's artificial throttle: the bound on queries
+	// processed per MAP stage and on concurrently running PUNCH instances.
+	// 1 is the sequential baseline. Default 1.
+	MaxThreads int
+	// VirtualCores is the number of simulated processor cores for the
+	// virtual clock: a MAP stage advances virtual time by the greedy
+	// list-scheduling makespan of its batch on this many machines (the
+	// paper's test machine has 8). 0 means as many cores as threads.
+	VirtualCores int
+	// MaxVirtualTicks bounds accumulated virtual time (0 = unbounded).
+	MaxVirtualTicks int64
+	// RealTimeout bounds wall-clock time (0 = unbounded).
+	RealTimeout time.Duration
+	// MaxIterations bounds MAP/REDUCE iterations (0 = 1 << 20).
+	MaxIterations int
+	// DisableGC turns off the REDUCE stage's removal of Done subtrees
+	// (ablation).
+	DisableGC bool
+	// DisableSumDB makes the summary database store and answer nothing
+	// (ablation). Note PUNCH then never terminates queries via reuse.
+	DisableSumDB bool
+	// Select orders Ready queries for the MAP stage.
+	Select SelectPolicy
+	// CheckContract validates the §3.2 PUNCH postcondition on every
+	// invocation (used by the test suite).
+	CheckContract bool
+	// Speculate enables the §7 speculative extension: when a MAP stage has
+	// spare thread slots, Blocked queries are also scheduled so they can
+	// re-examine SUMDB and fan out further work early.
+	Speculate bool
+	// OnIteration, when set, observes per-iteration samples.
+	OnIteration func(IterSample)
+}
+
+// IterSample is one MAP/REDUCE iteration's instrumentation record; the
+// series reproduces Figs. 3 and 7.
+type IterSample struct {
+	Iter       int
+	VTime      int64 // virtual clock before the stage
+	StageCost  int64 // makespan charged by this stage
+	Ready      int   // Ready queries before selection
+	Processed  int   // queries handed to PUNCH this stage
+	Live       int   // live queries after REDUCE
+	DoneSoFar  int64 // cumulative Done queries
+	NewQueries int   // children created this stage
+}
+
+// Result reports a verification run.
+type Result struct {
+	Verdict      Verdict
+	RootOutcome  query.Outcome
+	Iterations   int
+	TotalQueries int64 // queries ever created
+	PeakReady    int
+	PeakLive     int
+	DoneQueries  int64
+	VirtualTicks int64
+	WallTime     time.Duration
+	TimedOut     bool
+	Deadlocked   bool
+	Trace        []IterSample
+	SumDB        summary.Stats
+	Solver       smt.Stats
+	// CostByProc aggregates PUNCH cost per analyzed procedure, a profile
+	// of where virtual time is spent.
+	CostByProc map[string]int64
+	// Summaries is the final content of SUMDB.
+	Summaries []summary.Summary
+}
+
+// Engine runs BOLT on one program.
+type Engine struct {
+	prog *cfg.Program
+	opts Options
+}
+
+// New returns an engine; opts.Punch must be set.
+func New(prog *cfg.Program, opts Options) *Engine {
+	if opts.Punch == nil {
+		panic("core: Options.Punch is required")
+	}
+	if opts.MaxThreads <= 0 {
+		opts.MaxThreads = 1
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 1 << 20
+	}
+	return &Engine{prog: prog, opts: opts}
+}
+
+// Run answers the verification question q0 (Fig. 4).
+func (e *Engine) Run(q0 summary.Question) Result {
+	start := time.Now()
+	solver := smt.New()
+	var db *summary.DB
+	if e.opts.DisableSumDB {
+		db = summary.NewDisabled(solver)
+	} else {
+		db = summary.New(solver)
+	}
+	alloc := &query.Allocator{}
+	ctx := &punch.Context{Prog: e.prog, DB: db, Alloc: alloc, ModRef: e.prog.ModRef()}
+	tree := query.NewTree()
+	root := alloc.New(query.NoParent, q0)
+	tree.Add(root)
+
+	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
+	var vtime int64
+	var doneCount int64
+
+	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		if e.opts.RealTimeout > 0 && time.Since(start) > e.opts.RealTimeout {
+			res.TimedOut = true
+			break
+		}
+		if e.opts.MaxVirtualTicks > 0 && vtime >= e.opts.MaxVirtualTicks {
+			res.TimedOut = true
+			break
+		}
+		ready := tree.InState(query.Ready)
+		if len(ready) > res.PeakReady {
+			res.PeakReady = len(ready)
+		}
+		if len(ready) == 0 {
+			// Every live query is Blocked: no child can ever answer (the
+			// query tree has no cycles), so the analysis is stuck.
+			res.Deadlocked = true
+			break
+		}
+		if e.opts.Select == LIFO {
+			for i, j := 0, len(ready)-1; i < j; i, j = i+1, j-1 {
+				ready[i], ready[j] = ready[j], ready[i]
+			}
+		}
+		sel := ready
+		if len(sel) > e.opts.MaxThreads {
+			sel = sel[:e.opts.MaxThreads]
+		}
+		if e.opts.Speculate && len(sel) < e.opts.MaxThreads {
+			// §7 speculative extension: fill idle slots with Blocked
+			// queries, temporarily waking them so PUNCH can recheck SUMDB
+			// and fan out additional sub-queries ahead of demand.
+			blocked := tree.InState(query.Blocked)
+			for _, b := range blocked {
+				if len(sel) >= e.opts.MaxThreads {
+					break
+				}
+				b.State = query.Ready
+				sel = append(sel, b)
+			}
+		}
+
+		// MAP: run PUNCH on the selected queries in parallel. The summary
+		// database is the only shared state (§3.3).
+		results := make([]punch.Result, len(sel))
+		var wg sync.WaitGroup
+		for i := range sel {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = e.opts.Punch.Step(ctx, sel[i])
+			}(i)
+		}
+		wg.Wait()
+
+		// Virtual time: the stage advances the clock by the makespan of
+		// its batch on the simulated cores.
+		costs := make([]int64, len(results))
+		newQueries := 0
+		for i := range results {
+			costs[i] = results[i].Cost
+			newQueries += len(results[i].Children)
+			res.CostByProc[sel[i].Q.Proc] += results[i].Cost
+		}
+		cores := e.opts.VirtualCores
+		if cores <= 0 || cores > e.opts.MaxThreads {
+			cores = e.opts.MaxThreads
+		}
+		stageCost := makespan(costs, cores)
+		vtime += stageCost
+
+		for i := range results {
+			r := results[i]
+			if e.opts.CheckContract {
+				if err := punch.CheckContract(sel[i], r); err != nil {
+					panic(err)
+				}
+			}
+			tree.Replace(r.Self)
+			for _, c := range r.Children {
+				tree.Add(c)
+			}
+		}
+
+		// Check the root before REDUCE removes Done subtrees.
+		rootNow := tree.Get(root.ID)
+		if rootNow != nil && rootNow.State == query.Done {
+			res.RootOutcome = rootNow.Outcome
+			switch rootNow.Outcome {
+			case query.Reachable:
+				res.Verdict = ErrorReachable
+			case query.Unreachable:
+				res.Verdict = Safe
+			}
+			doneCount++
+			res.Iterations = iter + 1
+			e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
+			break
+		}
+
+		// REDUCE: wake Blocked parents of Done queries and garbage-collect
+		// Done subtrees (§3.3).
+		for i := range results {
+			self := results[i].Self
+			if self.State != query.Done {
+				continue
+			}
+			doneCount++
+			if self.Parent != query.NoParent {
+				if p := tree.Get(self.Parent); p != nil && p.State == query.Blocked {
+					p.State = query.Ready
+				}
+			}
+			if !e.opts.DisableGC {
+				tree.RemoveSubtree(self.ID)
+			}
+		}
+		if tree.Len() > res.PeakLive {
+			res.PeakLive = tree.Len()
+		}
+		res.Iterations = iter + 1
+		e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
+	}
+
+	if res.Verdict == Unknown && res.Iterations >= e.opts.MaxIterations {
+		res.TimedOut = true
+	}
+	res.TotalQueries = alloc.Count()
+	res.DoneQueries = doneCount
+	res.VirtualTicks = vtime
+	res.WallTime = time.Since(start)
+	res.SumDB = db.StatsSnapshot()
+	res.Solver = solver.StatsSnapshot()
+	res.Summaries = db.All()
+	return res
+}
+
+// makespan computes the greedy list-scheduling completion time of the
+// given task costs on n identical machines (tasks assigned in order to
+// the least-loaded machine).
+func makespan(costs []int64, n int) int64 {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(costs) {
+		n = len(costs)
+	}
+	if n == 0 {
+		return 0
+	}
+	load := make([]int64, n)
+	for _, c := range costs {
+		min := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[min] {
+				min = i
+			}
+		}
+		load[min] += c
+	}
+	var out int64
+	for _, l := range load {
+		if l > out {
+			out = l
+		}
+	}
+	return out
+}
+
+func (e *Engine) sample(res *Result, iter int, vtime, stageCost int64, ready, processed, live int, done int64, newQ int) {
+	s := IterSample{
+		Iter:       iter,
+		VTime:      vtime - stageCost,
+		StageCost:  stageCost,
+		Ready:      ready,
+		Processed:  processed,
+		Live:       live,
+		DoneSoFar:  done,
+		NewQueries: newQ,
+	}
+	res.Trace = append(res.Trace, s)
+	if e.opts.OnIteration != nil {
+		e.opts.OnIteration(s)
+	}
+}

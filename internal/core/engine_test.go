@@ -1,0 +1,348 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+func run(t *testing.T, src string, threads int) Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runProg(t, prog, threads)
+}
+
+func runProg(t *testing.T, prog *cfg.Program, threads int) Result {
+	t.Helper()
+	eng := New(prog, Options{
+		Punch:         maymust.New(),
+		MaxThreads:    threads,
+		MaxIterations: 3000,
+		CheckContract: true,
+	})
+	return eng.Run(AssertionQuestion(prog))
+}
+
+func TestSafeStraightLine(t *testing.T) {
+	res := run(t, `proc main { locals x; x = 1; assert(x > 0); }`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestBuggyStraightLine(t *testing.T) {
+	res := run(t, `proc main { locals x; x = 1; assert(x > 5); }`, 1)
+	if res.Verdict != ErrorReachable {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestHavocSafe(t *testing.T) {
+	res := run(t, `
+proc main {
+  locals x;
+  havoc x;
+  assume(x > 0);
+  assert(x >= 1);
+}`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestHavocBuggy(t *testing.T) {
+	res := run(t, `
+proc main {
+  locals x;
+  havoc x;
+  assume(x > 0);
+  assert(x >= 2);
+}`, 1)
+	if res.Verdict != ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestBranchingSafe(t *testing.T) {
+	res := run(t, `
+proc main {
+  locals x, y;
+  havoc x;
+  if (x > 0) { y = x; } else { y = 0 - x; }
+  assert(y >= 0);
+}`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestCallSafe(t *testing.T) {
+	res := run(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 6);
+}
+proc bump {
+  g = g + 1;
+}`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+	if res.TotalQueries < 2 {
+		t.Fatalf("expected a child query for bump, got %d total", res.TotalQueries)
+	}
+}
+
+func TestCallBuggy(t *testing.T) {
+	res := run(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 7);
+}
+proc bump {
+  g = g + 1;
+}`, 1)
+	if res.Verdict != ErrorReachable {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+// toySource is a modular rendering of the §2.1 toy program: main calls
+// foo, bar and baz and asserts on their results, with each obligation
+// checkable against one callee at a time — the shape of real SDV safety
+// properties (per-global monitor automata).
+func toySource() string {
+	return `
+program toy;
+globals rfoo, rbar, rbaz, p;
+
+proc main {
+  foo();
+  bar();
+  p = 0 - 12;
+  baz();
+  assert(rfoo > -5);
+  assert(rbar > -5);
+  assert(rbaz > -6);
+}
+
+proc foo {
+  havoc rfoo;
+  assume(rfoo >= -4);
+}
+
+proc bar {
+  havoc rbar;
+  assume(rbar >= -4);
+}
+
+proc baz {
+  // Called only with p <= -10; returns a value above -6.
+  havoc rbaz;
+  assume(rbaz >= p + 7);
+}
+`
+}
+
+// relationalToySource is the §2.1 toy verbatim: the assertion couples all
+// three callee results through one linear sum. Proving it requires a
+// relational invariant across three procedure summaries, which
+// test-driven may-must refinement (DASH and this reproduction alike)
+// explores point by point; convergence is not guaranteed. The test
+// demands soundness — never a wrong verdict — but tolerates Unknown.
+func relationalToySource() string {
+	return `
+program toyrel;
+globals rfoo, rbar, rbaz, p;
+
+proc main {
+  locals y;
+  foo();
+  bar();
+  p = 0 - 12;
+  baz();
+  y = rfoo + rbar + rbaz + 16;
+  assert(y > 0);
+}
+
+proc foo {
+  havoc rfoo;
+  assume(rfoo >= -4);
+}
+
+proc bar {
+  havoc rbar;
+  assume(rbar >= -4);
+}
+
+proc baz {
+  havoc rbaz;
+  assume(rbaz >= p + 7);
+}
+`
+}
+
+func TestToyProgramSafe(t *testing.T) {
+	// rfoo, rbar ≥ -4 > -5 and rbaz ≥ p+7 = -5 > -6: all asserts hold.
+	res := run(t, toySource(), 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestToyProgramParallelMatchesSequential(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		res := run(t, toySource(), threads)
+		if res.Verdict != Safe {
+			t.Fatalf("threads=%d: verdict = %v", threads, res.Verdict)
+		}
+	}
+}
+
+func TestRelationalToySoundness(t *testing.T) {
+	prog := parser.MustParse(relationalToySource())
+	eng := New(prog, Options{
+		Punch:         maymust.New(),
+		MaxThreads:    2,
+		MaxIterations: 120,
+		CheckContract: true,
+	})
+	res := eng.Run(AssertionQuestion(prog))
+	// The program is safe; the analysis may not converge on the
+	// relational invariant, but it must never report the error reachable.
+	if res.Verdict == ErrorReachable {
+		t.Fatalf("unsound verdict on safe relational program: %+v", res)
+	}
+}
+
+func TestLoopSafe(t *testing.T) {
+	res := run(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 5) { i = i + 1; }
+  assert(i >= 5);
+}`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestLoopBuggy(t *testing.T) {
+	res := run(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 5) { i = i + 1; }
+  assert(i >= 6);
+}`, 1)
+	if res.Verdict != ErrorReachable {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestNestedCallsSafe(t *testing.T) {
+	res := run(t, `
+globals a, b;
+proc main {
+  a = 0; b = 0;
+  level1();
+  assert(a + b <= 4);
+}
+proc level1 {
+  a = a + 1;
+  level2();
+  a = a + 1;
+}
+proc level2 {
+  b = b + 1;
+  level3();
+}
+proc level3 {
+  b = b + 1;
+}`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestDiamondCallGraphSummaryReuse(t *testing.T) {
+	// Both paths call shared(); the summary must be computed once and
+	// reused.
+	res := run(t, `
+globals g, c;
+proc main {
+  havoc c;
+  g = 0;
+  if (c > 0) { left(); } else { right(); }
+  assert(g <= 3);
+}
+proc left { shared(); }
+proc right { shared(); g = g + 1; }
+proc shared { g = g + 2; }`, 1)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestUnknownOnIterationBudget(t *testing.T) {
+	// A loop whose invariant the analysis cannot find quickly with a tiny
+	// budget must yield Unknown, not a wrong verdict.
+	prog := parser.MustParse(`
+proc main {
+  locals i, j;
+  havoc j;
+  i = 0;
+  while (i < j) { i = i + 1; }
+  assert(i * 1 >= 0 || j > 0 || i <= j + 100);
+}`)
+	eng := New(prog, Options{Punch: maymust.New(), MaxThreads: 1, MaxIterations: 2})
+	res := eng.Run(AssertionQuestion(prog))
+	if res.Verdict == ErrorReachable {
+		t.Fatalf("wrong verdict on budget exhaustion: %v", res.Verdict)
+	}
+}
+
+func TestParamsVerifyEndToEnd(t *testing.T) {
+	// The parameter/return calling-convention sugar must verify cleanly
+	// through the whole pipeline.
+	res := run(t, `
+globals r;
+proc main {
+  locals x;
+  havoc x;
+  assume(x >= 0 && x <= 10);
+  r = double(x);
+  assert(r <= 20);
+}
+proc double(n) {
+  return n + n;
+}`, 4)
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	res2 := run(t, `
+globals r;
+proc main {
+  locals x;
+  havoc x;
+  assume(x >= 0 && x <= 10);
+  r = double(x);
+  assert(r <= 19);
+}
+proc double(n) {
+  return n + n;
+}`, 4)
+	if res2.Verdict != ErrorReachable {
+		t.Fatalf("verdict = %v", res2.Verdict)
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/punch/may"
+	"repro/internal/punch/maymust"
+	"repro/internal/punch/must"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// TestEngineConfluence: sequential, parallel, LIFO and speculative
+// configurations must agree on verdicts.
+func TestEngineConfluence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Verdict
+	}{
+		{`proc main { locals x; x = 2; assert(x > 1); }`, Safe},
+		{`proc main { locals x; havoc x; assume(x > 3); assert(x > 4); }`, ErrorReachable},
+		{`globals g;
+		  proc main { g = 0; inc(); inc(); assert(g <= 2); }
+		  proc inc { g = g + 1; }`, Safe},
+		{`globals g;
+		  proc main { g = 0; inc(); inc(); assert(g <= 1); }
+		  proc inc { g = g + 1; }`, ErrorReachable},
+	}
+	configs := []Options{
+		{MaxThreads: 1},
+		{MaxThreads: 4},
+		{MaxThreads: 16, Select: LIFO},
+		{MaxThreads: 4, Speculate: true},
+		{MaxThreads: 4, DisableGC: true},
+	}
+	for ci, c := range cases {
+		prog := parser.MustParse(c.src)
+		for oi, o := range configs {
+			o.Punch = maymust.New()
+			o.MaxIterations = 3000
+			o.CheckContract = true
+			res := New(prog, o).Run(AssertionQuestion(prog))
+			if res.Verdict != c.want {
+				t.Errorf("case %d config %d: verdict %v, want %v", ci, oi, res.Verdict, c.want)
+			}
+		}
+	}
+}
+
+// TestNoSumDBAblation: without the summary database the engine cannot
+// finish call-dependent queries (children's answers are never visible),
+// but it must stay sound.
+func TestNoSumDBAblation(t *testing.T) {
+	prog := parser.MustParse(`
+globals g;
+proc main { g = 0; inc(); assert(g <= 1); }
+proc inc { g = g + 1; }`)
+	res := New(prog, Options{
+		Punch:         maymust.New(),
+		MaxThreads:    2,
+		MaxIterations: 60,
+		DisableSumDB:  true,
+	}).Run(AssertionQuestion(prog))
+	if res.Verdict == ErrorReachable {
+		t.Fatalf("unsound verdict without SUMDB: %v", res.Verdict)
+	}
+	// Call-free queries still work without the database.
+	prog2 := parser.MustParse(`proc main { locals x; x = 1; assert(x > 2); }`)
+	res2 := New(prog2, Options{Punch: maymust.New(), MaxThreads: 1, MaxIterations: 200, DisableSumDB: true}).
+		Run(AssertionQuestion(prog2))
+	if res2.Verdict != ErrorReachable {
+		t.Fatalf("call-free check without SUMDB: %v", res2.Verdict)
+	}
+}
+
+// TestCrossAnalysisAgreement: on bug-finding, all three instantiations
+// agree (must cannot prove safety, so Safe cases check may-must vs may on
+// call-free programs only).
+func TestCrossAnalysisAgreement(t *testing.T) {
+	buggy := []string{
+		`proc main { locals x; x = 3; assert(x < 3); }`,
+		`proc main { locals x; havoc x; if (x > 10) { assert(x <= 10); } }`,
+		`globals g; proc main { g = 1; dec(); assert(g >= 1); } proc dec { g = g - 1; }`,
+	}
+	for i, src := range buggy {
+		prog := parser.MustParse(src)
+		for name, p := range map[string]Options{
+			"maymust": {Punch: maymust.New()},
+			"may":     {Punch: may.New()},
+			"must":    {Punch: must.New()},
+		} {
+			p.MaxThreads = 2
+			p.MaxIterations = 2000
+			p.CheckContract = true
+			res := New(prog, p).Run(AssertionQuestion(prog))
+			if res.Verdict != ErrorReachable {
+				t.Errorf("buggy %d under %s: %v", i, name, res.Verdict)
+			}
+		}
+	}
+}
+
+// TestVerdictsMatchConcreteOracle: property test against the interpreter
+// on generated drivers — Safe verdicts must never be contradicted by a
+// concrete failing run, and ErrorReachable verdicts must be witnessed by
+// at least one concrete failure within a generous search.
+func TestVerdictsMatchConcreteOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle comparison is not short")
+	}
+	checks := []struct {
+		driver, prop string
+		buggy        bool
+	}{
+		{"parport", "PnpIrpCompletion", false},
+		{"parport", "IoAllocateFree", true},
+		{"drv10", "NsRemoveLockMnRemove", false},
+		{"drv12", "MarkPowerDown", true},
+	}
+	for _, c := range checks {
+		prog := drivers.Generate(drivers.NamedCheck(c.driver, c.prop, c.buggy).Config)
+		res := New(prog, Options{Punch: maymust.New(), MaxThreads: 8, MaxIterations: 40000}).
+			Run(AssertionQuestion(prog))
+		concreteFails := false
+		for seed := int64(0); seed < 300 && !concreteFails; seed++ {
+			r := interp.Run(prog, interp.Options{Rand: rand.New(rand.NewSource(seed)), MaxSteps: 50000})
+			concreteFails = r.Completed && r.Final[parser.ErrVar] != 0
+		}
+		switch res.Verdict {
+		case Safe:
+			if concreteFails {
+				t.Errorf("%s/%s buggy=%v: Safe verdict contradicted concretely", c.driver, c.prop, c.buggy)
+			}
+		case ErrorReachable:
+			if !concreteFails {
+				t.Errorf("%s/%s buggy=%v: ErrorReachable not witnessed in 300 runs", c.driver, c.prop, c.buggy)
+			}
+		default:
+			t.Errorf("%s/%s buggy=%v: inconclusive (%v)", c.driver, c.prop, c.buggy, res.Verdict)
+		}
+	}
+}
+
+// TestMakespan validates the virtual-clock scheduling arithmetic.
+func TestMakespan(t *testing.T) {
+	cases := []struct {
+		costs []int64
+		n     int
+		want  int64
+	}{
+		{[]int64{5, 3, 2}, 1, 10},
+		{[]int64{5, 3, 2}, 3, 5},
+		{[]int64{5, 3, 2}, 8, 5},
+		{[]int64{4, 4, 4, 4}, 2, 8},
+		{[]int64{9, 1, 1, 1}, 2, 9},
+		{nil, 4, 0},
+	}
+	for _, c := range cases {
+		if got := makespan(c.costs, c.n); got != c.want {
+			t.Errorf("makespan(%v, %d) = %d, want %d", c.costs, c.n, got, c.want)
+		}
+	}
+}
+
+// TestSequentialDeterminism: identical runs must produce identical
+// virtual time and query counts.
+func TestSequentialDeterminism(t *testing.T) {
+	prog := drivers.Generate(drivers.NamedCheck("parport", "PnpIrpCompletion", false).Config)
+	run := func() Result {
+		return New(prog, Options{Punch: maymust.New(), MaxThreads: 1, MaxIterations: 40000}).
+			Run(AssertionQuestion(prog))
+	}
+	a, b := run(), run()
+	if a.VirtualTicks != b.VirtualTicks || a.TotalQueries != b.TotalQueries || a.Verdict != b.Verdict {
+		t.Fatalf("nondeterministic sequential run: %+v vs %+v", a, b)
+	}
+}
+
+// TestSummariesSoundAgainstOracle: every not-may summary produced during
+// verification claims certain exit states unreachable; random concrete
+// executions from sampled pre-states must never contradict it. Every must
+// summary's pre/post must be concretely consistent for its witnessed
+// point: some run from the pre-point reaches an exit in the post.
+func TestSummariesSoundAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle comparison is not short")
+	}
+	srcs := []string{
+		`globals g;
+		 proc main { g = 0; inc(); inc(); assert(g <= 2); }
+		 proc inc { g = g + 1; }`,
+		`globals lk;
+		 proc main { lk = 0; acq(); rel(); assert(lk == 0); }
+		 proc acq { if (lk == 0) { lk = 1; } }
+		 proc rel { if (lk == 1) { lk = 0; } }`,
+	}
+	solver := smt.New()
+	for _, src := range srcs {
+		prog := parser.MustParse(src)
+		res := New(prog, Options{Punch: maymust.New(), MaxThreads: 4, MaxIterations: 4000}).
+			Run(AssertionQuestion(prog))
+		if res.Verdict != Safe {
+			t.Fatalf("expected Safe, got %v", res.Verdict)
+		}
+		if len(res.Summaries) == 0 {
+			t.Fatal("no summaries recorded")
+		}
+		for _, s := range res.Summaries {
+			m := solver.Model(s.Pre)
+			if m == nil {
+				continue
+			}
+			start := interp.State{}
+			for _, g := range prog.Globals {
+				start[g] = m[g]
+			}
+			switch s.Kind {
+			case summary.NotMay:
+				for seed := int64(0); seed < 40; seed++ {
+					r := interp.RunProc(prog, s.Proc, start, interp.Options{Rand: rand.New(rand.NewSource(seed)), MaxSteps: 20000})
+					if !r.Completed {
+						continue
+					}
+					final := map[lang.Var]int64{}
+					for _, g := range prog.Globals {
+						final[g] = r.Final[g]
+					}
+					if logic.Eval(s.Post, final) {
+						t.Fatalf("not-may summary %v contradicted by concrete run (exit %v)", s, final)
+					}
+				}
+			case summary.Must:
+				witnessed := false
+				for seed := int64(0); seed < 300 && !witnessed; seed++ {
+					r := interp.RunProc(prog, s.Proc, start, interp.Options{Rand: rand.New(rand.NewSource(seed)), MaxSteps: 20000})
+					if !r.Completed {
+						continue
+					}
+					final := map[lang.Var]int64{}
+					for _, g := range prog.Globals {
+						final[g] = r.Final[g]
+					}
+					witnessed = logic.Eval(s.Post, final)
+				}
+				if !witnessed {
+					t.Errorf("must summary %v never witnessed concretely", s)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameRuleOnSummaries: summaries for a callee must not mention
+// globals the callee neither touches nor the question constrains — the
+// mod/ref frame rule that keeps summaries reusable across calling
+// contexts.
+func TestFrameRuleOnSummaries(t *testing.T) {
+	prog := parser.MustParse(`
+globals a, b, unrelated;
+proc main {
+  unrelated = 77;
+  a = 1;
+  bump();
+  assert(a <= 2);
+}
+proc bump { a = a + 1; b = a; }`)
+	res := New(prog, Options{Punch: maymust.New(), MaxThreads: 2, MaxIterations: 4000}).
+		Run(AssertionQuestion(prog))
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	found := false
+	for _, s := range res.Summaries {
+		if s.Proc != "bump" {
+			continue
+		}
+		found = true
+		for _, v := range logic.FreeVars(s.Pre) {
+			if v == "unrelated" {
+				t.Errorf("summary pre pins the unrelated global: %v", s)
+			}
+		}
+		for _, v := range logic.FreeVars(s.Post) {
+			if v == "unrelated" {
+				t.Errorf("summary post pins the unrelated global: %v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no summaries for bump recorded")
+	}
+}
+
+// TestOnIterationHook: the per-iteration observer receives the same
+// samples the result trace records.
+func TestOnIterationHook(t *testing.T) {
+	prog := parser.MustParse(`globals g;
+proc main { g = 0; inc(); assert(g <= 1); }
+proc inc { g = g + 1; }`)
+	var seen []IterSample
+	res := New(prog, Options{
+		Punch:         maymust.New(),
+		MaxThreads:    2,
+		MaxIterations: 2000,
+		OnIteration:   func(s IterSample) { seen = append(seen, s) },
+	}).Run(AssertionQuestion(prog))
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if len(seen) != len(res.Trace) {
+		t.Fatalf("hook saw %d samples, trace has %d", len(seen), len(res.Trace))
+	}
+	for i := range seen {
+		if seen[i] != res.Trace[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/summary"
+)
+
+// AssertionQuestion builds the verification question for a program whose
+// safety property was compiled from assert/abort statements: can main,
+// from any input, reach its exit with the error flag raised?
+func AssertionQuestion(prog *cfg.Program) summary.Question {
+	return summary.Question{
+		Proc: prog.Main,
+		Pre:  logic.True,
+		Post: logic.LEq(logic.LinConst(1), logic.LinVar(parser.ErrVar)),
+	}
+}
+
+// ReachQuestion builds a general reachability question (φ1 ⇒?_P φ2) from
+// boolean expressions over the program's globals.
+func ReachQuestion(proc string, pre, post lang.BoolExpr) summary.Question {
+	return summary.Question{
+		Proc: proc,
+		Pre:  logic.FromBool(pre),
+		Post: logic.FromBool(post),
+	}
+}

@@ -1,0 +1,414 @@
+// Package drivers generates the synthetic device-driver benchmark suite
+// that stands in for the paper's 45 Microsoft Windows drivers and 150 SDV
+// safety properties (which are proprietary). Drivers are produced as
+// source text in the reproduction's input language and exercise the same
+// analysis behaviours the paper's evaluation depends on: a dispatch
+// routine fanning out to many subroutines (the parallelism of Fig. 3),
+// shared helpers (summary reuse), branching and loops (refinement cost),
+// and SDV-style safety monitors over dedicated globals (lock discipline,
+// IRQL rules, power-state protocols) compiled to assertions.
+//
+// Generation is deterministic: the same configuration always yields the
+// same program.
+package drivers
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/parser"
+)
+
+// Config parameterizes one generated driver.
+type Config struct {
+	// Name of the driver (used to seed generation).
+	Name string
+	// Fanout is the number of subroutines the dispatch routine calls.
+	Fanout int
+	// Depth is the call-chain depth below the dispatch routine.
+	Depth int
+	// Shared is the number of shared helper procedures reachable from
+	// every chain (exercises SUMDB reuse).
+	Shared int
+	// Work scales the arithmetic/loop filler per procedure (the analysis
+	// cost dial).
+	Work int
+	// Property is the safety property to weave in (a key of Properties).
+	Property string
+	// Buggy injects a property violation in one subroutine.
+	Buggy bool
+}
+
+// Property is an SDV-style safety monitor: globals it owns, statements
+// initializing it at dispatch entry, safe (or violating) operation
+// snippets woven into subroutines, and a final assertion.
+type Property struct {
+	Name    string
+	Globals []string
+	Init    string
+	// SafeOp and BugOp emit one monitor operation; lvl is the call depth.
+	SafeOp func(r *rand.Rand, lvl int) string
+	BugOp  string
+	Assert string
+}
+
+// Properties is the catalogue of safety properties, keyed by the SDV-style
+// names the paper's tables use.
+var Properties = map[string]Property{
+	"PendedCompletedRequest": {
+		// SLIC-style monitor automaton over one state variable:
+		// 0 = idle, 1 = pended, 2 = completed, 3 = violation
+		// (a request both pended and completed).
+		Name:    "PendedCompletedRequest",
+		Globals: []string{"pcstate"},
+		Init:    "pcstate = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (pcstate == 0) { pcstate = 1; }"
+			}
+			return "if (pcstate == 0) { pcstate = 2; }"
+		},
+		BugOp:  "pcstate = 3;",
+		Assert: "assert(pcstate <= 2);",
+	},
+	"PnpIrpCompletion": {
+		Name:    "PnpIrpCompletion",
+		Globals: []string{"irpdone"},
+		Init:    "irpdone = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			return "if (irpdone == 0) { irpdone = 1; } else { skip; }"
+		},
+		BugOp:  "irpdone = 2;",
+		Assert: "assert(irpdone <= 1);",
+	},
+	"MarkPowerDown": {
+		Name:    "MarkPowerDown",
+		Globals: []string{"powstate"},
+		Init:    "powstate = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (powstate == 0) { powstate = 1; }"
+			}
+			return "if (powstate == 1) { powstate = 0; }"
+		},
+		BugOp:  "powstate = 2;",
+		Assert: "assert(powstate >= 0 && powstate <= 1);",
+	},
+	"PowerDownFail": {
+		Name:    "PowerDownFail",
+		Globals: []string{"powdown", "failed"},
+		Init:    "powdown = 0; failed = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (failed == 0) { powdown = 1; }"
+			}
+			return "if (powdown == 1 && failed == 0) { powdown = 0; }"
+		},
+		BugOp:  "failed = 1; powdown = 1;",
+		Assert: "assert(failed == 0 || powdown == 0);",
+	},
+	"PowerUpFail": {
+		Name:    "PowerUpFail",
+		Globals: []string{"powup"},
+		Init:    "powup = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			return "if (powup == 0) { powup = 1; } else { if (powup == 1) { powup = 0; } }"
+		},
+		BugOp:  "powup = 3;",
+		Assert: "assert(powup <= 1);",
+	},
+	"RemoveLockMnSurpriseRemove": {
+		Name:    "RemoveLockMnSurpriseRemove",
+		Globals: []string{"rlock"},
+		Init:    "rlock = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (rlock == 0) { rlock = 1; } else { skip; }"
+			}
+			return "if (rlock == 1) { rlock = 0; } else { skip; }"
+		},
+		BugOp:  "rlock = rlock - 1;",
+		Assert: "assert(rlock >= 0);",
+	},
+	"IoAllocateFree": {
+		Name:    "IoAllocateFree",
+		Globals: []string{"allocs"},
+		Init:    "allocs = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "allocs = allocs + 1; allocs = allocs - 1;"
+			}
+			return "if (allocs > 0) { allocs = allocs - 1; allocs = allocs + 1; }"
+		},
+		BugOp:  "allocs = allocs - 1;",
+		Assert: "assert(allocs >= 0);",
+	},
+	"NsRemoveLockMnRemove": {
+		Name:    "NsRemoveLockMnRemove",
+		Globals: []string{"nslock"},
+		Init:    "nslock = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			return "if (nslock == 0) { nslock = 1; nslock = 0; }"
+		},
+		BugOp:  "nslock = 1;",
+		Assert: "assert(nslock == 0);",
+	},
+	"ForwardedAtBadIrql": {
+		Name:    "ForwardedAtBadIrql",
+		Globals: []string{"irql"},
+		Init:    "irql = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (irql < 2) { irql = irql + 1; irql = irql - 1; }"
+			}
+			return "skip;"
+		},
+		BugOp:  "irql = irql + 3;",
+		Assert: "assert(irql <= 2);",
+	},
+	"IrqlExAllocatePool": {
+		Name:    "IrqlExAllocatePool",
+		Globals: []string{"irqlp"},
+		Init:    "irqlp = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			return "if (irqlp == 0) { irqlp = 1; irqlp = 0; } else { skip; }"
+		},
+		BugOp:  "irqlp = 2;",
+		Assert: "assert(irqlp <= 1);",
+	},
+	"RemoveLockForwardDeviceControl": {
+		Name:    "RemoveLockForwardDeviceControl",
+		Globals: []string{"fwdlock"},
+		Init:    "fwdlock = 0;",
+		SafeOp: func(r *rand.Rand, lvl int) string {
+			if r.Intn(2) == 0 {
+				return "if (fwdlock >= 0) { fwdlock = fwdlock + 1; fwdlock = fwdlock - 1; }"
+			}
+			return "skip;"
+		},
+		BugOp:  "fwdlock = 0 - 1;",
+		Assert: "assert(fwdlock >= 0);",
+	},
+}
+
+// PropertyNames returns the catalogue keys in sorted order.
+func PropertyNames() []string {
+	out := make([]string, 0, len(Properties))
+	for k := range Properties {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seedOf derives a deterministic seed from the configuration.
+func seedOf(c Config) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(c.Name + "|" + c.Property) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	if c.Buggy {
+		h ^= 0x5bd1e995
+	}
+	return h
+}
+
+// Source generates the driver program text for the configuration.
+func Source(c Config) string {
+	prop, ok := Properties[c.Property]
+	if !ok {
+		panic(fmt.Sprintf("drivers: unknown property %q", c.Property))
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 4
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	if c.Shared < 0 {
+		c.Shared = 0
+	}
+	if c.Work <= 0 {
+		c.Work = 3
+	}
+	r := rand.New(rand.NewSource(seedOf(c)))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s;\n", sanitize(c.Name))
+	fmt.Fprintf(&b, "globals %s;\n\n", strings.Join(prop.Globals, ", "))
+
+	// Choose where the bug goes, if any.
+	bugChain, bugLevel := -1, -1
+	if c.Buggy {
+		bugChain = r.Intn(c.Fanout)
+		bugLevel = 1 + r.Intn(c.Depth)
+	}
+
+	// Dispatch routine.
+	fmt.Fprintf(&b, "proc main {\n")
+	fmt.Fprintf(&b, "  %s\n", prop.Init)
+	for i := 0; i < c.Fanout; i++ {
+		fmt.Fprintf(&b, "  sub_%d_1();\n", i)
+	}
+	fmt.Fprintf(&b, "  %s\n", prop.Assert)
+	fmt.Fprintf(&b, "}\n\n")
+
+	// Call chains.
+	for i := 0; i < c.Fanout; i++ {
+		for lvl := 1; lvl <= c.Depth; lvl++ {
+			fmt.Fprintf(&b, "proc sub_%d_%d {\n", i, lvl)
+			fmt.Fprintf(&b, "  locals t, w;\n")
+			emitWork(&b, r, c.Work)
+			op := prop.SafeOp(r, lvl)
+			if i == bugChain && lvl == bugLevel {
+				op = prop.BugOp
+			}
+			fmt.Fprintf(&b, "  havoc t;\n")
+			if lvl < c.Depth {
+				// Branch to the next level and possibly a shared helper.
+				next := fmt.Sprintf("sub_%d_%d();", i, lvl+1)
+				alt := next
+				if c.Shared > 0 {
+					alt = fmt.Sprintf("shared_%d();", r.Intn(c.Shared))
+				}
+				fmt.Fprintf(&b, "  if (t > 0) {\n    %s\n    %s\n  } else {\n    %s\n  }\n", op, next, alt)
+			} else {
+				fmt.Fprintf(&b, "  if (t > 0) {\n    %s\n  } else {\n    skip;\n  }\n", op)
+			}
+			fmt.Fprintf(&b, "}\n\n")
+		}
+	}
+
+	// Shared helpers (summary reuse between chains).
+	for s := 0; s < c.Shared; s++ {
+		fmt.Fprintf(&b, "proc shared_%d {\n", s)
+		fmt.Fprintf(&b, "  locals w;\n")
+		emitWork(&b, r, c.Work)
+		fmt.Fprintf(&b, "  %s\n", Properties[c.Property].SafeOp(r, 0))
+		fmt.Fprintf(&b, "}\n\n")
+	}
+	return b.String()
+}
+
+// emitWork writes arithmetic/loop filler that costs the analysis real
+// refinement effort without affecting the monitors.
+func emitWork(b *strings.Builder, r *rand.Rand, work int) {
+	n := 1 + r.Intn(work)
+	fmt.Fprintf(b, "  w = 0;\n")
+	fmt.Fprintf(b, "  while (w < %d) { w = w + 1; }\n", n)
+}
+
+// Generate parses the generated source into a validated program.
+func Generate(c Config) *cfg.Program {
+	return parser.MustParse(Source(c))
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "driver"
+	}
+	return string(out)
+}
+
+// NamedDriver describes one of the suite's drivers.
+type NamedDriver struct {
+	Name   string
+	Fanout int
+	Depth  int
+	Shared int
+	Work   int
+}
+
+// Named is the roster of drivers modelled on the names in the paper's
+// tables plus generated fillers, 45 in total (the paper's suite size).
+func Named() []NamedDriver {
+	out := []NamedDriver{
+		// The paper's named drivers, scaled by their reported KLOC.
+		{Name: "toastmon", Fanout: 8, Depth: 3, Shared: 3, Work: 4},
+		{Name: "parport", Fanout: 4, Depth: 2, Shared: 2, Work: 3},
+		{Name: "daytona", Fanout: 7, Depth: 3, Shared: 2, Work: 4},
+		{Name: "mouser", Fanout: 5, Depth: 3, Shared: 2, Work: 4},
+		{Name: "featured1", Fanout: 8, Depth: 2, Shared: 3, Work: 5},
+		{Name: "incomplete2", Fanout: 6, Depth: 3, Shared: 2, Work: 3},
+		{Name: "selsusp", Fanout: 6, Depth: 2, Shared: 2, Work: 5},
+	}
+	for i := len(out); i < 45; i++ {
+		out = append(out, NamedDriver{
+			Name:   fmt.Sprintf("drv%02d", i),
+			Fanout: 3 + i%6,
+			Depth:  2 + i%2,
+			Shared: i % 4,
+			Work:   2 + i%4,
+		})
+	}
+	return out
+}
+
+// Check identifies one driver-property verification task.
+type Check struct {
+	Driver   string
+	Property string
+	Config   Config
+}
+
+// ID renders the check's identity as used in the tables.
+func (c Check) ID() string { return c.Driver + "/" + c.Property }
+
+// SuiteChecks enumerates the full check matrix (every driver against
+// every property), all safe — the paper's reported hard checks were all
+// proofs.
+func SuiteChecks() []Check {
+	var out []Check
+	props := PropertyNames()
+	for _, d := range Named() {
+		for _, p := range props {
+			out = append(out, Check{
+				Driver:   d.Name,
+				Property: p,
+				Config: Config{
+					Name:     d.Name,
+					Fanout:   d.Fanout,
+					Depth:    d.Depth,
+					Shared:   d.Shared,
+					Work:     d.Work,
+					Property: p,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// NamedCheck builds the check for a specific driver/property pair.
+func NamedCheck(driver, property string, buggy bool) Check {
+	for _, d := range Named() {
+		if d.Name == driver {
+			return Check{
+				Driver:   driver,
+				Property: property,
+				Config: Config{
+					Name:     driver,
+					Fanout:   d.Fanout,
+					Depth:    d.Depth,
+					Shared:   d.Shared,
+					Work:     d.Work,
+					Property: property,
+					Buggy:    buggy,
+				},
+			}
+		}
+	}
+	panic(fmt.Sprintf("drivers: unknown driver %q", driver))
+}

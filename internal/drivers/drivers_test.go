@@ -1,0 +1,128 @@
+package drivers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+func TestAllDriversParse(t *testing.T) {
+	for _, check := range SuiteChecks() {
+		src := Source(check.Config)
+		if _, err := parser.Parse(src); err != nil {
+			t.Fatalf("%s does not parse: %v\n%s", check.ID(), err, src)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	c := NamedCheck("toastmon", "PnpIrpCompletion", false).Config
+	if Source(c) != Source(c) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestSafeDriversNeverFailConcretely(t *testing.T) {
+	// Concrete oracle: random executions of safe drivers must never raise
+	// the error flag. This validates the monitors' safe-op discipline.
+	for _, d := range []string{"toastmon", "parport", "daytona"} {
+		for _, p := range PropertyNames() {
+			prog := Generate(NamedCheck(d, p, false).Config)
+			for seed := int64(0); seed < 10; seed++ {
+				res := interp.Run(prog, interp.Options{Rand: rand.New(rand.NewSource(seed)), MaxSteps: 50000})
+				if !res.Completed {
+					t.Fatalf("%s/%s seed %d: execution incomplete (%+v)", d, p, seed, res)
+				}
+				if res.Final[parser.ErrVar] != 0 {
+					t.Fatalf("%s/%s seed %d: safe driver raised the error flag", d, p, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestBuggyDriversFailConcretely(t *testing.T) {
+	// Each buggy variant must exhibit at least one failing execution.
+	for _, p := range PropertyNames() {
+		prog := Generate(NamedCheck("parport", p, true).Config)
+		failed := false
+		for seed := int64(0); seed < 200 && !failed; seed++ {
+			res := interp.Run(prog, interp.Options{Rand: rand.New(rand.NewSource(seed)), MaxSteps: 50000})
+			failed = res.Completed && res.Final[parser.ErrVar] != 0
+		}
+		if !failed {
+			t.Errorf("parport/%s buggy variant never failed in 200 random runs", p)
+		}
+	}
+}
+
+func TestVerifierProvesSmallSafeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification of generated drivers is not short")
+	}
+	check := NamedCheck("parport", "PnpIrpCompletion", false)
+	prog := Generate(check.Config)
+	eng := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 4, MaxIterations: 4000, CheckContract: true})
+	res := eng.Run(core.AssertionQuestion(prog))
+	if res.Verdict != core.Safe {
+		t.Fatalf("%s: verdict %v (%d queries, %d iters)", check.ID(), res.Verdict, res.TotalQueries, res.Iterations)
+	}
+}
+
+func TestVerifierFindsInjectedBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification of generated drivers is not short")
+	}
+	check := NamedCheck("parport", "NsRemoveLockMnRemove", true)
+	prog := Generate(check.Config)
+	eng := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 4, MaxIterations: 4000, CheckContract: true})
+	res := eng.Run(core.AssertionQuestion(prog))
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("%s: verdict %v, want ErrorReachable", check.ID(), res.Verdict)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	named := Named()
+	if len(named) != 45 {
+		t.Fatalf("roster has %d drivers, want 45 (the paper's suite size)", len(named))
+	}
+	for _, want := range []string{"toastmon", "parport", "daytona", "mouser", "featured1", "incomplete2", "selsusp"} {
+		found := false
+		for _, d := range named {
+			if d.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("named driver %s missing", want)
+		}
+	}
+	checks := SuiteChecks()
+	if len(checks) != 45*len(PropertyNames()) {
+		t.Fatalf("check matrix = %d, want %d", len(checks), 45*len(PropertyNames()))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		if seen[c.ID()] {
+			t.Fatalf("duplicate check %s", c.ID())
+		}
+		seen[c.ID()] = true
+	}
+}
+
+func TestPropertyCatalogueComplete(t *testing.T) {
+	for _, name := range PropertyNames() {
+		p := Properties[name]
+		if p.Init == "" || p.Assert == "" || p.BugOp == "" || p.SafeOp == nil {
+			t.Errorf("property %s is missing pieces", name)
+		}
+		if len(p.Globals) == 0 {
+			t.Errorf("property %s declares no globals", name)
+		}
+	}
+}

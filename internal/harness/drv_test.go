@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/drivers"
+)
+
+func TestSmokeFillerDrivers(t *testing.T) {
+	if os.Getenv("HARNESS_SMOKE") == "" {
+		t.Skip("")
+	}
+	for _, d := range []string{"drv07", "drv12", "drv20"} {
+		for _, p := range []string{"IoAllocateFree", "PowerUpFail"} {
+			check := drivers.NamedCheck(d, p, false)
+			start := time.Now()
+			r := RunCheck(check, 1, Options{WallBudget: 100 * time.Second})
+			t.Logf("%-28s verdict=%-28v ticks=%9d wall=%v", check.ID(), r.Verdict, r.Ticks, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/drivers"
+)
+
+func TestSmokePended(t *testing.T) {
+	if os.Getenv("HARNESS_SMOKE") == "" {
+		t.Skip("")
+	}
+	check := drivers.NamedCheck("toastmon", "PendedCompletedRequest", false)
+	start := time.Now()
+	r := RunCheck(check, 1, Options{WallBudget: 120 * time.Second})
+	t.Logf("%s verdict=%v ticks=%d wall=%v queries=%d", check.ID(), r.Verdict, r.Ticks, time.Since(start).Round(time.Second), r.Queries)
+}

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drivers"
+	"repro/internal/punch/maymust"
+)
+
+func TestSmokeSpeculation(t *testing.T) {
+	if os.Getenv("HARNESS_SMOKE") == "" {
+		t.Skip("set HARNESS_SMOKE=1")
+	}
+	prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+	for _, spec := range []bool{false, true} {
+		r := core.New(prog, core.Options{
+			Punch: maymust.New(), MaxThreads: 16, VirtualCores: 8,
+			Speculate: spec, MaxIterations: 1 << 19, RealTimeout: 60 * time.Second,
+		}).Run(core.AssertionQuestion(prog))
+		t.Logf("speculate=%v verdict=%v ticks=%d queries=%d", spec, r.Verdict, r.VirtualTicks, r.TotalQueries)
+	}
+}

@@ -1,0 +1,309 @@
+// Package lang defines the abstract syntax of the small imperative
+// language analyzed by BOLT.
+//
+// The language is exactly the program model of §3.1 of the paper:
+// procedures communicate through integer-valued global variables, edges of
+// a control-flow graph are labelled with simple statements (assignments and
+// assumes over linear integer expressions, plus havoc for nondeterministic
+// input) or parameterless call statements.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Var is a program variable name. Globals and locals share this type; the
+// distinction is recorded by the enclosing cfg.Program.
+type Var string
+
+// CmpOp is a comparison operator between integer expressions.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota // <
+	Le              // <=
+	Gt              // >
+	Ge              // >=
+	Eq              // ==
+	Ne              // !=
+)
+
+// String returns the source syntax of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(op))
+}
+
+// Negate returns the operator op' such that x op' y ⇔ ¬(x op y).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	}
+	panic(fmt.Sprintf("lang: invalid CmpOp %d", int(op)))
+}
+
+// IntExpr is an integer-valued expression. Expressions are linear: the
+// only multiplication form is by a constant.
+type IntExpr interface {
+	isIntExpr()
+	String() string
+}
+
+// Const is an integer literal.
+type Const struct{ Val int64 }
+
+// Ref is a variable reference.
+type Ref struct{ V Var }
+
+// Add is x + y.
+type Add struct{ X, Y IntExpr }
+
+// Sub is x - y.
+type Sub struct{ X, Y IntExpr }
+
+// Neg is -x.
+type Neg struct{ X IntExpr }
+
+// Mul is k * x, multiplication by a constant (keeps expressions linear).
+type Mul struct {
+	K int64
+	X IntExpr
+}
+
+func (Const) isIntExpr() {}
+func (Ref) isIntExpr()   {}
+func (Add) isIntExpr()   {}
+func (Sub) isIntExpr()   {}
+func (Neg) isIntExpr()   {}
+func (Mul) isIntExpr()   {}
+
+func (c Const) String() string { return fmt.Sprintf("%d", c.Val) }
+func (r Ref) String() string   { return string(r.V) }
+func (a Add) String() string   { return fmt.Sprintf("(%s + %s)", a.X, a.Y) }
+func (s Sub) String() string   { return fmt.Sprintf("(%s - %s)", s.X, s.Y) }
+func (n Neg) String() string   { return fmt.Sprintf("-%s", n.X) }
+func (m Mul) String() string   { return fmt.Sprintf("%d*%s", m.K, m.X) }
+
+// BoolExpr is a boolean-valued expression (guards of assumes and
+// conditionals).
+type BoolExpr interface {
+	isBoolExpr()
+	String() string
+}
+
+// BoolConst is a boolean literal.
+type BoolConst struct{ Val bool }
+
+// Cmp is a comparison x op y between integer expressions.
+type Cmp struct {
+	Op   CmpOp
+	X, Y IntExpr
+}
+
+// And is x && y.
+type And struct{ X, Y BoolExpr }
+
+// Or is x || y.
+type Or struct{ X, Y BoolExpr }
+
+// Not is !x.
+type Not struct{ X BoolExpr }
+
+func (BoolConst) isBoolExpr() {}
+func (Cmp) isBoolExpr()       {}
+func (And) isBoolExpr()       {}
+func (Or) isBoolExpr()        {}
+func (Not) isBoolExpr()       {}
+
+func (b BoolConst) String() string {
+	if b.Val {
+		return "true"
+	}
+	return "false"
+}
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.X, c.Op, c.Y) }
+func (a And) String() string { return fmt.Sprintf("(%s && %s)", a.X, a.Y) }
+func (o Or) String() string  { return fmt.Sprintf("(%s || %s)", o.X, o.Y) }
+func (n Not) String() string { return fmt.Sprintf("!(%s)", n.X) }
+
+// Stmt labels a control-flow edge. Per §3.1, statements are either simple
+// (assignment, assume, havoc, skip) or calls.
+type Stmt interface {
+	isStmt()
+	String() string
+}
+
+// Assign is `x = e`.
+type Assign struct {
+	Lhs Var
+	Rhs IntExpr
+}
+
+// Assume is `assume(b)`: the edge may only be taken from states where b
+// holds.
+type Assume struct{ Cond BoolExpr }
+
+// Havoc is `havoc x`: x receives an arbitrary integer value
+// (nondeterministic input, the language's stand-in for environment data).
+type Havoc struct{ V Var }
+
+// Call is `call P`: invoke procedure P. Communication is via globals.
+type Call struct{ Proc string }
+
+// Skip is a no-op edge.
+type Skip struct{}
+
+func (Assign) isStmt() {}
+func (Assume) isStmt() {}
+func (Havoc) isStmt()  {}
+func (Call) isStmt()   {}
+func (Skip) isStmt()   {}
+
+func (a Assign) String() string { return fmt.Sprintf("%s = %s", a.Lhs, a.Rhs) }
+func (a Assume) String() string { return fmt.Sprintf("assume(%s)", a.Cond) }
+func (h Havoc) String() string  { return fmt.Sprintf("havoc %s", h.V) }
+func (c Call) String() string   { return fmt.Sprintf("call %s", c.Proc) }
+func (Skip) String() string     { return "skip" }
+
+// VarsOfInt appends the variables occurring in e to dst and returns it.
+func VarsOfInt(e IntExpr, dst []Var) []Var {
+	switch e := e.(type) {
+	case Const:
+	case Ref:
+		dst = append(dst, e.V)
+	case Add:
+		dst = VarsOfInt(e.X, dst)
+		dst = VarsOfInt(e.Y, dst)
+	case Sub:
+		dst = VarsOfInt(e.X, dst)
+		dst = VarsOfInt(e.Y, dst)
+	case Neg:
+		dst = VarsOfInt(e.X, dst)
+	case Mul:
+		dst = VarsOfInt(e.X, dst)
+	default:
+		panic(fmt.Sprintf("lang: unknown IntExpr %T", e))
+	}
+	return dst
+}
+
+// VarsOfBool appends the variables occurring in b to dst and returns it.
+func VarsOfBool(b BoolExpr, dst []Var) []Var {
+	switch b := b.(type) {
+	case BoolConst:
+	case Cmp:
+		dst = VarsOfInt(b.X, dst)
+		dst = VarsOfInt(b.Y, dst)
+	case And:
+		dst = VarsOfBool(b.X, dst)
+		dst = VarsOfBool(b.Y, dst)
+	case Or:
+		dst = VarsOfBool(b.X, dst)
+		dst = VarsOfBool(b.Y, dst)
+	case Not:
+		dst = VarsOfBool(b.X, dst)
+	default:
+		panic(fmt.Sprintf("lang: unknown BoolExpr %T", b))
+	}
+	return dst
+}
+
+// VarsOfStmt appends the variables read or written by s to dst and returns
+// it.
+func VarsOfStmt(s Stmt, dst []Var) []Var {
+	switch s := s.(type) {
+	case Assign:
+		dst = append(dst, s.Lhs)
+		dst = VarsOfInt(s.Rhs, dst)
+	case Assume:
+		dst = VarsOfBool(s.Cond, dst)
+	case Havoc:
+		dst = append(dst, s.V)
+	case Call, Skip:
+	default:
+		panic(fmt.Sprintf("lang: unknown Stmt %T", s))
+	}
+	return dst
+}
+
+// Convenience constructors, handy when building programs programmatically.
+
+// C returns the constant expression v.
+func C(v int64) IntExpr { return Const{Val: v} }
+
+// V returns a reference to variable name.
+func V(name string) IntExpr { return Ref{V: Var(name)} }
+
+// Plus returns x + y.
+func Plus(x, y IntExpr) IntExpr { return Add{X: x, Y: y} }
+
+// Minus returns x - y.
+func Minus(x, y IntExpr) IntExpr { return Sub{X: x, Y: y} }
+
+// Times returns k * x.
+func Times(k int64, x IntExpr) IntExpr { return Mul{K: k, X: x} }
+
+// CmpE builds a comparison.
+func CmpE(x IntExpr, op CmpOp, y IntExpr) BoolExpr { return Cmp{Op: op, X: x, Y: y} }
+
+// AndE builds the conjunction of bs (true when empty).
+func AndE(bs ...BoolExpr) BoolExpr {
+	if len(bs) == 0 {
+		return BoolConst{Val: true}
+	}
+	out := bs[0]
+	for _, b := range bs[1:] {
+		out = And{X: out, Y: b}
+	}
+	return out
+}
+
+// OrE builds the disjunction of bs (false when empty).
+func OrE(bs ...BoolExpr) BoolExpr {
+	if len(bs) == 0 {
+		return BoolConst{Val: false}
+	}
+	out := bs[0]
+	for _, b := range bs[1:] {
+		out = Or{X: out, Y: b}
+	}
+	return out
+}
+
+// NotE builds the negation of b.
+func NotE(b BoolExpr) BoolExpr { return Not{X: b} }
+
+// FormatVars renders a variable list for diagnostics.
+func FormatVars(vs []Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,87 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpOpNegate(t *testing.T) {
+	ops := []CmpOp{Lt, Le, Gt, Ge, Eq, Ne}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("%v: double negation not identity", op)
+		}
+	}
+	pairs := map[CmpOp]CmpOp{Lt: Ge, Le: Gt, Eq: Ne}
+	for a, b := range pairs {
+		if a.Negate() != b || b.Negate() != a {
+			t.Errorf("Negate(%v) pairing wrong", a)
+		}
+	}
+}
+
+func TestVarsOf(t *testing.T) {
+	e := Plus(Times(3, V("x")), Minus(V("y"), C(7)))
+	got := VarsOfInt(e, nil)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("VarsOfInt = %v", got)
+	}
+	b := AndE(CmpE(V("a"), Lt, V("b")), NotE(CmpE(V("c"), Eq, C(0))))
+	gotB := VarsOfBool(b, nil)
+	if len(gotB) != 3 {
+		t.Fatalf("VarsOfBool = %v", gotB)
+	}
+	if vs := VarsOfStmt(Assign{Lhs: "t", Rhs: V("u")}, nil); len(vs) != 2 || vs[0] != "t" {
+		t.Fatalf("VarsOfStmt(assign) = %v", vs)
+	}
+	if vs := VarsOfStmt(Call{Proc: "p"}, nil); len(vs) != 0 {
+		t.Fatalf("VarsOfStmt(call) = %v", vs)
+	}
+	if vs := VarsOfStmt(Havoc{V: "h"}, nil); len(vs) != 1 {
+		t.Fatalf("VarsOfStmt(havoc) = %v", vs)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Assign{Lhs: "x", Rhs: Plus(V("x"), C(1))}.String(), "x = (x + 1)"},
+		{Assume{Cond: CmpE(V("x"), Le, C(0))}.String(), "assume(x <= 0)"},
+		{Havoc{V: "y"}.String(), "havoc y"},
+		{Call{Proc: "f"}.String(), "call f"},
+		{Skip{}.String(), "skip"},
+		{Neg{X: V("z")}.String(), "-z"},
+		{Mul{K: 4, X: V("z")}.String(), "4*z"},
+		{OrE(BoolConst{true}, NotE(BoolConst{false})).String(), "(true || !(false))"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestAndEOrEEmpty(t *testing.T) {
+	if AndE().String() != "true" {
+		t.Error("empty AndE should be true")
+	}
+	if OrE().String() != "false" {
+		t.Error("empty OrE should be false")
+	}
+}
+
+// Property: FormatVars round-trips count.
+func TestFormatVars(t *testing.T) {
+	err := quick.Check(func(names []string) bool {
+		vs := make([]Var, len(names))
+		for i, n := range names {
+			vs[i] = Var(n)
+		}
+		out := FormatVars(vs)
+		return len(vs) != 0 || out == ""
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package logic implements the formula layer used by all analyses:
+// linear integer terms, quantifier-free formulas in negation normal form,
+// substitution, disjunctive normal form, integer preimages of statements,
+// and existential projection by Fourier–Motzkin elimination with real
+// (over-approximate) and dark (under-approximate) shadows.
+//
+// In the paper this role is split between the program representation and
+// the Z3 SMT solver; here it is a self-contained substrate that
+// internal/smt builds its decision procedure on.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Lin is a linear integer term  k + Σ coefs[i]·vars[i]  in canonical form:
+// vars sorted and distinct, all coefficients non-zero.
+type Lin struct {
+	K     int64
+	Vars  []lang.Var
+	Coefs []int64
+}
+
+// LinConst returns the constant term k.
+func LinConst(k int64) Lin { return Lin{K: k} }
+
+// LinVar returns the term 1·v.
+func LinVar(v lang.Var) Lin {
+	return Lin{Vars: []lang.Var{v}, Coefs: []int64{1}}
+}
+
+// linFromMap builds a canonical Lin from a coefficient map.
+func linFromMap(k int64, m map[lang.Var]int64) Lin {
+	vars := make([]lang.Var, 0, len(m))
+	for v, c := range m {
+		if c != 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	coefs := make([]int64, len(vars))
+	for i, v := range vars {
+		coefs[i] = m[v]
+	}
+	return Lin{K: k, Vars: vars, Coefs: coefs}
+}
+
+func (l Lin) toMap() map[lang.Var]int64 {
+	m := make(map[lang.Var]int64, len(l.Vars))
+	for i, v := range l.Vars {
+		m[v] = l.Coefs[i]
+	}
+	return m
+}
+
+// IsConst reports whether l has no variables.
+func (l Lin) IsConst() bool { return len(l.Vars) == 0 }
+
+// Coef returns the coefficient of v in l (0 if absent).
+func (l Lin) Coef(v lang.Var) int64 {
+	i := sort.Search(len(l.Vars), func(i int) bool { return l.Vars[i] >= v })
+	if i < len(l.Vars) && l.Vars[i] == v {
+		return l.Coefs[i]
+	}
+	return 0
+}
+
+// Add returns l + r.
+func (l Lin) Add(r Lin) Lin {
+	m := l.toMap()
+	for i, v := range r.Vars {
+		m[v] += r.Coefs[i]
+	}
+	return linFromMap(l.K+r.K, m)
+}
+
+// Sub returns l - r.
+func (l Lin) Sub(r Lin) Lin { return l.Add(r.Scale(-1)) }
+
+// Scale returns k·l.
+func (l Lin) Scale(k int64) Lin {
+	if k == 0 {
+		return Lin{}
+	}
+	out := Lin{K: l.K * k, Vars: append([]lang.Var(nil), l.Vars...), Coefs: make([]int64, len(l.Coefs))}
+	for i, c := range l.Coefs {
+		out.Coefs[i] = c * k
+	}
+	return out
+}
+
+// AddConst returns l + k.
+func (l Lin) AddConst(k int64) Lin {
+	out := l
+	out.K += k
+	return out
+}
+
+// Subst returns l with every occurrence of v replaced by r.
+func (l Lin) Subst(v lang.Var, r Lin) Lin {
+	c := l.Coef(v)
+	if c == 0 {
+		return l
+	}
+	m := l.toMap()
+	delete(m, v)
+	base := linFromMap(l.K, m)
+	return base.Add(r.Scale(c))
+}
+
+// Rename returns l with variables renamed by ren (identity for missing
+// keys).
+func (l Lin) Rename(ren map[lang.Var]lang.Var) Lin {
+	m := make(map[lang.Var]int64, len(l.Vars))
+	for i, v := range l.Vars {
+		nv := v
+		if r, ok := ren[v]; ok {
+			nv = r
+		}
+		m[nv] += l.Coefs[i]
+	}
+	return linFromMap(l.K, m)
+}
+
+// Eval evaluates l under the model. Missing variables evaluate to 0.
+func (l Lin) Eval(model map[lang.Var]int64) int64 {
+	out := l.K
+	for i, v := range l.Vars {
+		out += l.Coefs[i] * model[v]
+	}
+	return out
+}
+
+// Equal reports structural equality of canonical terms.
+func (l Lin) Equal(r Lin) bool {
+	if l.K != r.K || len(l.Vars) != len(r.Vars) {
+		return false
+	}
+	for i := range l.Vars {
+		if l.Vars[i] != r.Vars[i] || l.Coefs[i] != r.Coefs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize divides l by the gcd of its coefficients and constant when that
+// keeps integrality (used to keep atom keys canonical).
+func (l Lin) normalizeLE() Lin {
+	if len(l.Vars) == 0 {
+		return l
+	}
+	g := int64(0)
+	for _, c := range l.Coefs {
+		g = gcd64(g, abs64(c))
+	}
+	if g <= 1 {
+		return l
+	}
+	// For an atom l ≤ 0 with all variable coefficients divisible by g:
+	// k + g·t ≤ 0  ⇔  t ≤ ⌊-k/g⌋  ⇔  t - ⌊-k/g⌋ ≤ 0 over the integers.
+	out := Lin{K: -floorDiv(-l.K, g), Vars: append([]lang.Var(nil), l.Vars...), Coefs: make([]int64, len(l.Coefs))}
+	for i, c := range l.Coefs {
+		out.Coefs[i] = c / g
+	}
+	return out
+}
+
+func (l Lin) String() string {
+	if len(l.Vars) == 0 {
+		return fmt.Sprintf("%d", l.K)
+	}
+	var b strings.Builder
+	first := true
+	for i, v := range l.Vars {
+		c := l.Coefs[i]
+		switch {
+		case first && c == 1:
+			fmt.Fprintf(&b, "%s", v)
+		case first && c == -1:
+			fmt.Fprintf(&b, "-%s", v)
+		case first:
+			fmt.Fprintf(&b, "%d·%s", c, v)
+		case c == 1:
+			fmt.Fprintf(&b, " + %s", v)
+		case c == -1:
+			fmt.Fprintf(&b, " - %s", v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d·%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d·%s", -c, v)
+		}
+		first = false
+	}
+	if l.K > 0 {
+		fmt.Fprintf(&b, " + %d", l.K)
+	} else if l.K < 0 {
+		fmt.Fprintf(&b, " - %d", -l.K)
+	}
+	return b.String()
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ⌈a/b⌉ for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// FromInt converts a lang integer expression to a linear term. Expressions
+// in the language are linear by construction.
+func FromInt(e lang.IntExpr) Lin {
+	switch e := e.(type) {
+	case lang.Const:
+		return LinConst(e.Val)
+	case lang.Ref:
+		return LinVar(e.V)
+	case lang.Add:
+		return FromInt(e.X).Add(FromInt(e.Y))
+	case lang.Sub:
+		return FromInt(e.X).Sub(FromInt(e.Y))
+	case lang.Neg:
+		return FromInt(e.X).Scale(-1)
+	case lang.Mul:
+		return FromInt(e.X).Scale(e.K)
+	default:
+		panic(fmt.Sprintf("logic: unknown IntExpr %T", e))
+	}
+}

@@ -1,0 +1,320 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Shadow selects the Fourier–Motzkin shadow used when eliminating an
+// integer variable whose bound coefficients are not unit. The real shadow
+// over-approximates the integer projection; the dark shadow
+// under-approximates it. When every combined bound pair has a unit
+// coefficient the two coincide and the projection is exact.
+type Shadow int
+
+// Shadow modes.
+const (
+	Over  Shadow = iota // real shadow: ∃x.φ ⊆ result
+	Under               // dark shadow: result ⊆ ∃x.φ
+)
+
+// Cube is a conjunction of ≤-atoms (equalities are split before cube
+// processing).
+type Cube []Atom
+
+// Formula returns the cube as a conjunction.
+func (c Cube) Formula() Formula {
+	fs := make([]Formula, 0, len(c))
+	for _, a := range c {
+		fs = append(fs, LE(a.L))
+	}
+	return Conj(fs...)
+}
+
+// MaxCubes caps DNF expansion; beyond it Exists falls back to the trivial
+// sound answer for the requested shadow.
+const MaxCubes = 512
+
+// maxCombinations caps the lower×upper bound pairing during one
+// Fourier–Motzkin variable elimination.
+const maxCombinations = 4096
+
+// Cubes converts f to disjunctive normal form as a list of cubes. The
+// second result is false if the expansion exceeded max cubes (the returned
+// prefix is then meaningless and must not be used).
+func Cubes(f Formula, max int) ([]Cube, bool) {
+	cubes, ok := cubesOf(f, max)
+	if !ok {
+		return nil, false
+	}
+	out := cubes[:0]
+	for _, c := range cubes {
+		if c, ok := simplifyCube(c); ok {
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+func cubesOf(f Formula, max int) ([]Cube, bool) {
+	switch f := f.(type) {
+	case Bool:
+		if bool(f) {
+			return []Cube{{}}, true
+		}
+		return nil, true
+	case Atom:
+		if f.Eq {
+			// L = 0  ⇔  L ≤ 0 ∧ -L ≤ 0.
+			return []Cube{{Atom{L: f.L}, Atom{L: f.L.Scale(-1)}}}, true
+		}
+		return []Cube{{f}}, true
+	case Or:
+		var out []Cube
+		for _, g := range f.Fs {
+			cs, ok := cubesOf(g, max)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, cs...)
+			if len(out) > max {
+				return nil, false
+			}
+		}
+		return out, true
+	case And:
+		out := []Cube{{}}
+		for _, g := range f.Fs {
+			cs, ok := cubesOf(g, max)
+			if !ok {
+				return nil, false
+			}
+			var next []Cube
+			for _, base := range out {
+				for _, c := range cs {
+					merged := make(Cube, 0, len(base)+len(c))
+					merged = append(merged, base...)
+					merged = append(merged, c...)
+					next = append(next, merged)
+					if len(next) > max {
+						return nil, false
+					}
+				}
+			}
+			out = next
+		}
+		return out, true
+	default:
+		panic(fmt.Sprintf("logic: unknown Formula %T", f))
+	}
+}
+
+// simplifyCube drops trivially-true atoms and detects trivially-false
+// cubes; the bool result is false when the cube is contradictory by
+// constant folding alone.
+func simplifyCube(c Cube) (Cube, bool) {
+	out := make(Cube, 0, len(c))
+	seen := map[string]bool{}
+	for _, a := range c {
+		l := a.L.normalizeLE()
+		if l.IsConst() {
+			if l.K > 0 {
+				return nil, false
+			}
+			continue
+		}
+		k := l.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Atom{L: l})
+	}
+	return out, true
+}
+
+// eliminateVar removes v from the cube by Fourier–Motzkin combination.
+// The exact result reports whether the projection is exact over the
+// integers (every combined pair had a unit coefficient).
+func eliminateVar(c Cube, v lang.Var, mode Shadow) (out Cube, exact bool, sat bool) {
+	var lowers, uppers []struct {
+		coef int64 // positive
+		rest Lin   // term without v
+	}
+	exact = true
+	for _, a := range c {
+		coef := a.L.Coef(v)
+		if coef == 0 {
+			out = append(out, a)
+			continue
+		}
+		rest := a.L.Subst(v, LinConst(0))
+		if coef > 0 {
+			// coef·v + rest ≤ 0 : upper bound coef·v ≤ -rest.
+			uppers = append(uppers, struct {
+				coef int64
+				rest Lin
+			}{coef, rest})
+		} else {
+			// coef·v + rest ≤ 0 with coef<0 : lower bound (-coef)·v ≥ rest.
+			lowers = append(lowers, struct {
+				coef int64
+				rest Lin
+			}{-coef, rest})
+		}
+	}
+	if len(lowers) == 0 || len(uppers) == 0 {
+		// v is unbounded on one side: any value works, projection exact.
+		return out, true, true
+	}
+	if len(lowers)*len(uppers) > maxCombinations {
+		// Blow-up guard. For the over-approximating real shadow, dropping
+		// the combined constraints is sound (a larger set); for the
+		// under-approximating dark shadow the sound fallback is the empty
+		// set, reported as a contradictory cube.
+		if mode == Over {
+			return out, false, true
+		}
+		return nil, false, false
+	}
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			// lo.rest ≤ a·v and c·v ≤ -up.rest with a=lo.coef, c=up.coef:
+			// real shadow c·lo.rest + a·up.rest ≤ 0.
+			comb := lo.rest.Scale(up.coef).Add(up.rest.Scale(lo.coef))
+			if lo.coef != 1 && up.coef != 1 {
+				exact = false
+				if mode == Under {
+					// dark shadow: guarantee an integer point between the
+					// rational bounds.
+					comb = comb.AddConst((lo.coef - 1) * (up.coef - 1))
+				}
+			}
+			comb = comb.normalizeLE()
+			if comb.IsConst() {
+				if comb.K > 0 {
+					return nil, exact, false
+				}
+				continue
+			}
+			out = append(out, Atom{L: comb})
+		}
+	}
+	out, ok := simplifyCube(out)
+	return out, exact, ok
+}
+
+// ProjectCube eliminates all variables in elim from the cube. sat=false
+// means the projected cube is contradictory (by constant folding during
+// elimination).
+func ProjectCube(c Cube, elim map[lang.Var]bool, mode Shadow) (out Cube, exact bool, sat bool) {
+	out, ok := simplifyCube(c)
+	if !ok {
+		return nil, true, false
+	}
+	exact = true
+	for _, v := range sortedVars(elim) {
+		var ex bool
+		out, ex, sat = eliminateVar(out, v, mode)
+		exact = exact && ex
+		if !sat {
+			return nil, exact, false
+		}
+	}
+	return out, exact, true
+}
+
+func sortedVars(set map[lang.Var]bool) []lang.Var {
+	out := make([]lang.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Exists existentially quantifies the variables in elim out of f using the
+// requested shadow. The exact result reports whether the answer is the
+// precise integer projection; when DNF expansion overflows, the trivial
+// sound answer for the mode is returned (true for Over, false for Under).
+func Exists(f Formula, elim []lang.Var, mode Shadow) (Formula, bool) {
+	set := make(map[lang.Var]bool, len(elim))
+	for _, v := range elim {
+		set[v] = true
+	}
+	if !Mentions(f, set) {
+		return f, true
+	}
+	cubes, ok := Cubes(f, MaxCubes)
+	if !ok {
+		if mode == Over {
+			return True, false
+		}
+		return False, false
+	}
+	exact := true
+	var out []Formula
+	for _, c := range cubes {
+		p, ex, sat := ProjectCube(c, set, mode)
+		exact = exact && ex
+		if !sat {
+			continue
+		}
+		out = append(out, p.Formula())
+	}
+	return Disj(out...), exact
+}
+
+// BoundsOn computes the integer interval for v implied by the cube under a
+// model assigning all other variables. Atoms not mentioning v are ignored.
+func BoundsOn(c Cube, v lang.Var, model map[lang.Var]int64) (lo, hi int64, hasLo, hasHi bool) {
+	for _, a := range c {
+		coef := a.L.Coef(v)
+		if coef == 0 {
+			continue
+		}
+		rest := a.L.Subst(v, LinConst(0)).Eval(model)
+		if coef > 0 {
+			// coef·v ≤ -rest → v ≤ ⌊-rest/coef⌋.
+			b := floorDiv(-rest, coef)
+			if !hasHi || b < hi {
+				hi = b
+				hasHi = true
+			}
+		} else {
+			// (-coef)·v ≥ rest → v ≥ ⌈rest/(-coef)⌉.
+			b := ceilDiv(rest, -coef)
+			if !hasLo || b > lo {
+				lo = b
+				hasLo = true
+			}
+		}
+	}
+	return lo, hi, hasLo, hasHi
+}
+
+// Pre computes the preimage of formula f across statement s: the set of
+// states from which executing s can lead into f. The shadow mode governs
+// havoc elimination. Call edges are the analyses' business, not Pre's.
+func Pre(s lang.Stmt, f Formula, mode Shadow) Formula {
+	switch s := s.(type) {
+	case lang.Assign:
+		return Subst(f, s.Lhs, FromInt(s.Rhs))
+	case lang.Assume:
+		return Conj(FromBool(s.Cond), f)
+	case lang.Havoc:
+		out, _ := Exists(f, []lang.Var{s.V}, mode)
+		return out
+	case lang.Skip:
+		return f
+	case lang.Call:
+		panic("logic: Pre of a call statement; handle calls in the analysis")
+	default:
+		panic(fmt.Sprintf("logic: unknown Stmt %T", s))
+	}
+}

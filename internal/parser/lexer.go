@@ -1,0 +1,213 @@
+// Package parser parses the small imperative language of this
+// reproduction into cfg.Program values.
+//
+// Grammar sketch:
+//
+//	program  := ["program" ident ";"] ["globals" identlist ";"] proc+
+//	proc     := "proc" ident ["(" identlist ")"]
+//	            "{" ["locals" identlist ";"] stmt* "}"
+//	stmt     := ident "=" iexpr ";" | ident "=" ident "(" args ")" ";"
+//	          | ident "(" args ")" ";" | "havoc" ident ";"
+//	          | "assume" "(" bexpr ")" ";" | "assert" "(" bexpr ")" ";"
+//	          | "return" [iexpr] ";" | "abort" ";" | "skip" ";"
+//	          | "if" "(" bexpr ")" block ["else" block]
+//	          | "while" "(" bexpr ")" block
+//	block    := "{" stmt* "}"
+//
+// Procedure parameters and returns are syntactic sugar lowered onto
+// dedicated globals (the §3.1 model communicates through globals);
+// recursion through sugared procedures is rejected.
+//
+// Assertions are compiled to the standard software-model-checking
+// encoding: a failing assert sets the implicit global error flag and jumps
+// to the procedure exit; after every call an error check propagates the
+// flag to the caller's exit (the SDV harness behaviour).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // ( ) { } ; ,
+	tokOp      // + - * = == != < <= > >= && || !
+	tokKeyword // program globals proc locals if else while assume assert havoc skip abort true false
+)
+
+var keywords = map[string]bool{
+	"program": true, "globals": true, "proc": true, "locals": true,
+	"if": true, "else": true, "while": true, "assume": true,
+	"assert": true, "havoc": true, "skip": true, "abort": true,
+	"true": true, "false": true, "return": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) nextRune() rune {
+	r := lx.peekRune()
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			lx.nextRune()
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			line, col := lx.line, lx.col
+			lx.nextRune()
+			lx.nextRune()
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errorf(line, col, "unterminated block comment")
+				}
+				if lx.peekRune() == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.nextRune()
+					lx.nextRune()
+					break
+				}
+				lx.nextRune()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := lx.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			r := lx.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			lx.nextRune()
+		}
+		text := string(lx.src[start:lx.pos])
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peekRune()) {
+			lx.nextRune()
+		}
+		text := string(lx.src[start:lx.pos])
+		if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+			return token{}, lx.errorf(line, col, "number %s out of range", text)
+		}
+		return token{kind: tokNumber, text: text, line: line, col: col}, nil
+	case r == '(' || r == ')' || r == '{' || r == '}' || r == ';' || r == ',':
+		lx.nextRune()
+		return token{kind: tokPunct, text: string(r), line: line, col: col}, nil
+	default:
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = string(lx.src[lx.pos : lx.pos+2])
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			lx.nextRune()
+			lx.nextRune()
+			return token{kind: tokOp, text: two, line: line, col: col}, nil
+		}
+		switch r {
+		case '+', '-', '*', '=', '<', '>', '!':
+			lx.nextRune()
+			return token{kind: tokOp, text: string(r), line: line, col: col}, nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected character %q", r)
+	}
+}
+
+// tokenize scans the whole input.
+func tokenize(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,817 @@
+// Package may instantiates PUNCH with a may-analysis in the style of
+// SLAM/BLAST (§4 of the paper): the state space of each procedure is
+// partitioned into regions (the may-map Σ); abstract error paths are
+// refuted by splitting regions on preimages along the path and eliminating
+// abstract edges (the set Ē), and proofs are not-may summaries. An
+// abstract path that survives refinement is confirmed by exact forward
+// symbolic execution, which yields a must summary — the
+// counterexample-guided loop of a software model checker.
+//
+// Call edges consult not-may summaries to eliminate, spawn child
+// sub-queries when no summary applies, and use frame (mod/ref) reasoning
+// to propagate caller-state constraints across calls without a child.
+package may
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// Analysis is the may-analysis PUNCH instantiation.
+type Analysis struct {
+	// Budget is the abstract work budget per Step invocation.
+	Budget int64
+	// MaxAttempts bounds child re-issues per call edge before it is
+	// declared stuck.
+	MaxAttempts int
+	// LoopBound caps edge repetitions during forward confirmation.
+	LoopBound int
+	// Debug, when non-nil, receives a trace of analysis decisions.
+	Debug io.Writer
+}
+
+// New returns a may analysis with default limits.
+func New() *Analysis {
+	return &Analysis{Budget: 900, MaxAttempts: 8, LoopBound: 6}
+}
+
+// Name implements punch.Punch.
+func (a *Analysis) Name() string { return "may (CEGAR-style)" }
+
+type region struct {
+	id     int
+	node   cfg.NodeID
+	f      logic.Formula
+	target bool
+}
+
+type edgeKey struct {
+	edge     int
+	from, to int
+}
+
+type pendingChild struct {
+	q summary.Question
+}
+
+type obj struct {
+	proc        *cfg.Proc
+	globals     []lang.Var
+	regCount    int
+	regAt       map[cfg.NodeID][]*region
+	elim        map[edgeKey]bool
+	open        map[edgeKey]int8
+	pending     map[edgeKey]pendingChild
+	attempts    map[edgeKey]int
+	stuck       map[edgeKey]bool
+	symCount    int
+	initialized bool
+}
+
+// Step implements punch.Punch.
+func (a *Analysis) Step(ctx *punch.Context, q *query.Query) punch.Result {
+	st := &stepper{a: a, ctx: ctx, q: q, solver: ctx.DB.Solver()}
+	return st.run()
+}
+
+type stepper struct {
+	a        *Analysis
+	ctx      *punch.Context
+	q        *query.Query
+	o        *obj
+	solver   *smt.Solver
+	cost     int64
+	children []*query.Query
+}
+
+func (st *stepper) charge(n int64) { st.cost += n }
+
+func (st *stepper) debugf(format string, args ...any) {
+	if st.a.Debug == nil {
+		return
+	}
+	fmt.Fprintf(st.a.Debug, "[may Q%d %s] ", st.q.ID, st.q.Q.Proc)
+	fmt.Fprintf(st.a.Debug, format, args...)
+	fmt.Fprintln(st.a.Debug)
+}
+
+func (st *stepper) sat(f logic.Formula) smt.Result {
+	st.charge(4)
+	return st.solver.Sat(f)
+}
+
+func (st *stepper) implies(a, b logic.Formula) bool {
+	st.charge(4)
+	return st.solver.Implies(a, b)
+}
+
+func (st *stepper) finish(state query.State, outcome query.Outcome) punch.Result {
+	st.q.State = state
+	st.q.Outcome = outcome
+	st.q.Obj = st.o
+	children := st.children
+	if state == query.Done {
+		children = nil
+	}
+	return punch.Result{Self: st.q, Children: children, Cost: st.cost}
+}
+
+func (st *stepper) run() punch.Result {
+	if _, verdict := st.ctx.DB.Answer(st.q.Q); verdict != 0 {
+		st.charge(4)
+		st.ensureObj()
+		if verdict > 0 {
+			return st.finish(query.Done, query.Reachable)
+		}
+		return st.finish(query.Done, query.Unreachable)
+	}
+	st.ensureObj()
+	if !st.o.initialized {
+		if done, res := st.initialize(); done {
+			return res
+		}
+	}
+	st.sweepPending()
+
+	for {
+		if st.cost >= st.a.Budget {
+			return st.finish(query.Ready, query.Pending)
+		}
+		path := st.findPath(true)
+		if path == nil {
+			if st.findPath(false) == nil {
+				st.ctx.DB.Add(summary.Summary{Kind: summary.NotMay, Proc: st.q.Q.Proc, Pre: st.q.Q.Pre, Post: st.q.Q.Post})
+				st.debugf("DONE unreachable (no abstract path)")
+				return st.finish(query.Done, query.Unreachable)
+			}
+			st.debugf("BLOCKED (pending=%d stuck=%d)", len(st.o.pending), len(st.o.stuck))
+			return st.finish(query.Blocked, query.Pending)
+		}
+		if res, done := st.refuteOrConfirm(path); done {
+			return res
+		}
+	}
+}
+
+func (st *stepper) ensureObj() {
+	if st.o != nil {
+		return
+	}
+	if o, ok := st.q.Obj.(*obj); ok && o != nil {
+		st.o = o
+		return
+	}
+	st.o = &obj{
+		proc:     st.ctx.Prog.Proc(st.q.Q.Proc),
+		globals:  st.ctx.Prog.Globals,
+		regAt:    map[cfg.NodeID][]*region{},
+		elim:     map[edgeKey]bool{},
+		open:     map[edgeKey]int8{},
+		pending:  map[edgeKey]pendingChild{},
+		attempts: map[edgeKey]int{},
+		stuck:    map[edgeKey]bool{},
+	}
+}
+
+// newRegion mints a region without attaching it; attach explicitly or via
+// replaceRegion.
+func (st *stepper) newRegion(node cfg.NodeID, f logic.Formula, target bool) *region {
+	r := &region{id: st.o.regCount, node: node, f: f, target: target}
+	st.o.regCount++
+	return r
+}
+
+func (st *stepper) attach(r *region) {
+	st.o.regAt[r.node] = append(st.o.regAt[r.node], r)
+}
+
+// partitionOn replaces region r by conjunctive cube regions partitioning
+// it along wp (see the maymust package for the rationale).
+func (st *stepper) partitionOn(r *region, wp logic.Formula) (ins, outs []*region) {
+	mk := func(f logic.Formula) []*region {
+		var parts []*region
+		cubes, ok := logic.Cubes(f, 32)
+		if !ok {
+			st.charge(8)
+			g := st.solver.Simplify(f)
+			if sr := st.sat(g); sr.Known && !sr.Sat {
+				return nil
+			}
+			return []*region{st.newRegion(r.node, g, r.target)}
+		}
+		for _, c := range cubes {
+			st.charge(4)
+			cf := st.solver.Simplify(c.Formula())
+			if sr := st.sat(cf); sr.Known && !sr.Sat {
+				continue
+			}
+			parts = append(parts, st.newRegion(r.node, cf, r.target))
+		}
+		return parts
+	}
+	ins = mk(logic.Conj(r.f, wp))
+	outs = mk(logic.Conj(r.f, logic.Not(wp)))
+	all := append(append([]*region{}, ins...), outs...)
+	st.replaceRegion(r, all...)
+	return ins, outs
+}
+
+func (st *stepper) initialize() (bool, punch.Result) {
+	o, q := st.o, st.q
+	pre := st.sat(q.Q.Pre)
+	if pre.Known && !pre.Sat {
+		st.ctx.DB.Add(summary.Summary{Kind: summary.NotMay, Proc: q.Q.Proc, Pre: q.Q.Pre, Post: q.Q.Post})
+		o.initialized = true
+		return true, st.finish(query.Done, query.Unreachable)
+	}
+	for n := 0; n < o.proc.NNodes; n++ {
+		node := cfg.NodeID(n)
+		if node == o.proc.Exit {
+			st.attach(st.newRegion(node, q.Q.Post, true))
+			st.attach(st.newRegion(node, logic.Not(q.Q.Post), false))
+		} else {
+			st.attach(st.newRegion(node, logic.True, false))
+		}
+	}
+	o.initialized = true
+	return false, punch.Result{}
+}
+
+func (st *stepper) sweepPending() {
+	keys := make([]edgeKey, 0, len(st.o.pending))
+	for k := range st.o.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.edge != b.edge {
+			return a.edge < b.edge
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
+	for _, k := range keys {
+		if _, verdict := st.ctx.DB.Answer(st.o.pending[k].q); verdict != 0 {
+			delete(st.o.pending, k)
+		}
+	}
+}
+
+type pathStep struct {
+	edge int
+	from *region
+	to   *region
+}
+
+func (st *stepper) findPath(avoid bool) []pathStep {
+	o, q := st.o, st.q
+	type nodeReg struct {
+		node cfg.NodeID
+		reg  *region
+	}
+	parent := map[int]pathStep{}
+	seen := map[int]bool{}
+	var queue []nodeReg
+	for _, r := range o.regAt[o.proc.Entry] {
+		s := st.sat(logic.Conj(r.f, q.Q.Pre))
+		if s.Known && !s.Sat {
+			continue
+		}
+		seen[r.id] = true
+		queue = append(queue, nodeReg{o.proc.Entry, r})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.reg.target && cur.node == o.proc.Exit {
+			var rev []pathStep
+			at := cur.reg.id
+			for {
+				stp, ok := parent[at]
+				if !ok {
+					break
+				}
+				rev = append(rev, stp)
+				at = stp.from.id
+			}
+			out := make([]pathStep, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out
+		}
+		for _, ei := range o.proc.Out[cur.node] {
+			e := o.proc.Edges[ei]
+			for _, r2 := range o.regAt[e.To] {
+				if seen[r2.id] {
+					continue
+				}
+				k := edgeKey{ei, cur.reg.id, r2.id}
+				if o.elim[k] {
+					continue
+				}
+				if avoid && (o.stuck[k] || hasPending(o, k)) {
+					continue
+				}
+				if !st.edgeOpen(k, e, cur.reg, r2) {
+					continue
+				}
+				seen[r2.id] = true
+				parent[r2.id] = pathStep{ei, cur.reg, r2}
+				queue = append(queue, nodeReg{e.To, r2})
+			}
+		}
+	}
+	return nil
+}
+
+func hasPending(o *obj, k edgeKey) bool {
+	_, ok := o.pending[k]
+	return ok
+}
+
+func (st *stepper) edgeOpen(k edgeKey, e cfg.Edge, from, to *region) bool {
+	o := st.o
+	if v, ok := o.open[k]; ok {
+		return v > 0
+	}
+	if _, isCall := e.Stmt.(lang.Call); isCall {
+		o.open[k] = 1
+		return true
+	}
+	st.charge(2)
+	wp := logic.Pre(e.Stmt, to.f, logic.Over)
+	r := st.sat(logic.Conj(from.f, wp))
+	if r.Known && !r.Sat {
+		o.open[k] = -1
+		return false
+	}
+	o.open[k] = 1
+	return true
+}
+
+// replaceRegion swaps r for the given parts (see maymust for the
+// migration rationale).
+func (st *stepper) replaceRegion(r *region, parts ...*region) {
+	o := st.o
+	regs := o.regAt[r.node]
+	out := regs[:0]
+	for _, x := range regs {
+		if x.id != r.id {
+			out = append(out, x)
+		}
+	}
+	o.regAt[r.node] = append(out, parts...)
+
+	partIDs := make([]int, len(parts))
+	for i, p := range parts {
+		partIDs[i] = p.id
+	}
+	migrate := func(old edgeKey) []edgeKey {
+		if old.from != r.id && old.to != r.id {
+			return nil
+		}
+		froms := []int{old.from}
+		if old.from == r.id {
+			froms = partIDs
+		}
+		tos := []int{old.to}
+		if old.to == r.id {
+			tos = partIDs
+		}
+		var ks []edgeKey
+		for _, f := range froms {
+			for _, t := range tos {
+				ks = append(ks, edgeKey{old.edge, f, t})
+			}
+		}
+		return ks
+	}
+	for _, m := range []map[edgeKey]bool{o.elim, o.stuck} {
+		var add []edgeKey
+		for k, v := range m {
+			if v {
+				add = append(add, migrate(k)...)
+			}
+		}
+		for _, k := range add {
+			m[k] = true
+		}
+	}
+	type kv struct {
+		k edgeKey
+		v pendingChild
+	}
+	var addP []kv
+	for k, v := range o.pending {
+		for _, nk := range migrate(k) {
+			addP = append(addP, kv{nk, v})
+		}
+	}
+	for _, e := range addP {
+		o.pending[e.k] = e.v
+	}
+	type ka struct {
+		k edgeKey
+		v int
+	}
+	var addA []ka
+	for k, v := range o.attempts {
+		for _, nk := range migrate(k) {
+			addA = append(addA, ka{nk, v})
+		}
+	}
+	for _, e := range addA {
+		o.attempts[e.k] = e.v
+	}
+}
+
+// refuteOrConfirm walks the abstract path backwards splitting regions on
+// suffix preimages; if the path survives to the entry it is confirmed by
+// exact forward symbolic execution. done=true ends the query.
+func (st *stepper) refuteOrConfirm(path []pathStep) (punch.Result, bool) {
+	o, q := st.o, st.q
+	// cur is the refined suffix-reaching set at the current position,
+	// represented by a live region.
+	cur := path[len(path)-1].to
+	for i := len(path) - 1; i >= 0; i-- {
+		stp := path[i]
+		// The path may reference regions retired by earlier splits in this
+		// very walk; restart the search in that case.
+		if !st.regionLive(stp.from) || !st.regionLive(cur) {
+			return punch.Result{}, false
+		}
+		e := o.proc.Edges[stp.edge]
+		if c, isCall := e.Stmt.(lang.Call); isCall {
+			next, progressed := st.backwardCall(path[:i], stp, cur, c.Proc)
+			if progressed {
+				return punch.Result{}, false
+			}
+			if next == nil {
+				return punch.Result{}, false
+			}
+			cur = next
+			continue
+		}
+		st.charge(2)
+		wp := logic.Pre(e.Stmt, cur.f, logic.Over)
+		f1 := st.solver.Simplify(logic.Conj(stp.from.f, wp))
+		r1 := st.sat(f1)
+		if r1.Known && !r1.Sat {
+			// No state in the source region can enter the suffix.
+			o.elim[edgeKey{stp.edge, stp.from.id, cur.id}] = true
+			st.debugf("refuted path at step %d (edge n%d->n%d)", i, e.From, e.To)
+			return punch.Result{}, false
+		}
+		f2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(wp)))
+		r2 := st.sat(f2)
+		if r2.Known && !r2.Sat {
+			// The whole region can enter: no refinement here, keep walking.
+			cur = stp.from
+			continue
+		}
+		_, outs := st.partitionOn(stp.from, wp)
+		for _, rb := range outs {
+			o.elim[edgeKey{stp.edge, rb.id, cur.id}] = true
+		}
+		// Regions were retired by the split; restart the path search.
+		return punch.Result{}, false
+	}
+	// Backward pass survived: the path is abstractly feasible from entry.
+	entrySat := st.sat(logic.Conj(cur.f, q.Q.Pre))
+	if entrySat.Known && !entrySat.Sat {
+		return punch.Result{}, false
+	}
+	return st.confirmForward(path)
+}
+
+func (st *stepper) regionLive(r *region) bool {
+	for _, x := range st.o.regAt[r.node] {
+		if x.id == r.id {
+			return true
+		}
+	}
+	return false
+}
+
+// backwardCall handles a call edge during the backward pass. progressed
+// reports that a refinement was applied (restart path search); otherwise
+// the returned region is the refined position before the call (nil to
+// abort the walk).
+func (st *stepper) backwardCall(prefix []pathStep, stp pathStep, cur *region, callee string) (*region, bool) {
+	o := st.o
+	k := edgeKey{stp.edge, stp.from.id, cur.id}
+	mr := st.ctx.ModRefOf(callee)
+	var modG []lang.Var
+	for _, g := range o.globals {
+		if mr.Mod[g] {
+			modG = append(modG, g)
+		}
+	}
+	st.charge(6)
+	wf, _ := logic.Exists(cur.f, modG, logic.Over)
+	f1 := st.solver.Simplify(logic.Conj(stp.from.f, wf))
+	r1 := st.sat(f1)
+	if r1.Known && !r1.Sat {
+		o.elim[k] = true
+		st.debugf("frame-refuted call edge %v", k)
+		return nil, true
+	}
+	f2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(wf)))
+	if r2 := st.sat(f2); r2.Known && r2.Sat {
+		_, outs := st.partitionOn(stp.from, wf)
+		for _, rb := range outs {
+			o.elim[edgeKey{stp.edge, rb.id, cur.id}] = true
+		}
+		st.debugf("frame-split call edge %v", k)
+		return nil, true
+	}
+
+	postG := st.projectGlobals(cur.f)
+
+	// Precise calling context: forward symbolic execution along the path
+	// prefix (falling back to the region projection while earlier calls
+	// on the prefix still lack summaries).
+	pre := st.projectGlobals(stp.from.f)
+	if cond, store, ok := st.followPath(prefix); ok {
+		conj := []logic.Formula{cond, logic.SubstMap(stp.from.f, store)}
+		for _, g := range o.globals {
+			conj = append(conj, logic.Eq(logic.LinVar(g), store[g]))
+		}
+		full := logic.Conj(conj...)
+		var elimVars []lang.Var
+		for _, v := range logic.FreeVars(full) {
+			if !isGlobal(o.globals, v) {
+				elimVars = append(elimVars, v)
+			}
+		}
+		st.charge(6)
+		proj, _ := logic.Exists(full, elimVars, logic.Over)
+		st.charge(8)
+		proj = st.solver.Simplify(proj)
+		if r := st.sat(proj); !(r.Known && !r.Sat) && logic.Size(proj) < 160 {
+			pre = proj
+		}
+	}
+
+	for _, s := range st.ctx.DB.ForProc(callee) {
+		if s.Kind != summary.NotMay {
+			continue
+		}
+		if !st.implies(postG, s.Post) {
+			continue
+		}
+		g1 := st.solver.Simplify(logic.Conj(stp.from.f, s.Pre))
+		rg1 := st.sat(g1)
+		if rg1.Known && !rg1.Sat {
+			continue
+		}
+		g2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(s.Pre)))
+		rg2 := st.sat(g2)
+		if rg2.Known && !rg2.Sat {
+			o.elim[k] = true
+			st.debugf("summary-refuted call edge %v via %v", k, s)
+			return nil, true
+		}
+		ins, _ := st.partitionOn(stp.from, s.Pre)
+		for _, ra := range ins {
+			o.elim[edgeKey{stp.edge, ra.id, cur.id}] = true
+		}
+		st.debugf("summary-split call edge %v via %v", k, s)
+		return nil, true
+	}
+
+	// A must summary answering the precise-context question confirms the
+	// call edge can be crossed from this path; continue the backward walk
+	// from the source region (a sound over-approximation).
+	if _, yes := st.ctx.DB.AnswerYes(summary.Question{Proc: callee, Pre: pre, Post: postG}); yes {
+		return stp.from, false
+	}
+
+	// No summary helps: issue a child sub-query. The precondition is the
+	// exact calling context computed by forward symbolic execution along
+	// the path prefix (the counterexample-guided context of a software
+	// model checker); the region projection is the fallback when the
+	// prefix itself cannot be followed yet.
+	o.attempts[k]++
+	if o.attempts[k] > st.a.MaxAttempts {
+		o.stuck[k] = true
+		st.debugf("call edge %v STUCK", k)
+		return nil, true
+	}
+	question := summary.Question{Proc: callee, Pre: pre, Post: postG}
+	child := st.ctx.Alloc.New(st.q.ID, question)
+	st.children = append(st.children, child)
+	o.pending[k] = pendingChild{q: question}
+	st.debugf("child Q%d for %s: %v", child.ID, callee, question)
+	return nil, true
+}
+
+func (st *stepper) projectGlobals(f logic.Formula) logic.Formula {
+	var elim []lang.Var
+	for _, v := range logic.FreeVars(f) {
+		if !isGlobal(st.o.globals, v) {
+			elim = append(elim, v)
+		}
+	}
+	if len(elim) > 0 {
+		st.charge(6)
+		f, _ = logic.Exists(f, elim, logic.Over)
+	}
+	st.charge(8)
+	return st.solver.Simplify(f)
+}
+
+// followPath forward-executes the abstract path symbolically, crossing
+// calls with point-applicable must summaries. ok=false when a call could
+// not be crossed or the path condition became unsatisfiable.
+func (st *stepper) followPath(path []pathStep) (logic.Formula, map[lang.Var]logic.Lin, bool) {
+	cond, store, _, ok := st.followPathFull(path, false)
+	return cond, store, ok
+}
+
+func (st *stepper) followPathFull(path []pathStep, penalize bool) (logic.Formula, map[lang.Var]logic.Lin, map[lang.Var]lang.Var, bool) {
+	o, q := st.o, st.q
+	store := map[lang.Var]logic.Lin{}
+	initSyms := map[lang.Var]lang.Var{}
+	ren := map[lang.Var]lang.Var{}
+	vars := append(append([]lang.Var{}, o.globals...), o.proc.Locals...)
+	for _, v := range vars {
+		s := st.freshSym(v)
+		initSyms[v] = s
+		store[v] = logic.LinVar(s)
+		ren[v] = s
+	}
+	cond := logic.Rename(q.Q.Pre, ren)
+	for _, stp := range path {
+		e := o.proc.Edges[stp.edge]
+		switch stmt := e.Stmt.(type) {
+		case lang.Assign:
+			rhs := logic.FromInt(stmt.Rhs)
+			val := logic.LinConst(rhs.K)
+			for i, v := range rhs.Vars {
+				val = val.Add(store[v].Scale(rhs.Coefs[i]))
+			}
+			store = cloneStore(store)
+			store[stmt.Lhs] = val
+		case lang.Assume:
+			cond = logic.Conj(cond, logic.SubstMap(logic.FromBool(stmt.Cond), store))
+		case lang.Havoc:
+			store = cloneStore(store)
+			store[stmt.V] = logic.LinVar(st.freshSym(stmt.V))
+		case lang.Skip:
+		case lang.Call:
+			ok := false
+			calleeMR := st.ctx.ModRefOf(stmt.Proc)
+			for _, s := range st.ctx.DB.ForProc(stmt.Proc) {
+				if s.Kind != summary.Must || !st.pointApplicable(s) {
+					continue
+				}
+				c2 := logic.Conj(cond, logic.SubstMap(s.Pre, store))
+				r := st.sat(c2)
+				if !(r.Known && r.Sat) {
+					continue
+				}
+				ns := cloneStore(store)
+				rren := map[lang.Var]lang.Var{}
+				for _, g := range o.globals {
+					if !calleeMR.Mod[g] {
+						continue
+					}
+					sym := st.freshSym(g)
+					ns[g] = logic.LinVar(sym)
+					rren[g] = sym
+				}
+				cond = logic.Conj(c2, logic.SubstMap(logic.Rename(s.Post, rren), store))
+				store = ns
+				ok = true
+				break
+			}
+			if !ok {
+				if penalize {
+					// The abstraction believes the path feasible but no
+					// exact crossing is available; penalize this call edge
+					// so the search tries elsewhere.
+					k := edgeKey{stp.edge, stp.from.id, stp.to.id}
+					st.o.attempts[k]++
+					if st.o.attempts[k] > st.a.MaxAttempts {
+						st.o.stuck[k] = true
+					}
+				}
+				return nil, nil, nil, false
+			}
+		}
+		// Land in the step's destination region.
+		cond = logic.Conj(cond, logic.SubstMap(stp.to.f, store))
+		r := st.sat(cond)
+		if r.Known && !r.Sat {
+			return nil, nil, nil, false
+		}
+	}
+	return cond, store, initSyms, true
+}
+
+// confirmForward re-executes the abstract path exactly (symbolically) and
+// finishes the query with a must summary on success.
+func (st *stepper) confirmForward(path []pathStep) (punch.Result, bool) {
+	cond, store, initSyms, ok := st.followPathFull(path, true)
+	if !ok {
+		return punch.Result{}, false
+	}
+	hit := logic.Conj(cond, logic.SubstMap(st.q.Q.Post, store))
+	r := st.sat(hit)
+	if r.Model == nil {
+		return punch.Result{}, false
+	}
+	st.emitMustSummary(initSyms, store, hit, r.Model)
+	st.debugf("DONE reachable (confirmed path)")
+	return st.finish(query.Done, query.Reachable), true
+}
+
+func (st *stepper) freshSym(v lang.Var) lang.Var {
+	s := lang.Var(fmt.Sprintf("$y%d_%d_%s", st.q.ID, st.o.symCount, v))
+	st.o.symCount++
+	return s
+}
+
+func (st *stepper) pointApplicable(s summary.Summary) bool {
+	vars := logic.FreeVars(s.Pre)
+	if len(vars) == 0 {
+		return true
+	}
+	m := st.solver.Model(s.Pre)
+	if m == nil {
+		return false
+	}
+	st.charge(4)
+	var fs []logic.Formula
+	for _, g := range vars {
+		fs = append(fs, logic.Eq(logic.LinVar(g), logic.LinConst(m[g])))
+	}
+	return st.solver.Implies(s.Pre, logic.Conj(fs...))
+}
+
+// emitMustSummary mirrors the frame-aware generation of the other
+// instantiations.
+func (st *stepper) emitMustSummary(initSyms map[lang.Var]lang.Var, store map[lang.Var]logic.Lin, fullConj logic.Formula, m map[lang.Var]int64) {
+	o, q := st.o, st.q
+	mr := st.ctx.ModRefOf(q.Q.Proc)
+	constrained := map[lang.Var]bool{}
+	for _, v := range logic.FreeVars(fullConj) {
+		constrained[v] = true
+	}
+	for _, g := range o.globals {
+		if mr.Mod[g] {
+			for _, v := range store[g].Vars {
+				constrained[v] = true
+			}
+		}
+	}
+	var prefs, framePosts []logic.Formula
+	for _, g := range o.globals {
+		if !constrained[initSyms[g]] {
+			continue
+		}
+		v := m[initSyms[g]]
+		prefs = append(prefs, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		if !mr.Mod[g] {
+			framePosts = append(framePosts, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		}
+	}
+	var posts []logic.Formula
+	for _, g := range o.globals {
+		if mr.Mod[g] {
+			posts = append(posts, logic.Eq(logic.LinVar(g), logic.LinConst(store[g].Eval(m))))
+		}
+	}
+	posts = append(posts, framePosts...)
+	st.ctx.DB.Add(summary.Summary{Kind: summary.Must, Proc: q.Q.Proc, Pre: logic.Conj(prefs...), Post: logic.Conj(posts...)})
+}
+
+func isGlobal(globals []lang.Var, v lang.Var) bool {
+	for _, g := range globals {
+		if g == v {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneStore(s map[lang.Var]logic.Lin) map[lang.Var]logic.Lin {
+	out := make(map[lang.Var]logic.Lin, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package may
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func runMay(t *testing.T, src string, iters int) core.Result {
+	t.Helper()
+	prog := parser.MustParse(src)
+	a := New()
+	if os.Getenv("MAY_DEBUG") != "" {
+		a.Debug = os.Stderr
+	}
+	eng := core.New(prog, core.Options{Punch: a, MaxThreads: 2, MaxIterations: iters, CheckContract: true})
+	return eng.Run(core.AssertionQuestion(prog))
+}
+
+func TestMaySafeStraightLine(t *testing.T) {
+	res := runMay(t, `proc main { locals x; x = 1; assert(x > 0); }`, 400)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMayBuggyStraightLine(t *testing.T) {
+	res := runMay(t, `proc main { locals x; x = 1; assert(x > 5); }`, 400)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMayBranchSafe(t *testing.T) {
+	res := runMay(t, `
+proc main {
+  locals x, y;
+  havoc x;
+  if (x > 0) { y = x; } else { y = 0 - x; }
+  assert(y >= 0);
+}`, 400)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMayCallSafe(t *testing.T) {
+	res := runMay(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 6);
+}
+proc bump { g = g + 1; }`, 800)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestMayCallBuggy(t *testing.T) {
+	res := runMay(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 7);
+}
+proc bump { g = g + 1; }`, 800)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+// TestMayLoopSoundness: without interpolant-guided predicate selection a
+// pure may-analysis is not guaranteed to converge on loops (the paper's
+// §4 notes may-analyses may be preempted indefinitely); the requirement
+// is that it never returns a wrong verdict within its budget.
+func TestMayLoopSoundness(t *testing.T) {
+	res := runMay(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 5) { i = i + 1; }
+  assert(i >= 5);
+}`, 40)
+	if res.Verdict == core.ErrorReachable {
+		t.Fatalf("unsound verdict on a safe loop: %v", res.Verdict)
+	}
+}
+
+func TestMayLoopBuggy(t *testing.T) {
+	// Bug finding in loops works: the confirmed-path machinery unrolls.
+	res := runMay(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 3) { i = i + 1; }
+  assert(i >= 4);
+}`, 400)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}

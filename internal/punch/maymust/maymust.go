@@ -1,0 +1,1053 @@
+package maymust
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// Analysis is the may-must PUNCH instantiation. The zero value is not
+// usable; call New.
+type Analysis struct {
+	// Budget is the abstract work budget per Step invocation; when
+	// exhausted the query is preempted and returned Ready (§3.2 fairness).
+	Budget int64
+	// MaxMustElems caps the must-map size per control location.
+	MaxMustElems int
+	// MaxChildAttempts bounds re-issued children per call-edge frontier
+	// before the edge is declared stuck.
+	MaxChildAttempts int
+	// Debug, when non-nil, receives a trace of analysis decisions.
+	Debug io.Writer
+}
+
+// New returns a may-must analysis with default limits.
+func New() *Analysis {
+	return &Analysis{Budget: 900, MaxMustElems: 24, MaxChildAttempts: 6}
+}
+
+// maxChildPreSize bounds the formula size of an over-projected child
+// precondition before falling back to a concrete entry point.
+const maxChildPreSize = 160
+
+// Name implements punch.Punch.
+func (a *Analysis) Name() string { return "may-must" }
+
+// Step implements punch.Punch: one budgeted slice of DASH-style analysis
+// on query q.
+func (a *Analysis) Step(ctx *punch.Context, q *query.Query) punch.Result {
+	st := &stepper{
+		a:      a,
+		ctx:    ctx,
+		q:      q,
+		solver: ctx.DB.Solver(),
+	}
+	return st.run()
+}
+
+type stepper struct {
+	a        *Analysis
+	ctx      *punch.Context
+	q        *query.Query
+	o        *obj
+	solver   *smt.Solver
+	cost     int64
+	children []*query.Query
+}
+
+// charge accounts abstract work.
+func (st *stepper) charge(n int64) { st.cost += n }
+
+// debugf emits a trace line when debugging is enabled.
+func (st *stepper) debugf(format string, args ...any) {
+	if st.a.Debug == nil {
+		return
+	}
+	fmt.Fprintf(st.a.Debug, "[Q%d %s] ", st.q.ID, st.q.Q.Proc)
+	fmt.Fprintf(st.a.Debug, format, args...)
+	fmt.Fprintln(st.a.Debug)
+}
+
+func (st *stepper) sat(f logic.Formula) smt.Result {
+	st.charge(4)
+	return st.solver.Sat(f)
+}
+
+func (st *stepper) implies(a, b logic.Formula) bool {
+	st.charge(4)
+	return st.solver.Implies(a, b)
+}
+
+// finish assembles the result in the given state.
+func (st *stepper) finish(state query.State, outcome query.Outcome) punch.Result {
+	st.q.State = state
+	st.q.Outcome = outcome
+	st.q.Obj = st.o
+	children := st.children
+	if state == query.Done {
+		children = nil
+	}
+	return punch.Result{Self: st.q, Children: children, Cost: st.cost}
+}
+
+func (st *stepper) run() punch.Result {
+	// Summary reuse: if SUMDB can already answer this question, the query
+	// is Done without any analysis (the paper's first step of PUNCH).
+	if _, verdict := st.ctx.DB.Answer(st.q.Q); verdict != 0 {
+		st.charge(4)
+		if st.o == nil {
+			if o, ok := st.q.Obj.(*obj); ok {
+				st.o = o
+			} else {
+				st.o = newObj(st.ctx.Prog.Proc(st.q.Q.Proc), st.ctx.Prog.Globals)
+			}
+		}
+		if verdict > 0 {
+			return st.finish(query.Done, query.Reachable)
+		}
+		return st.finish(query.Done, query.Unreachable)
+	}
+
+	if o, ok := st.q.Obj.(*obj); ok && o != nil {
+		st.o = o
+	} else {
+		st.o = newObj(st.ctx.Prog.Proc(st.q.Q.Proc), st.ctx.Prog.Globals)
+	}
+	if !st.o.initialized {
+		if done, res := st.initialize(); done {
+			return res
+		}
+	}
+
+	st.sweepPending()
+
+	for {
+		if st.cost >= st.a.Budget {
+			return st.finish(query.Ready, query.Pending)
+		}
+		if res, done := st.checkMustSuccess(); done {
+			return res
+		}
+		path := st.findPath(true)
+		if path == nil {
+			full := st.findPath(false)
+			if full == nil {
+				st.debugf("DONE unreachable (no abstract path)")
+				// No abstract error path at all: proof.
+				st.ctx.DB.Add(summary.Summary{
+					Kind: summary.NotMay,
+					Proc: st.q.Q.Proc,
+					Pre:  st.q.Q.Pre,
+					Post: st.q.Q.Post,
+				})
+				return st.finish(query.Done, query.Unreachable)
+			}
+			// Paths remain but all go through pending or stuck edges.
+			// Before blocking, fan out: issue sub-queries for every
+			// unresolved call edge on any abstract error path, so sibling
+			// callees are analyzed in parallel instead of one at a time
+			// (PUNCH "explores other paths in main", §1 — this is what
+			// fills the MAP stage of Fig. 3 with ~fanout Ready queries).
+			st.fanOut()
+			st.debugf("BLOCKED (pending=%d stuck=%d, %d children)", len(st.o.pending), len(st.o.stuck), len(st.children))
+			return st.finish(query.Blocked, query.Pending)
+		}
+		st.handleFrontier(path)
+	}
+}
+
+// initialize builds the initial may and must maps. Returns done=true when
+// the query can be decided immediately (empty precondition).
+func (st *stepper) initialize() (bool, punch.Result) {
+	o, q := st.o, st.q
+	pre := st.sat(q.Q.Pre)
+	if pre.Known && !pre.Sat {
+		st.ctx.DB.Add(summary.Summary{Kind: summary.NotMay, Proc: q.Q.Proc, Pre: q.Q.Pre, Post: q.Q.Post})
+		o.initialized = true
+		return true, st.finish(query.Done, query.Unreachable)
+	}
+	// May-map Σ: exit is partitioned into {φ2, ¬φ2}; every other node
+	// starts with the single partition ⊤ (§4).
+	for n := 0; n < o.proc.NNodes; n++ {
+		node := cfg.NodeID(n)
+		if node == o.proc.Exit {
+			o.attach(o.newRegion(node, q.Q.Post, true))
+			o.attach(o.newRegion(node, logic.Not(q.Q.Post), false))
+		} else {
+			o.attach(o.newRegion(node, logic.True, false))
+		}
+	}
+	// Must-map O: one symbolic element at entry — globals constrained by
+	// φ1, locals unconstrained (fresh symbols).
+	store := map[lang.Var]logic.Lin{}
+	ren := map[lang.Var]lang.Var{}
+	for _, v := range append(append([]lang.Var{}, o.globals...), o.locals...) {
+		s := o.freshSym(q.ID, v)
+		o.initSyms[v] = s
+		store[v] = logic.LinVar(s)
+		ren[v] = s
+	}
+	path := logic.Rename(q.Q.Pre, ren)
+	st.o.addMust(o.proc.Entry, &mustElem{path: path, store: store}, st.a.MaxMustElems)
+	o.initialized = true
+	return false, punch.Result{}
+}
+
+// sweepPending drops pending-child markers whose question SUMDB can now
+// answer, reopening those call edges for the frontier machinery.
+func (st *stepper) sweepPending() {
+	keys := make([]edgeKey, 0, len(st.o.pending))
+	for k := range st.o.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.edge != b.edge {
+			return a.edge < b.edge
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
+	for _, k := range keys {
+		pc := st.o.pending[k]
+		if _, verdict := st.ctx.DB.Answer(pc.q); verdict != 0 {
+			delete(st.o.pending, k)
+		}
+	}
+}
+
+// checkMustSuccess tests unexamined exit elements against φ2 and, on a
+// witness, emits a must summary and finishes the query.
+func (st *stepper) checkMustSuccess() (punch.Result, bool) {
+	o, q := st.o, st.q
+	for _, e := range o.musts[o.proc.Exit] {
+		if e.exitChecked {
+			continue
+		}
+		e.exitChecked = true
+		hit := logic.Conj(e.path, logic.SubstMap(q.Q.Post, asSubst(e.store)))
+		r := st.sat(hit)
+		if r.Model == nil {
+			continue
+		}
+		st.emitMustSummary(e, r.Model)
+		st.debugf("DONE reachable")
+		return st.finish(query.Done, query.Reachable), true
+	}
+	return punch.Result{}, false
+}
+
+// emitMustSummary builds a frame-aware must summary from a witnessing exit
+// element. The precondition pins the witness's entry point, but only on
+// globals the procedure touches or that the witness path actually
+// constrains — globals outside that set pass through the call freely, so
+// omitting them keeps the summary applicable without pinning the caller's
+// unrelated state. The postcondition is the under-projected image over the
+// modified globals, with entry pins of constrained-but-unmodified globals
+// carried over (their exit value equals their entry value).
+func (st *stepper) emitMustSummary(e *mustElem, m map[lang.Var]int64) {
+	o, q := st.o, st.q
+	mr := st.ctx.ModRefOf(q.Q.Proc)
+	fullConj := logic.Conj(e.path, logic.SubstMap(q.Q.Post, asSubst(e.store)))
+	constrained := map[lang.Var]bool{}
+	for _, v := range logic.FreeVars(fullConj) {
+		constrained[v] = true
+	}
+	// Exit values of modified globals that still reference an entry symbol
+	// tie the postcondition to the entry state; those entries must be
+	// pinned too.
+	for _, g := range o.globals {
+		if mr.Mod[g] {
+			for _, v := range e.store[g].Vars {
+				constrained[v] = true
+			}
+		}
+	}
+
+	var prefs, framePosts, entryConstr []logic.Formula
+	for _, g := range o.globals {
+		if !constrained[o.initSyms[g]] {
+			// This witness neither tests nor propagates the entry value of
+			// g: any entry value admits the same path and image.
+			continue
+		}
+		v := m[o.initSyms[g]]
+		prefs = append(prefs, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		entryConstr = append(entryConstr, logic.Eq(logic.LinVar(o.initSyms[g]), logic.LinConst(v)))
+		if !mr.Mod[g] {
+			// Unmodified: exit value equals the pinned entry value.
+			framePosts = append(framePosts, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		}
+	}
+	preF := logic.Conj(prefs...)
+
+	// Exit image over the modified globals: ∃symbols. path ∧ φ2(σ) ∧
+	// entry-point ∧ out_g = σ(g), under-projected onto the out variables.
+	// Any under-approximation of the image is a sound must postcondition.
+	conj := []logic.Formula{fullConj}
+	conj = append(conj, entryConstr...)
+	outRen := map[lang.Var]lang.Var{}
+	for _, g := range o.globals {
+		if !mr.Mod[g] {
+			continue
+		}
+		out := lang.Var("$out_" + string(g))
+		outRen[out] = g
+		conj = append(conj, logic.Eq(logic.LinVar(out), e.store[g]))
+	}
+	full := logic.Conj(conj...)
+	var elim []lang.Var
+	for _, v := range logic.FreeVars(full) {
+		if _, isOut := outRen[v]; !isOut {
+			elim = append(elim, v)
+		}
+	}
+	st.charge(16)
+	proj, _ := logic.Exists(full, elim, logic.Under)
+	modPost := logic.Rename(st.solver.Simplify(proj), outRen)
+	if r := st.sat(modPost); r.Model == nil {
+		// Projection collapsed; fall back to the concrete exit point.
+		var posts []logic.Formula
+		for _, g := range o.globals {
+			if mr.Mod[g] {
+				posts = append(posts, logic.Eq(logic.LinVar(g), logic.LinConst(e.store[g].Eval(m))))
+			}
+		}
+		modPost = logic.Conj(posts...)
+	}
+	postF := logic.Conj(append([]logic.Formula{modPost}, framePosts...)...)
+	st.ctx.DB.Add(summary.Summary{Kind: summary.Must, Proc: q.Q.Proc, Pre: preF, Post: postF})
+}
+
+// pathStep is one abstract edge on an abstract error path.
+type pathStep struct {
+	edge int // index into proc.Edges
+	from *region
+	to   *region
+}
+
+// findPath searches for an abstract error path from an entry region
+// intersecting φ1 to a target region at exit, over non-eliminated abstract
+// edges. With avoid set, edges that are pending a child answer or stuck
+// are excluded (such a path is actionable); without it the search decides
+// whether any abstract path remains at all (no path = proof).
+func (st *stepper) findPath(avoid bool) []pathStep {
+	o, q := st.o, st.q
+	type nodeReg struct {
+		node cfg.NodeID
+		reg  *region
+	}
+	parent := map[int]pathStep{}
+	seen := map[int]bool{}
+	var queue []nodeReg
+	for _, r := range o.regAt[o.proc.Entry] {
+		st.charge(1)
+		s := st.sat(logic.Conj(r.f, q.Q.Pre))
+		if s.Known && !s.Sat {
+			continue
+		}
+		seen[r.id] = true
+		queue = append(queue, nodeReg{o.proc.Entry, r})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.reg.target && cur.node == o.proc.Exit {
+			// Reconstruct.
+			var rev []pathStep
+			at := cur.reg.id
+			for {
+				stp, ok := parent[at]
+				if !ok {
+					break
+				}
+				rev = append(rev, stp)
+				at = stp.from.id
+			}
+			out := make([]pathStep, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out
+		}
+		for _, ei := range o.proc.Out[cur.node] {
+			e := o.proc.Edges[ei]
+			for _, r2 := range o.regAt[e.To] {
+				if seen[r2.id] {
+					continue
+				}
+				k := edgeKey{ei, cur.reg.id, r2.id}
+				if o.elim[k] {
+					continue
+				}
+				if avoid && (o.stuck[k] || hasPending(o, k)) {
+					continue
+				}
+				if !st.edgeOpen(k, e, cur.reg, r2) {
+					continue
+				}
+				seen[r2.id] = true
+				parent[r2.id] = pathStep{ei, cur.reg, r2}
+				queue = append(queue, nodeReg{e.To, r2})
+			}
+		}
+	}
+	return nil
+}
+
+func hasPending(o *obj, k edgeKey) bool {
+	_, ok := o.pending[k]
+	return ok
+}
+
+// edgeOpen performs (and caches) the one-step semantic feasibility check
+// for simple edges: the abstract edge ρ→ρ' is shut when ρ ∧ pre(stmt, ρ')
+// is unsatisfiable — a sound elimination without an explicit split. Call
+// edges are open until eliminated by a summary.
+func (st *stepper) edgeOpen(k edgeKey, e cfg.Edge, from, to *region) bool {
+	o := st.o
+	if v, ok := o.open[k]; ok {
+		return v > 0
+	}
+	if _, isCall := e.Stmt.(lang.Call); isCall {
+		o.open[k] = 1
+		return true
+	}
+	st.charge(2)
+	wp := logic.Pre(e.Stmt, to.f, logic.Over)
+	r := st.sat(logic.Conj(from.f, wp))
+	if r.Known && !r.Sat {
+		o.open[k] = -1
+		return false
+	}
+	o.open[k] = 1
+	return true
+}
+
+// asSubst views a store as a substitution map.
+func asSubst(store map[lang.Var]logic.Lin) map[lang.Var]logic.Lin { return store }
+
+// elemIn reports (with caching) whether elem's states intersect region r.
+func (st *stepper) elemIn(e *mustElem, r *region) bool {
+	if v, ok := e.reach[r.id]; ok {
+		return v > 0
+	}
+	s := st.sat(logic.Conj(e.path, logic.SubstMap(r.f, asSubst(e.store))))
+	if s.Known && !s.Sat {
+		e.reach[r.id] = -1
+		return false
+	}
+	e.reach[r.id] = 1
+	return true
+}
+
+// mustReached reports whether any must element at r's node intersects r.
+func (st *stepper) mustReached(r *region) bool {
+	for _, e := range st.o.musts[r.node] {
+		if st.elemIn(e, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// fanOut issues a sub-query for every call edge that lies on some
+// abstract error path (source region forward-reachable from the entry,
+// destination region co-reachable with the target) and has neither an
+// applicable summary nor an outstanding child. Preconditions are the
+// source region's global projection — weaker than the frontier's O-based
+// ones, but exactly the context-insensitive questions (the Q_foo, Q_bar,
+// Q_baz of Fig. 2) that let sibling callees be analyzed in parallel while
+// the must frontier is still working its way forward.
+func (st *stepper) fanOut() {
+	o := st.o
+	fwd := st.reachableRegions(false)
+	bwd := st.reachableRegions(true)
+	for ei, e := range o.proc.Edges {
+		c, isCall := e.Stmt.(lang.Call)
+		if !isCall {
+			continue
+		}
+		for _, from := range o.regAt[e.From] {
+			if !fwd[from.id] {
+				continue
+			}
+			for _, to := range o.regAt[e.To] {
+				if !bwd[to.id] {
+					continue
+				}
+				k := edgeKey{ei, from.id, to.id}
+				if o.elim[k] || o.stuck[k] || hasPending(o, k) {
+					continue
+				}
+				postG := st.projectGlobals(to.f)
+				question := summary.Question{Proc: c.Proc, Pre: st.projectGlobals(from.f), Post: postG}
+				if _, verdict := st.ctx.DB.Answer(question); verdict != 0 {
+					continue
+				}
+				child := st.ctx.Alloc.New(st.q.ID, question)
+				st.children = append(st.children, child)
+				o.pending[k] = pendingChild{id: int64(child.ID), q: question}
+				st.debugf("fan-out child Q%d for %s: %v", child.ID, c.Proc, question)
+			}
+		}
+	}
+}
+
+// reachableRegions computes the region IDs forward-reachable from the
+// entry regions intersecting φ1 (reverse=false), or backward-co-reachable
+// from the target regions (reverse=true), over non-eliminated open edges
+// (pending edges included — this is a may-reachability sweep).
+func (st *stepper) reachableRegions(reverse bool) map[int]bool {
+	o, q := st.o, st.q
+	seen := map[int]bool{}
+	type nodeReg struct {
+		node cfg.NodeID
+		reg  *region
+	}
+	var queue []nodeReg
+	if reverse {
+		for _, r := range o.regAt[o.proc.Exit] {
+			if r.target {
+				seen[r.id] = true
+				queue = append(queue, nodeReg{o.proc.Exit, r})
+			}
+		}
+	} else {
+		for _, r := range o.regAt[o.proc.Entry] {
+			s := st.sat(logic.Conj(r.f, q.Q.Pre))
+			if s.Known && !s.Sat {
+				continue
+			}
+			seen[r.id] = true
+			queue = append(queue, nodeReg{o.proc.Entry, r})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if reverse {
+			for _, ei := range o.proc.In[cur.node] {
+				e := o.proc.Edges[ei]
+				for _, r2 := range o.regAt[e.From] {
+					if seen[r2.id] || o.elim[edgeKey{ei, r2.id, cur.reg.id}] {
+						continue
+					}
+					if !st.edgeOpen(edgeKey{ei, r2.id, cur.reg.id}, e, r2, cur.reg) {
+						continue
+					}
+					seen[r2.id] = true
+					queue = append(queue, nodeReg{e.From, r2})
+				}
+			}
+		} else {
+			for _, ei := range o.proc.Out[cur.node] {
+				e := o.proc.Edges[ei]
+				for _, r2 := range o.regAt[e.To] {
+					if seen[r2.id] || o.elim[edgeKey{ei, cur.reg.id, r2.id}] {
+						continue
+					}
+					if !st.edgeOpen(edgeKey{ei, cur.reg.id, r2.id}, e, cur.reg, r2) {
+						continue
+					}
+					seen[r2.id] = true
+					queue = append(queue, nodeReg{e.To, r2})
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// handleFrontier locates the frontier on the path — the last abstract edge
+// whose source region is must-reached — and advances the analysis across
+// it: test extension or region refinement for simple edges, the three
+// summary cases of §4 for call edges.
+func (st *stepper) handleFrontier(path []pathStep) {
+	// The entry region of the path is must-reached by the initial element,
+	// so a frontier always exists.
+	fi := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if st.mustReached(path[i].from) {
+			fi = i
+			break
+		}
+	}
+	stp := path[fi]
+	e := st.o.proc.Edges[stp.edge]
+	st.debugf("frontier at path[%d/%d]: edge n%d->n%d (%v), from R%d{%v} to R%d{%v}", fi, len(path)-1, e.From, e.To, e.Stmt, stp.from.id, stp.from.f, stp.to.id, stp.to.f)
+	if c, isCall := e.Stmt.(lang.Call); isCall {
+		st.handleCallFrontier(stp, c.Proc)
+		return
+	}
+	st.handleSimpleFrontier(stp, e.Stmt)
+}
+
+// handleSimpleFrontier tries to extend a must element across the frontier
+// edge; if no element can cross, the source region is split on the
+// preimage of the destination region, eliminating the abstract edge from
+// the half that provably cannot cross (§4, may-analysis refinement).
+func (st *stepper) handleSimpleFrontier(stp pathStep, s lang.Stmt) {
+	o := st.o
+	node := stp.from.node
+	for _, el := range o.musts[node] {
+		if !st.elemIn(el, stp.from) {
+			continue
+		}
+		if ne := st.extendElem(el, stp, s); ne != nil {
+			o.addMust(o.proc.Edges[stp.edge].To, ne, st.a.MaxMustElems)
+			return
+		}
+	}
+	// Refine: split ρ on wp = pre(s, ρ').
+	st.charge(2)
+	wp := logic.Pre(s, stp.to.f, logic.Over)
+	st.charge(8)
+	f1 := st.solver.Simplify(logic.Conj(stp.from.f, wp))
+	f2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(wp)))
+	k := edgeKey{stp.edge, stp.from.id, stp.to.id}
+	sat1 := st.sat(f1)
+	if sat1.Known && !sat1.Sat {
+		// ρ ∩ pre(s, ρ') = ∅: the whole edge is infeasible.
+		o.elim[k] = true
+		return
+	}
+	sat2 := st.sat(f2)
+	if sat2.Known && !sat2.Sat {
+		// ρ ⊆ wp yet no element crossed: the preimage was inexact (havoc
+		// over non-unit coefficients). No sound elimination is available.
+		o.attempts[k]++
+		if o.attempts[k] >= st.a.MaxChildAttempts {
+			o.stuck[k] = true
+		}
+		return
+	}
+	// The parts outside wp provably cannot cross this edge into ρ'.
+	_, outs := st.partitionOn(stp.from, wp)
+	for _, rb := range outs {
+		o.elim[edgeKey{stp.edge, rb.id, stp.to.id}] = true
+	}
+	st.debugf("split R%d on wp=%v (%d outside parts)", stp.from.id, wp, len(outs))
+}
+
+// partitionOn replaces region r by conjunctive cube regions partitioning
+// it along wp, returning the parts inside wp and outside it. Keeping every
+// region a small conjunction is what stops refinement formulas from
+// snowballing across splits; when DNF expansion is infeasible the fallback
+// is a plain binary split.
+func (st *stepper) partitionOn(r *region, wp logic.Formula) (ins, outs []*region) {
+	o := st.o
+	mk := func(f logic.Formula) []*region {
+		var parts []*region
+		cubes, ok := logic.Cubes(f, 32)
+		if !ok {
+			st.charge(8)
+			g := st.solver.Simplify(f)
+			if sr := st.sat(g); sr.Known && !sr.Sat {
+				return nil
+			}
+			return []*region{o.newRegion(r.node, g, r.target)}
+		}
+		for _, c := range cubes {
+			st.charge(4)
+			cf := st.solver.Simplify(c.Formula())
+			if sr := st.sat(cf); sr.Known && !sr.Sat {
+				continue
+			}
+			parts = append(parts, o.newRegion(r.node, cf, r.target))
+		}
+		return parts
+	}
+	ins = mk(logic.Conj(r.f, wp))
+	outs = mk(logic.Conj(r.f, logic.Not(wp)))
+	all := append(append([]*region{}, ins...), outs...)
+	o.replaceRegion(r, all...)
+	return ins, outs
+}
+
+// extendElem symbolically executes s from el constrained to the frontier's
+// source region, landing in its destination region; nil when infeasible.
+func (st *stepper) extendElem(el *mustElem, stp pathStep, s lang.Stmt) *mustElem {
+	base := logic.Conj(el.path, logic.SubstMap(stp.from.f, asSubst(el.store)))
+	store := el.store
+	switch s := s.(type) {
+	case lang.Assign:
+		store = cloneStore(store)
+		rhs := logic.FromInt(s.Rhs)
+		val := logic.LinConst(rhs.K)
+		for i, v := range rhs.Vars {
+			val = val.Add(el.store[v].Scale(rhs.Coefs[i]))
+		}
+		store[s.Lhs] = val
+	case lang.Assume:
+		base = logic.Conj(base, logic.SubstMap(logic.FromBool(s.Cond), asSubst(el.store)))
+	case lang.Havoc:
+		store = cloneStore(store)
+		store[s.V] = logic.LinVar(st.o.freshSym(st.q.ID, s.V))
+	case lang.Skip:
+	default:
+		panic("maymust: unexpected statement kind at simple frontier")
+	}
+	landed := logic.Conj(base, logic.SubstMap(stp.to.f, asSubst(store)))
+	r := st.sat(landed)
+	if !(r.Known && r.Sat) {
+		return nil
+	}
+	return &mustElem{path: landed, store: store}
+}
+
+// handleCallFrontier implements the three cases of §4 for an abstract
+// call edge ρ → ρ' labelled `call P`:
+//  1. an applicable must summary of P extends the must-map across the
+//     call;
+//  2. an applicable not-may summary of P splits ρ and eliminates the edge
+//     from the covered half;
+//  3. otherwise a child sub-query ((O ∧ ρ)^G ⇒?_P ρ'^G) is issued and the
+//     edge waits for its answer.
+func (st *stepper) handleCallFrontier(stp pathStep, callee string) {
+	o, q := st.o, st.q
+	k := edgeKey{stp.edge, stp.from.id, stp.to.id}
+	node := stp.from.node
+	var elems []*mustElem
+	for _, el := range o.musts[node] {
+		if st.elemIn(el, stp.from) {
+			elems = append(elems, el)
+		}
+	}
+	postG := st.projectGlobals(stp.to.f)
+
+	// Case 0 (frame refinement, no child needed): a call can only change
+	// the globals in Mod(callee), so any caller state landing in ρ' must
+	// already satisfy ρ' with those globals abstracted away. Splitting ρ
+	// on that weakest frame precondition propagates caller-local and
+	// untouched-global constraints backwards across the call for free.
+	calleeMR := st.ctx.ModRefOf(callee)
+	var modG []lang.Var
+	for _, g := range o.globals {
+		if calleeMR.Mod[g] {
+			modG = append(modG, g)
+		}
+	}
+	st.charge(6)
+	wpFrame, _ := logic.Exists(stp.to.f, modG, logic.Over)
+	f1 := st.solver.Simplify(logic.Conj(stp.from.f, wpFrame))
+	f2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(wpFrame)))
+	if r1 := st.sat(f1); r1.Known && !r1.Sat {
+		st.debugf("frame: eliminated call edge %v (no state can land in R%d)", k, stp.to.id)
+		o.elim[k] = true
+		return
+	}
+	if r2 := st.sat(f2); r2.Known && r2.Sat {
+		_, outs := st.partitionOn(stp.from, wpFrame)
+		for _, rb := range outs {
+			o.elim[edgeKey{stp.edge, rb.id, stp.to.id}] = true
+		}
+		st.debugf("frame: split R%d on %v (%d outside parts)", stp.from.id, wpFrame, len(outs))
+		return
+	}
+
+	// Case 1: must summaries with a single-point precondition extend O.
+	for _, s := range st.ctx.DB.ForProc(callee) {
+		if s.Kind != summary.Must || !st.isPointPre(s) {
+			continue
+		}
+		for _, el := range elems {
+			cond := logic.Conj(
+				el.path,
+				logic.SubstMap(stp.from.f, asSubst(el.store)),
+				logic.SubstMap(s.Pre, asSubst(el.store)),
+			)
+			r := st.sat(cond)
+			if !(r.Known && r.Sat) {
+				continue
+			}
+			// Cross the call: globals the callee may modify become fresh
+			// symbols constrained by the summary postcondition; all other
+			// variables pass through the frame untouched.
+			calleeMR := st.ctx.ModRefOf(callee)
+			store := cloneStore(el.store)
+			ren := map[lang.Var]lang.Var{}
+			for _, g := range o.globals {
+				if !calleeMR.Mod[g] {
+					continue
+				}
+				sym := o.freshSym(q.ID, g)
+				store[g] = logic.LinVar(sym)
+				ren[g] = sym
+			}
+			postC := logic.SubstMap(logic.Rename(s.Post, ren), asSubst(el.store))
+			after := logic.Conj(cond, postC,
+				logic.SubstMap(stp.to.f, asSubst(store)))
+			ra := st.sat(after)
+			if ra.Known && ra.Sat {
+				st.debugf("case1: extended across call via %v", s)
+				o.addMust(o.proc.Edges[stp.edge].To, &mustElem{path: after, store: store}, st.a.MaxMustElems)
+				return
+			}
+		}
+	}
+
+	// Case 2: a not-may summary covering ρ'^G eliminates the edge from the
+	// part of ρ whose globals lie in the summary precondition.
+	for _, s := range st.ctx.DB.ForProc(callee) {
+		if s.Kind != summary.NotMay {
+			continue
+		}
+		if !st.implies(postG, s.Post) {
+			continue
+		}
+		st.charge(8)
+		f1 := st.solver.Simplify(logic.Conj(stp.from.f, s.Pre))
+		r1 := st.sat(f1)
+		if r1.Known && !r1.Sat {
+			continue // summary covers none of ρ
+		}
+		f2 := st.solver.Simplify(logic.Conj(stp.from.f, logic.Not(s.Pre)))
+		r2 := st.sat(f2)
+		if r2.Known && !r2.Sat {
+			// All of ρ is covered: eliminate the edge outright.
+			st.debugf("case2: eliminated call edge %v outright via %v", k, s)
+			o.elim[k] = true
+			return
+		}
+		ins, _ := st.partitionOn(stp.from, s.Pre)
+		for _, ra := range ins {
+			o.elim[edgeKey{stp.edge, ra.id, stp.to.id}] = true
+		}
+		st.debugf("case2: split R%d on %v and eliminated call edge from %d covered parts", stp.from.id, s.Pre, len(ins))
+		return
+	}
+
+	// Case 3: issue a child sub-query.
+	o.attempts[k]++
+	if o.attempts[k] > st.a.MaxChildAttempts {
+		st.debugf("call edge %v STUCK after %d attempts", k, o.attempts[k])
+		o.stuck[k] = true
+		return
+	}
+	pre, ok := st.childPre(elems, stp.from, callee, postG)
+	if !ok {
+		st.debugf("call edge %v: no usable child precondition", k)
+		o.stuck[k] = true
+		return
+	}
+	if _, yes := st.ctx.DB.AnswerYes(summary.Question{Proc: callee, Pre: pre, Post: postG}); yes {
+		// The over-approximate question is already answered "yes", yet
+		// case 1 could not use the witness (its entry point is not
+		// realizable by the must side). Ask about a concrete realizable
+		// entry point instead.
+		if p, ok := st.pointEntry(elems, stp.from); ok {
+			pre = p
+		}
+	}
+	child := st.ctx.Alloc.New(q.ID, summary.Question{Proc: callee, Pre: pre, Post: postG})
+	st.debugf("child Q%d for %s: pre=%v post=%v (attempt %d)", child.ID, callee, pre, postG, o.attempts[k])
+	st.children = append(st.children, child)
+	o.pending[k] = pendingChild{id: int64(child.ID), q: child.Q}
+}
+
+// childPre computes the child query precondition (O ∧ ρ)^G as a small
+// conjunctive over-approximation: each reaching element is over-projected
+// onto the globals and the results are merged into their conjunctive hull
+// (the atoms common to every disjunct). A hull keeps downstream summary
+// checks tractable and never degenerates into an uninformative ⊤ the way a
+// blown-up exact DNF projection would. The bool result is false when no
+// usable precondition could be built.
+func (st *stepper) childPre(elems []*mustElem, from *region, callee string, postG logic.Formula) (logic.Formula, bool) {
+	o := st.o
+	var projs []logic.Formula
+	for _, el := range elems {
+		conj := []logic.Formula{el.path, logic.SubstMap(from.f, asSubst(el.store))}
+		for _, g := range o.globals {
+			conj = append(conj, logic.Eq(logic.LinVar(g), el.store[g]))
+		}
+		full := logic.Conj(conj...)
+		var elim []lang.Var
+		for _, v := range logic.FreeVars(full) {
+			if !isGlobal(o.globals, v) {
+				elim = append(elim, v)
+			}
+		}
+		st.charge(6)
+		proj, _ := logic.Exists(full, elim, logic.Over)
+		projs = append(projs, proj)
+	}
+	out := st.filterRelevant(conjunctiveHull(projs), callee, postG)
+	if logic.Size(out) > maxChildPreSize {
+		st.charge(8)
+		out = st.solver.Simplify(out)
+	}
+	return out, true
+}
+
+// filterRelevant drops hull conjuncts over globals that neither the callee
+// touches nor the question postcondition mentions. Dropping conjuncts only
+// weakens a child question (sound), and it stops the caller's unrelated
+// state from being baked into the callee's summaries.
+func (st *stepper) filterRelevant(f logic.Formula, callee string, postG logic.Formula) logic.Formula {
+	mr := st.ctx.ModRefOf(callee)
+	relevant := map[lang.Var]bool{}
+	for _, v := range logic.FreeVars(postG) {
+		relevant[v] = true
+	}
+	var kept []logic.Formula
+	for _, c := range conjunctsOf(f) {
+		ok := true
+		for _, v := range logic.FreeVars(c) {
+			if !mr.Touched(v) && !relevant[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, c)
+		}
+	}
+	return logic.Conj(kept...)
+}
+
+// conjunctiveHull over-approximates the union of the given formulas by the
+// conjunction of the atoms they all share (disjuncts contribute their own
+// conjunct sets). An empty input yields ⊤.
+func conjunctiveHull(fs []logic.Formula) logic.Formula {
+	var sets [][]logic.Formula
+	for _, f := range fs {
+		switch f := f.(type) {
+		case logic.Or:
+			for _, d := range f.Fs {
+				sets = append(sets, conjunctsOf(d))
+			}
+		default:
+			sets = append(sets, conjunctsOf(f))
+		}
+	}
+	if len(sets) == 0 {
+		return logic.True
+	}
+	common := map[string]logic.Formula{}
+	for _, g := range sets[0] {
+		common[logic.Key(g)] = g
+	}
+	for _, set := range sets[1:] {
+		have := map[string]bool{}
+		for _, g := range set {
+			have[logic.Key(g)] = true
+		}
+		for k := range common {
+			if !have[k] {
+				delete(common, k)
+			}
+		}
+	}
+	// Preserve the first set's order for determinism.
+	var out []logic.Formula
+	for _, g := range sets[0] {
+		if _, ok := common[logic.Key(g)]; ok {
+			out = append(out, g)
+			delete(common, logic.Key(g))
+		}
+	}
+	return logic.Conj(out...)
+}
+
+func conjunctsOf(f logic.Formula) []logic.Formula {
+	if a, ok := f.(logic.And); ok {
+		return a.Fs
+	}
+	if _, ok := f.(logic.Bool); ok {
+		return nil
+	}
+	return []logic.Formula{f}
+}
+
+// pointEntry samples a concrete global state realizable by some element
+// within the region.
+func (st *stepper) pointEntry(elems []*mustElem, from *region) (logic.Formula, bool) {
+	for _, el := range elems {
+		r := st.sat(logic.Conj(el.path, logic.SubstMap(from.f, asSubst(el.store))))
+		if r.Model == nil {
+			continue
+		}
+		var fs []logic.Formula
+		for _, g := range st.o.globals {
+			fs = append(fs, logic.Eq(logic.LinVar(g), logic.LinConst(el.store[g].Eval(r.Model))))
+		}
+		return logic.Conj(fs...), true
+	}
+	return nil, false
+}
+
+// projectGlobals over-projects a region formula onto the globals.
+// Oversized results are weakened to their conjunctive hull — sound, since
+// a weaker question postcondition makes any "no" answer strictly stronger
+// and "yes" answers are re-validated against the landing region anyway.
+func (st *stepper) projectGlobals(f logic.Formula) logic.Formula {
+	var elim []lang.Var
+	for _, v := range logic.FreeVars(f) {
+		if !isGlobal(st.o.globals, v) {
+			elim = append(elim, v)
+		}
+	}
+	if len(elim) > 0 {
+		st.charge(6)
+		f, _ = logic.Exists(f, elim, logic.Over)
+	}
+	if logic.Size(f) > maxChildPreSize {
+		st.charge(8)
+		f = st.solver.Simplify(f)
+		if logic.Size(f) > maxChildPreSize {
+			f = conjunctiveHull([]logic.Formula{f})
+		}
+	}
+	return f
+}
+
+// isPointPre reports (with caching) whether a must summary's precondition
+// denotes exactly one state of the globals it mentions (the frame globals
+// it omits pass through freely). This is the condition under which
+// satisfiability-based application at call sites is sound.
+func (st *stepper) isPointPre(s summary.Summary) bool {
+	key := s.String()
+	if v, ok := st.o.pointPre[key]; ok {
+		return v > 0
+	}
+	ok := false
+	vars := logic.FreeVars(s.Pre)
+	if len(vars) == 0 {
+		// ⊤ denotes every state; not a point (unless there are no
+		// mentioned variables at all, in which case it is trivially one).
+		ok = true
+	} else if m := st.solver.Model(s.Pre); m != nil {
+		st.charge(4)
+		var fs []logic.Formula
+		for _, g := range vars {
+			fs = append(fs, logic.Eq(logic.LinVar(g), logic.LinConst(m[g])))
+		}
+		ok = st.implies(s.Pre, logic.Conj(fs...))
+	}
+	if ok {
+		st.o.pointPre[key] = 1
+	} else {
+		st.o.pointPre[key] = -1
+	}
+	return ok
+}
+
+func isGlobal(globals []lang.Var, v lang.Var) bool {
+	for _, g := range globals {
+		if g == v {
+			return true
+		}
+	}
+	return false
+}

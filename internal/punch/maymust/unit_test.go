@@ -1,0 +1,201 @@
+package maymust
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+func leIC(name string, k int64) logic.Formula {
+	return logic.LEq(logic.LinVar(lang.Var(name)), logic.LinConst(k))
+}
+
+func TestConjunctiveHull(t *testing.T) {
+	a := logic.Conj(leIC("x", 3), leIC("y", 5))
+	b := logic.Conj(leIC("x", 3), leIC("z", 9))
+	hull := conjunctiveHull([]logic.Formula{a, b})
+	if logic.Key(hull) != logic.Key(leIC("x", 3)) {
+		t.Fatalf("hull = %v, want x ≤ 3", hull)
+	}
+	// Disjunctions contribute their own cube sets.
+	c := logic.Disj(a, b)
+	hull2 := conjunctiveHull([]logic.Formula{c})
+	if logic.Key(hull2) != logic.Key(leIC("x", 3)) {
+		t.Fatalf("hull of disjunction = %v", hull2)
+	}
+	// Empty input is ⊤.
+	if conjunctiveHull(nil) != logic.Formula(logic.True) {
+		t.Fatal("empty hull should be true")
+	}
+	// Hull over-approximates each input.
+	s := smt.New()
+	for _, f := range []logic.Formula{a, b, c} {
+		if !s.Implies(f, hull) {
+			t.Fatalf("hull does not cover %v", f)
+		}
+	}
+}
+
+// engineFor builds a minimal stepper for white-box helper tests.
+func stepperFor(t *testing.T, src string) *stepper {
+	t.Helper()
+	prog := parserMust(t, src)
+	solver := smt.New()
+	db := summary.New(solver)
+	ctx := &punch.Context{Prog: prog, DB: db, Alloc: &query.Allocator{}, ModRef: prog.ModRef()}
+	q := ctx.Alloc.New(query.NoParent, summary.Question{Proc: prog.Main, Pre: logic.True, Post: logic.True})
+	return &stepper{
+		a:      New(),
+		ctx:    ctx,
+		q:      q,
+		o:      newObj(prog.MainProc(), prog.Globals),
+		solver: solver,
+	}
+}
+
+func TestFilterRelevant(t *testing.T) {
+	st := stepperFor(t, `
+globals a, b, c;
+proc main { touch(); }
+proc touch { a = a + 1; }
+`)
+	// touch touches only a; postG mentions c; the b conjunct must drop.
+	f := logic.Conj(leIC("a", 1), leIC("b", 2), leIC("c", 3))
+	got := st.filterRelevant(f, "touch", leIC("c", 0))
+	if logic.Key(got) != logic.Key(logic.Conj(leIC("a", 1), leIC("c", 3))) {
+		t.Fatalf("filtered = %v", got)
+	}
+}
+
+func TestPartitionOnKeepsRegionsConjunctive(t *testing.T) {
+	st := stepperFor(t, `globals a; proc main { a = 1; }`)
+	node := st.o.proc.Entry
+	r := st.o.newRegion(node, logic.True, false)
+	st.o.attach(r)
+	// Split ⊤ on (a ≤ 3 ∧ a ≥ 0): outside = ¬(…) = two cubes.
+	wp := logic.Conj(leIC("a", 3), logic.LEq(logic.LinConst(0), logic.LinVar("a")))
+	ins, outs := st.partitionOn(r, wp)
+	if len(ins) != 1 {
+		t.Fatalf("ins = %d", len(ins))
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outs = %d", len(outs))
+	}
+	for _, part := range append(ins, outs...) {
+		if _, isOr := part.f.(logic.Or); isOr {
+			t.Fatalf("non-conjunctive region %v", part.f)
+		}
+	}
+	// The retired region must be gone from the partition.
+	for _, x := range st.o.regAt[node] {
+		if x.id == r.id {
+			t.Fatal("retired region still attached")
+		}
+	}
+}
+
+func TestReplaceRegionMigratesBookkeeping(t *testing.T) {
+	st := stepperFor(t, `globals a; proc main { a = 1; }`)
+	o := st.o
+	n := o.proc.Entry
+	r := o.newRegion(n, logic.True, true)
+	o.attach(r)
+	other := o.newRegion(o.proc.Exit, logic.True, false)
+	o.attach(other)
+	k := edgeKey{0, r.id, other.id}
+	o.elim[k] = true
+	o.stuck[edgeKey{1, other.id, r.id}] = true
+	o.attempts[k] = 3
+	o.pending[k] = pendingChild{id: 9, q: summary.Question{Proc: "p", Pre: logic.True, Post: logic.True}}
+
+	a := o.newRegion(n, leIC("a", 0), true)
+	b := o.newRegion(n, logic.Not(leIC("a", 0)), true)
+	o.replaceRegion(r, a, b)
+
+	for _, part := range []*region{a, b} {
+		if !o.elim[edgeKey{0, part.id, other.id}] {
+			t.Errorf("elim not migrated to %d", part.id)
+		}
+		if !o.stuck[edgeKey{1, other.id, part.id}] {
+			t.Errorf("stuck not migrated to %d", part.id)
+		}
+		if o.attempts[edgeKey{0, part.id, other.id}] != 3 {
+			t.Errorf("attempts not migrated to %d", part.id)
+		}
+		if _, ok := o.pending[edgeKey{0, part.id, other.id}]; !ok {
+			t.Errorf("pending not migrated to %d", part.id)
+		}
+		if !part.target {
+			t.Errorf("target flag lost on %d", part.id)
+		}
+	}
+}
+
+func TestMustElemDedup(t *testing.T) {
+	st := stepperFor(t, `globals a; proc main { a = 1; }`)
+	o := st.o
+	store := map[lang.Var]logic.Lin{"a": logic.LinVar("$s")}
+	e1 := &mustElem{path: logic.True, store: store}
+	e2 := &mustElem{path: logic.True, store: store}
+	if !o.addMust(0, e1, 10) {
+		t.Fatal("first add refused")
+	}
+	if o.addMust(0, e2, 10) {
+		t.Fatal("duplicate accepted")
+	}
+	if len(o.musts[0]) != 1 {
+		t.Fatalf("musts = %d", len(o.musts[0]))
+	}
+	// Cap respected.
+	if o.addMust(0, &mustElem{path: leIC("a", 1), store: store}, 1) {
+		t.Fatal("cap exceeded")
+	}
+}
+
+func parserMust(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestPartitionPreservesUnion: splitting a region must cover exactly the
+// same state set (the may-map stays an over-approximation, no states are
+// lost or invented).
+func TestPartitionPreservesUnion(t *testing.T) {
+	st := stepperFor(t, `globals a, b; proc main { a = 1; }`)
+	node := st.o.proc.Entry
+	base := logic.Conj(leIC("a", 10), logic.LEq(logic.LinConst(-10), logic.LinVar("a")))
+	r := st.o.newRegion(node, base, false)
+	st.o.attach(r)
+	wp := logic.Disj(leIC("a", -2), logic.Conj(leIC("b", 0), leIC("a", 5)))
+	ins, outs := st.partitionOn(r, wp)
+	var parts []logic.Formula
+	for _, p := range append(append([]*region{}, ins...), outs...) {
+		parts = append(parts, p.f)
+	}
+	union := logic.Disj(parts...)
+	if !st.solver.Equivalent(union, base) {
+		t.Fatalf("partition changed the region:\n base=%v\n union=%v", base, union)
+	}
+	// ins must lie inside wp, outs outside it.
+	for _, p := range ins {
+		if !st.solver.Implies(p.f, wp) {
+			t.Errorf("in-part %v not within wp", p.f)
+		}
+	}
+	for _, p := range outs {
+		if !st.solver.Implies(p.f, logic.Not(wp)) {
+			t.Errorf("out-part %v intersects wp", p.f)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package must instantiates PUNCH with a pure must-analysis in the style
+// of DART/CUTE (§4 of the paper): forward symbolic execution enumerates
+// program paths under a loop bound, proving the presence of errors via
+// must summaries. Call statements are crossed using must summaries from
+// SUMDB; when none applies, a child sub-query is issued and the blocked
+// path waits for its answer.
+//
+// A must-analysis under-approximates: it can prove reachability (bugs) but
+// can prove unreachability only when its exploration was exhaustive — no
+// loop-bound truncation and no under-approximate call crossings. This
+// matches the paper's framing of must-analyses as bug finders.
+package must
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// Analysis is the must-analysis PUNCH instantiation.
+type Analysis struct {
+	// Budget is the abstract work budget per Step invocation.
+	Budget int64
+	// LoopBound caps how often a single CFG edge may repeat on one path.
+	LoopBound int
+	// MaxStates caps the total symbolic states explored per query.
+	MaxStates int
+	// Debug, when non-nil, receives a trace of analysis decisions.
+	Debug io.Writer
+}
+
+// New returns a must analysis with default limits.
+func New() *Analysis {
+	return &Analysis{Budget: 1200, LoopBound: 8, MaxStates: 4096}
+}
+
+// Name implements punch.Punch.
+func (a *Analysis) Name() string { return "must (DART-style)" }
+
+// symState is one frontier of the symbolic execution.
+type symState struct {
+	node   cfg.NodeID
+	path   logic.Formula
+	store  map[lang.Var]logic.Lin
+	visits map[int]int // edge index → times taken on this path
+}
+
+// obj is the verification object: the saved exploration state.
+type obj struct {
+	stack    []*symState
+	blocked  map[string][]*symState // pending child key → waiting states
+	pending  map[string]summary.Question
+	initSyms map[lang.Var]lang.Var
+	symCount int
+	explored int
+	// complete stays true while the exploration is exhaustive: no loop
+	// truncation, no state-cap hit, and no call crossed via an
+	// under-approximate summary.
+	complete    bool
+	initialized bool
+}
+
+// Step implements punch.Punch.
+func (a *Analysis) Step(ctx *punch.Context, q *query.Query) punch.Result {
+	st := &stepper{a: a, ctx: ctx, q: q, solver: ctx.DB.Solver()}
+	return st.run()
+}
+
+type stepper struct {
+	a        *Analysis
+	ctx      *punch.Context
+	q        *query.Query
+	o        *obj
+	solver   *smt.Solver
+	cost     int64
+	children []*query.Query
+}
+
+func (st *stepper) charge(n int64) { st.cost += n }
+
+func (st *stepper) debugf(format string, args ...any) {
+	if st.a.Debug == nil {
+		return
+	}
+	fmt.Fprintf(st.a.Debug, "[must Q%d %s] ", st.q.ID, st.q.Q.Proc)
+	fmt.Fprintf(st.a.Debug, format, args...)
+	fmt.Fprintln(st.a.Debug)
+}
+
+func (st *stepper) sat(f logic.Formula) smt.Result {
+	st.charge(4)
+	return st.solver.Sat(f)
+}
+
+func (st *stepper) finish(state query.State, outcome query.Outcome) punch.Result {
+	st.q.State = state
+	st.q.Outcome = outcome
+	st.q.Obj = st.o
+	children := st.children
+	if state == query.Done {
+		children = nil
+	}
+	return punch.Result{Self: st.q, Children: children, Cost: st.cost}
+}
+
+func (st *stepper) proc() *cfg.Proc { return st.ctx.Prog.Proc(st.q.Q.Proc) }
+
+func (st *stepper) run() punch.Result {
+	if _, verdict := st.ctx.DB.Answer(st.q.Q); verdict != 0 {
+		st.charge(4)
+		st.ensureObj()
+		if verdict > 0 {
+			return st.finish(query.Done, query.Reachable)
+		}
+		return st.finish(query.Done, query.Unreachable)
+	}
+	st.ensureObj()
+	if !st.o.initialized {
+		if done, res := st.initialize(); done {
+			return res
+		}
+	}
+	st.sweepBlocked()
+
+	for {
+		if st.cost >= st.a.Budget {
+			return st.finish(query.Ready, query.Pending)
+		}
+		if len(st.o.stack) == 0 {
+			break
+		}
+		s := st.o.stack[len(st.o.stack)-1]
+		st.o.stack = st.o.stack[:len(st.o.stack)-1]
+		if res, done := st.expand(s); done {
+			return res
+		}
+	}
+
+	if len(st.o.pending) > 0 {
+		return st.finish(query.Blocked, query.Pending)
+	}
+	if st.o.complete {
+		// Exhaustive exploration found no witness: a sound proof.
+		st.ctx.DB.Add(summary.Summary{Kind: summary.NotMay, Proc: st.q.Q.Proc, Pre: st.q.Q.Pre, Post: st.q.Q.Post})
+		st.debugf("DONE unreachable (exhaustive exploration)")
+		return st.finish(query.Done, query.Unreachable)
+	}
+	// Truncated exploration with no witness: a must-analysis cannot
+	// conclude anything; the query stays Blocked (resource exhaustion at
+	// the engine decides the final verdict).
+	st.debugf("BLOCKED (truncated exploration, no witness)")
+	return st.finish(query.Blocked, query.Pending)
+}
+
+func (st *stepper) ensureObj() {
+	if st.o != nil {
+		return
+	}
+	if o, ok := st.q.Obj.(*obj); ok && o != nil {
+		st.o = o
+		return
+	}
+	st.o = &obj{
+		blocked:  map[string][]*symState{},
+		pending:  map[string]summary.Question{},
+		initSyms: map[lang.Var]lang.Var{},
+		complete: true,
+	}
+}
+
+func (st *stepper) freshSym(v lang.Var) lang.Var {
+	s := lang.Var(fmt.Sprintf("$m%d_%d_%s", st.q.ID, st.o.symCount, v))
+	st.o.symCount++
+	return s
+}
+
+func (st *stepper) initialize() (bool, punch.Result) {
+	o, q := st.o, st.q
+	pre := st.sat(q.Q.Pre)
+	if pre.Known && !pre.Sat {
+		st.ctx.DB.Add(summary.Summary{Kind: summary.NotMay, Proc: q.Q.Proc, Pre: q.Q.Pre, Post: q.Q.Post})
+		o.initialized = true
+		return true, st.finish(query.Done, query.Unreachable)
+	}
+	store := map[lang.Var]logic.Lin{}
+	ren := map[lang.Var]lang.Var{}
+	vars := append(append([]lang.Var{}, st.ctx.Prog.Globals...), st.proc().Locals...)
+	for _, v := range vars {
+		s := st.freshSym(v)
+		o.initSyms[v] = s
+		store[v] = logic.LinVar(s)
+		ren[v] = s
+	}
+	o.stack = append(o.stack, &symState{
+		node:   st.proc().Entry,
+		path:   logic.Rename(q.Q.Pre, ren),
+		store:  store,
+		visits: map[int]int{},
+	})
+	o.initialized = true
+	return false, punch.Result{}
+}
+
+// sweepBlocked re-activates states whose pending child question SUMDB can
+// now answer.
+func (st *stepper) sweepBlocked() {
+	for key, states := range st.o.blocked {
+		pq, ok := st.o.pending[key]
+		if !ok {
+			continue
+		}
+		if _, verdict := st.ctx.DB.Answer(pq); verdict == 0 {
+			continue
+		}
+		delete(st.o.pending, key)
+		delete(st.o.blocked, key)
+		st.o.stack = append(st.o.stack, states...)
+	}
+}
+
+// expand processes one symbolic state. done=true means the query finished
+// (a witness was found).
+func (st *stepper) expand(s *symState) (punch.Result, bool) {
+	o, q := st.o, st.q
+	proc := st.proc()
+	o.explored++
+	if o.explored > st.a.MaxStates {
+		o.complete = false
+		return punch.Result{}, false
+	}
+	if s.node == proc.Exit {
+		hit := logic.Conj(s.path, logic.SubstMap(q.Q.Post, s.store))
+		r := st.sat(hit)
+		if r.Model != nil {
+			st.emitMustSummary(s, r.Model)
+			st.debugf("DONE reachable after %d states", o.explored)
+			return st.finish(query.Done, query.Reachable), true
+		}
+		return punch.Result{}, false
+	}
+	for _, ei := range proc.Out[s.node] {
+		e := proc.Edges[ei]
+		if s.visits[ei] >= st.a.LoopBound {
+			o.complete = false
+			continue
+		}
+		if c, isCall := e.Stmt.(lang.Call); isCall {
+			st.crossCall(s, ei, e, c.Proc)
+			continue
+		}
+		ns := st.execSimple(s, ei, e)
+		if ns != nil {
+			o.stack = append(o.stack, ns)
+		}
+	}
+	return punch.Result{}, false
+}
+
+// execSimple symbolically executes a non-call edge, returning nil when the
+// resulting path condition is unsatisfiable.
+func (st *stepper) execSimple(s *symState, ei int, e cfg.Edge) *symState {
+	path := s.path
+	store := s.store
+	switch stmt := e.Stmt.(type) {
+	case lang.Assign:
+		store = cloneStore(store)
+		rhs := logic.FromInt(stmt.Rhs)
+		val := logic.LinConst(rhs.K)
+		for i, v := range rhs.Vars {
+			val = val.Add(s.store[v].Scale(rhs.Coefs[i]))
+		}
+		store[stmt.Lhs] = val
+	case lang.Assume:
+		path = logic.Conj(path, logic.SubstMap(logic.FromBool(stmt.Cond), s.store))
+		r := st.sat(path)
+		if r.Known && !r.Sat {
+			return nil
+		}
+	case lang.Havoc:
+		store = cloneStore(store)
+		store[stmt.V] = logic.LinVar(st.freshSym(stmt.V))
+	case lang.Skip:
+	default:
+		panic(fmt.Sprintf("must: unexpected statement %T", e.Stmt))
+	}
+	return &symState{node: e.To, path: path, store: store, visits: bumpVisit(s.visits, ei)}
+}
+
+// crossCall crosses a call edge using applicable must summaries; when none
+// applies, it issues a child sub-query and parks the state.
+func (st *stepper) crossCall(s *symState, ei int, e cfg.Edge, callee string) {
+	o := st.o
+	calleeMR := st.ctx.ModRefOf(callee)
+	crossed := false
+	for _, sum := range st.ctx.DB.ForProc(callee) {
+		if sum.Kind != summary.Must {
+			continue
+		}
+		if !st.pointApplicable(sum, s) {
+			continue
+		}
+		cond := logic.Conj(s.path, logic.SubstMap(sum.Pre, s.store))
+		r := st.sat(cond)
+		if !(r.Known && r.Sat) {
+			continue
+		}
+		store := cloneStore(s.store)
+		ren := map[lang.Var]lang.Var{}
+		for _, g := range st.ctx.Prog.Globals {
+			if !calleeMR.Mod[g] {
+				continue
+			}
+			sym := st.freshSym(g)
+			store[g] = logic.LinVar(sym)
+			ren[g] = sym
+		}
+		postC := logic.SubstMap(logic.Rename(sum.Post, ren), s.store)
+		after := logic.Conj(cond, postC)
+		ra := st.sat(after)
+		if ra.Known && ra.Sat {
+			o.stack = append(o.stack, &symState{node: e.To, path: after, store: store, visits: bumpVisit(s.visits, ei)})
+			crossed = true
+		}
+	}
+	if crossed {
+		// Summary crossings under-approximate the callee's behaviour;
+		// exploration is no longer exhaustive.
+		o.complete = false
+		return
+	}
+	// No applicable summary: issue a child for a concrete entry point.
+	r := st.sat(s.path)
+	if r.Model == nil {
+		return
+	}
+	var prefs []logic.Formula
+	for _, g := range st.ctx.Prog.Globals {
+		prefs = append(prefs, logic.Eq(logic.LinVar(g), logic.LinConst(s.store[g].Eval(r.Model))))
+	}
+	question := summary.Question{Proc: callee, Pre: logic.Conj(prefs...), Post: logic.True}
+	key := question.String() + fmt.Sprintf("|edge%d", ei)
+	if _, dup := st.o.pending[key]; !dup {
+		child := st.ctx.Alloc.New(st.q.ID, question)
+		st.children = append(st.children, child)
+		st.o.pending[key] = question
+		st.debugf("child Q%d for %s at edge %d", child.ID, callee, ei)
+	}
+	// Park a copy that retries the call once the child has answered.
+	parked := &symState{node: s.node, path: s.path, store: s.store, visits: s.visits}
+	st.o.blocked[key] = append(st.o.blocked[key], parked)
+	o.complete = false
+}
+
+// pointApplicable reports whether the summary precondition denotes a
+// single state over its mentioned globals (cached per solver in the
+// summary key space is unnecessary here: preconditions are small).
+func (st *stepper) pointApplicable(sum summary.Summary, s *symState) bool {
+	vars := logic.FreeVars(sum.Pre)
+	if len(vars) == 0 {
+		return true
+	}
+	m := st.solver.Model(sum.Pre)
+	if m == nil {
+		return false
+	}
+	st.charge(4)
+	var fs []logic.Formula
+	for _, g := range vars {
+		fs = append(fs, logic.Eq(logic.LinVar(g), logic.LinConst(m[g])))
+	}
+	return st.solver.Implies(sum.Pre, logic.Conj(fs...))
+}
+
+// emitMustSummary mirrors the frame-aware generation of the may-must
+// instantiation.
+func (st *stepper) emitMustSummary(s *symState, m map[lang.Var]int64) {
+	o, q := st.o, st.q
+	mr := st.ctx.ModRefOf(q.Q.Proc)
+	fullConj := logic.Conj(s.path, logic.SubstMap(q.Q.Post, s.store))
+	constrained := map[lang.Var]bool{}
+	for _, v := range logic.FreeVars(fullConj) {
+		constrained[v] = true
+	}
+	for _, g := range st.ctx.Prog.Globals {
+		if mr.Mod[g] {
+			for _, v := range s.store[g].Vars {
+				constrained[v] = true
+			}
+		}
+	}
+	var prefs, framePosts []logic.Formula
+	for _, g := range st.ctx.Prog.Globals {
+		if !constrained[o.initSyms[g]] {
+			continue
+		}
+		v := m[o.initSyms[g]]
+		prefs = append(prefs, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		if !mr.Mod[g] {
+			framePosts = append(framePosts, logic.Eq(logic.LinVar(g), logic.LinConst(v)))
+		}
+	}
+	var posts []logic.Formula
+	for _, g := range st.ctx.Prog.Globals {
+		if mr.Mod[g] {
+			posts = append(posts, logic.Eq(logic.LinVar(g), logic.LinConst(s.store[g].Eval(m))))
+		}
+	}
+	posts = append(posts, framePosts...)
+	st.ctx.DB.Add(summary.Summary{
+		Kind: summary.Must,
+		Proc: q.Q.Proc,
+		Pre:  logic.Conj(prefs...),
+		Post: logic.Conj(posts...),
+	})
+}
+
+func bumpVisit(visits map[int]int, ei int) map[int]int {
+	out := make(map[int]int, len(visits)+1)
+	for k, v := range visits {
+		out[k] = v
+	}
+	out[ei]++
+	return out
+}
+
+func cloneStore(s map[lang.Var]logic.Lin) map[lang.Var]logic.Lin {
+	out := make(map[lang.Var]logic.Lin, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

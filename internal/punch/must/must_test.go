@@ -1,0 +1,111 @@
+package must
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func runMust(t *testing.T, src string, iters int) core.Result {
+	t.Helper()
+	prog := parser.MustParse(src)
+	eng := core.New(prog, core.Options{Punch: New(), MaxThreads: 2, MaxIterations: iters, CheckContract: true})
+	return eng.Run(core.AssertionQuestion(prog))
+}
+
+func TestMustFindsBug(t *testing.T) {
+	res := runMust(t, `proc main { locals x; x = 1; assert(x > 5); }`, 200)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMustProvesAcyclicSafe(t *testing.T) {
+	// Exhaustive exploration of an acyclic, call-free program is a proof.
+	res := runMust(t, `
+proc main {
+  locals x, y;
+  havoc x;
+  if (x > 0) { y = x; } else { y = 0 - x; }
+  assert(y >= 0);
+}`, 200)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMustFindsBugThroughCall(t *testing.T) {
+	res := runMust(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 7);
+}
+proc bump { g = g + 1; }`, 400)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v (%+v)", res.Verdict, res)
+	}
+}
+
+func TestMustFindsBugInLoop(t *testing.T) {
+	res := runMust(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 3) { i = i + 1; }
+  assert(i >= 4);
+}`, 400)
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestMustCannotProveSafetyWithCalls(t *testing.T) {
+	// Summary crossings under-approximate, so the must analysis must not
+	// claim safety — and must not claim a bug either.
+	res := runMust(t, `
+globals g;
+proc main {
+  g = 5;
+  bump();
+  assert(g >= 6);
+}
+proc bump { g = g + 1; }`, 60)
+	if res.Verdict != core.Unknown {
+		t.Fatalf("verdict = %v, want Unknown", res.Verdict)
+	}
+}
+
+func TestMustHonorsLoopBound(t *testing.T) {
+	// The bug needs 10 iterations; with the default bound of 8 the
+	// analysis must stay inconclusive rather than claim safety.
+	res := runMust(t, `
+proc main {
+  locals i;
+  i = 0;
+  while (i < 10) { i = i + 1; }
+  assert(i <= 9);
+}`, 200)
+	if res.Verdict == core.Safe {
+		t.Fatalf("claimed safety beyond the loop bound")
+	}
+}
+
+func TestMustDeepBugViaRaisedBound(t *testing.T) {
+	prog := parser.MustParse(`
+proc main {
+  locals i;
+  i = 0;
+  while (i < 10) { i = i + 1; }
+  assert(i <= 9);
+}`)
+	a := New()
+	a.LoopBound = 16
+	eng := core.New(prog, core.Options{Punch: a, MaxThreads: 1, MaxIterations: 500, CheckContract: true})
+	res := eng.Run(core.AssertionQuestion(prog))
+	if res.Verdict != core.ErrorReachable {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}

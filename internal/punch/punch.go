@@ -1,0 +1,94 @@
+// Package punch defines the contract of BOLT's intraprocedural parameter
+// PUNCH (§3.2): an analysis that takes a Ready query and either finishes
+// it (adding an answering summary to SUMDB as its only side effect) or
+// returns it Ready/Blocked together with fresh Ready child sub-queries.
+package punch
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/query"
+	"repro/internal/summary"
+)
+
+// Context carries the shared resources a PUNCH invocation may use. Per the
+// paper, SUMDB is the only shared mutable state; the allocator hands out
+// globally unique query IDs. ModRef is whole-program side information
+// computed once per run (the paper stores the analogous alias information
+// alongside the database).
+type Context struct {
+	Prog   *cfg.Program
+	DB     *summary.DB
+	Alloc  *query.Allocator
+	ModRef map[string]*cfg.ModRef
+}
+
+// ModRefOf returns the mod/ref record for proc, computing the table on
+// first use when the engine did not prefill it.
+func (c *Context) ModRefOf(proc string) *cfg.ModRef {
+	if c.ModRef == nil {
+		c.ModRef = c.Prog.ModRef()
+	}
+	return c.ModRef[proc]
+}
+
+// Result is the return value of one PUNCH invocation.
+type Result struct {
+	// Self is the updated copy Q'_i of the input query.
+	Self *query.Query
+	// Children are the new sub-queries C; per the §3.2 postcondition they
+	// are all Ready and have Self as parent, and C is empty when Self is
+	// Done.
+	Children []*query.Query
+	// Cost is the abstract work (solver-call-weighted steps) this
+	// invocation consumed; the virtual-time scheduler charges it to the
+	// worker that ran the invocation.
+	Cost int64
+}
+
+// Punch is the intraprocedural analysis parameter.
+//
+// Precondition: q.State == Ready.
+// Postcondition (§3.2): in the result r,
+//   - r.Self.State == Done implies len(r.Children) == 0 and SUMDB now
+//     contains a summary answering q.Q;
+//   - otherwise r.Self.State ∈ {Ready, Blocked} and every child is Ready
+//     with parent index r.Self.ID.
+type Punch interface {
+	Name() string
+	Step(ctx *Context, q *query.Query) Result
+}
+
+// CheckContract validates the §3.2 postcondition of a PUNCH result. The
+// engine runs it in testing builds; instantiations are also unit-tested
+// against it directly.
+func CheckContract(in *query.Query, r Result) error {
+	if r.Self == nil {
+		return fmt.Errorf("punch: nil Self for query %d", in.ID)
+	}
+	if r.Self.ID != in.ID {
+		return fmt.Errorf("punch: Self ID changed from %d to %d", in.ID, r.Self.ID)
+	}
+	switch r.Self.State {
+	case query.Done:
+		if len(r.Children) != 0 {
+			return fmt.Errorf("punch: Done query %d returned %d children", in.ID, len(r.Children))
+		}
+		if r.Self.Outcome == query.Pending {
+			return fmt.Errorf("punch: Done query %d has no outcome", in.ID)
+		}
+	case query.Ready, query.Blocked:
+		for _, c := range r.Children {
+			if c.State != query.Ready {
+				return fmt.Errorf("punch: child %d of query %d is %v, want Ready", c.ID, in.ID, c.State)
+			}
+			if c.Parent != in.ID {
+				return fmt.Errorf("punch: child %d has parent %d, want %d", c.ID, c.Parent, in.ID)
+			}
+		}
+	default:
+		return fmt.Errorf("punch: query %d returned in invalid state %v", in.ID, r.Self.State)
+	}
+	return nil
+}

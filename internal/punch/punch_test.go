@@ -1,0 +1,88 @@
+package punch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/summary"
+)
+
+func mkQuery(id, parent query.ID, state query.State, outcome query.Outcome) *query.Query {
+	return &query.Query{
+		ID: id, Parent: parent, State: state, Outcome: outcome,
+		Q: summary.Question{Proc: "p", Pre: logic.True, Post: logic.True},
+	}
+}
+
+func TestContractAccepts(t *testing.T) {
+	in := mkQuery(1, 0, query.Ready, query.Pending)
+	cases := []Result{
+		{Self: mkQuery(1, 0, query.Done, query.Reachable)},
+		{Self: mkQuery(1, 0, query.Done, query.Unreachable)},
+		{Self: mkQuery(1, 0, query.Blocked, query.Pending),
+			Children: []*query.Query{mkQuery(7, 1, query.Ready, query.Pending)}},
+		{Self: mkQuery(1, 0, query.Ready, query.Pending)},
+	}
+	for i, r := range cases {
+		if err := CheckContract(in, r); err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestContractRejects(t *testing.T) {
+	in := mkQuery(1, 0, query.Ready, query.Pending)
+	cases := []struct {
+		r    Result
+		want string
+	}{
+		{Result{Self: nil}, "nil Self"},
+		{Result{Self: mkQuery(2, 0, query.Done, query.Reachable)}, "ID changed"},
+		{Result{Self: mkQuery(1, 0, query.Done, query.Reachable),
+			Children: []*query.Query{mkQuery(7, 1, query.Ready, query.Pending)}}, "children"},
+		{Result{Self: mkQuery(1, 0, query.Done, query.Pending)}, "no outcome"},
+		{Result{Self: mkQuery(1, 0, query.Blocked, query.Pending),
+			Children: []*query.Query{mkQuery(7, 1, query.Blocked, query.Pending)}}, "want Ready"},
+		{Result{Self: mkQuery(1, 0, query.Blocked, query.Pending),
+			Children: []*query.Query{mkQuery(7, 9, query.Ready, query.Pending)}}, "parent"},
+	}
+	for i, c := range cases {
+		err := CheckContract(in, c.r)
+		if err == nil {
+			t.Errorf("case %d accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d error = %v, want substring %q", i, err, c.want)
+		}
+	}
+}
+
+func TestModRefOfLazy(t *testing.T) {
+	// ModRefOf must compute the table on demand when the engine did not
+	// prefill it. Use a tiny program via the cfg test helpers.
+	ctx := &Context{Prog: testProgram(t)}
+	mr := ctx.ModRefOf("main")
+	if mr == nil {
+		t.Fatal("nil mod/ref")
+	}
+	if ctx.ModRef == nil {
+		t.Fatal("table not cached")
+	}
+}
+
+func testProgram(t *testing.T) *cfg.Program {
+	t.Helper()
+	b := cfg.NewProc("main")
+	exit := b.NewNode()
+	b.AddEdge(b.Entry(), exit, lang.Skip{})
+	prog, err := cfg.NewProgram("t", nil, "main", b.Finish(exit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}

@@ -1,0 +1,198 @@
+// Package query implements reachability queries and their lifecycle — the
+// Ready/Blocked/Done state machine of Fig. 2(b) — plus the query-tree
+// bookkeeping the REDUCE stage needs (parents, descendants).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/summary"
+)
+
+// State is a query's lifecycle state.
+type State int
+
+// Query states (Fig. 2(b)).
+const (
+	Ready State = iota
+	Blocked
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "Ready"
+	case Blocked:
+		return "Blocked"
+	case Done:
+		return "Done"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// ID identifies a query. The root query has parent NoParent.
+type ID int64
+
+// NoParent marks the root query.
+const NoParent ID = -1
+
+// Outcome records how a Done query was answered.
+type Outcome int
+
+// Outcomes of a Done query.
+const (
+	// Pending: the query is not Done.
+	Pending Outcome = iota
+	// Reachable: answered by a must summary — an execution reaches Post.
+	Reachable
+	// Unreachable: answered by a not-may summary — no execution reaches
+	// Post.
+	Unreachable
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pending:
+		return "pending"
+	case Reachable:
+		return "reachable"
+	case Unreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Query is the 4-tuple (q_i, s_i, p_i, O_i) of §3.1: a reachability
+// question, a state, a parent index, and the analysis-specific
+// verification object.
+type Query struct {
+	ID     ID
+	Parent ID
+	// Q is the reachability question (φ1 ⇒?_P φ2).
+	Q summary.Question
+	// State is the lifecycle state; owned by the engine between PUNCH
+	// calls and by PUNCH during one.
+	State State
+	// Outcome is set when State becomes Done.
+	Outcome Outcome
+	// Obj is the verification object O_i: the saved intraprocedural
+	// analysis state (must-map, may-map, eliminated edges, …) so PUNCH can
+	// resume where it stopped. Its concrete type belongs to the PUNCH
+	// instantiation.
+	Obj any
+}
+
+func (q *Query) String() string {
+	return fmt.Sprintf("Q%d[%s parent=%d] %s", q.ID, q.State, q.Parent, q.Q)
+}
+
+// Allocator hands out fresh query IDs; safe for concurrent use by parallel
+// PUNCH instances.
+type Allocator struct {
+	next int64
+}
+
+// New returns a fresh query in the Ready state.
+func (a *Allocator) New(parent ID, q summary.Question) *Query {
+	id := ID(atomic.AddInt64(&a.next, 1) - 1)
+	return &Query{ID: id, Parent: parent, Q: q, State: Ready}
+}
+
+// Count returns how many IDs have been allocated.
+func (a *Allocator) Count() int64 { return atomic.LoadInt64(&a.next) }
+
+// Tree tracks the live query set and the parent/child relation. It is
+// used by the engine between MAP stages (single-goroutine at that point,
+// so it needs no locking).
+type Tree struct {
+	queries  map[ID]*Query
+	children map[ID][]ID
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree {
+	return &Tree{queries: map[ID]*Query{}, children: map[ID][]ID{}}
+}
+
+// Add inserts a query.
+func (t *Tree) Add(q *Query) {
+	t.queries[q.ID] = q
+	if q.Parent != NoParent {
+		t.children[q.Parent] = append(t.children[q.Parent], q.ID)
+	}
+}
+
+// Get returns the query with the given ID, or nil.
+func (t *Tree) Get(id ID) *Query { return t.queries[id] }
+
+// Replace swaps in an updated copy of a query returned by PUNCH (same ID).
+func (t *Tree) Replace(q *Query) {
+	if _, ok := t.queries[q.ID]; !ok {
+		panic(fmt.Sprintf("query: Replace of unknown query %d", q.ID))
+	}
+	t.queries[q.ID] = q
+}
+
+// Len returns the number of live queries.
+func (t *Tree) Len() int { return len(t.queries) }
+
+// Descendants returns the IDs of q and all its transitive children that
+// are still live (the image of the transitive closure of the parent-child
+// relation, §3.3).
+func (t *Tree) Descendants(id ID) []ID {
+	var out []ID
+	stack := []ID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := t.queries[cur]; !ok {
+			continue
+		}
+		out = append(out, cur)
+		stack = append(stack, t.children[cur]...)
+	}
+	return out
+}
+
+// Remove deletes a query (its children entries are cleaned lazily by
+// Descendants' liveness check).
+func (t *Tree) Remove(id ID) {
+	delete(t.queries, id)
+	delete(t.children, id)
+}
+
+// RemoveSubtree removes q and all its live descendants, returning how many
+// queries were removed.
+func (t *Tree) RemoveSubtree(id ID) int {
+	ids := t.Descendants(id)
+	for _, d := range ids {
+		t.Remove(d)
+	}
+	return len(ids)
+}
+
+// InState returns the live queries in the given state, sorted by ID for
+// deterministic scheduling.
+func (t *Tree) InState(s State) []*Query {
+	var out []*Query
+	for _, q := range t.queries {
+		if q.State == s {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// All returns the live queries sorted by ID.
+func (t *Tree) All() []*Query {
+	out := make([]*Query, 0, len(t.queries))
+	for _, q := range t.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

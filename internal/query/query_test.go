@@ -1,0 +1,121 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/summary"
+)
+
+func q(proc string) summary.Question {
+	return summary.Question{Proc: proc, Pre: logic.True, Post: logic.True}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	a := &Allocator{}
+	var wg sync.WaitGroup
+	ids := make([][]ID, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ids[i] = append(ids[i], a.New(NoParent, q("p")).ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[ID]bool{}
+	for _, list := range ids {
+		for _, id := range list {
+			if seen[id] {
+				t.Fatalf("duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if a.Count() != 800 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+}
+
+func TestTreeDescendantsAndRemove(t *testing.T) {
+	a := &Allocator{}
+	tr := NewTree()
+	root := a.New(NoParent, q("main"))
+	tr.Add(root)
+	c1 := a.New(root.ID, q("f"))
+	c2 := a.New(root.ID, q("g"))
+	gc := a.New(c1.ID, q("h"))
+	tr.Add(c1)
+	tr.Add(c2)
+	tr.Add(gc)
+
+	desc := tr.Descendants(c1.ID)
+	if len(desc) != 2 {
+		t.Fatalf("Descendants(c1) = %v", desc)
+	}
+	if n := tr.RemoveSubtree(c1.ID); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if tr.Get(gc.ID) != nil || tr.Get(c1.ID) != nil {
+		t.Fatal("subtree not removed")
+	}
+	if tr.Get(c2.ID) == nil || tr.Get(root.ID) == nil {
+		t.Fatal("unrelated queries removed")
+	}
+	// Removing the root removes everything live.
+	if n := tr.RemoveSubtree(root.ID); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInStateSortedByID(t *testing.T) {
+	a := &Allocator{}
+	tr := NewTree()
+	root := a.New(NoParent, q("main"))
+	tr.Add(root)
+	var made []*Query
+	for i := 0; i < 5; i++ {
+		c := a.New(root.ID, q("f"))
+		tr.Add(c)
+		made = append(made, c)
+	}
+	made[1].State = Blocked
+	made[3].State = Done
+	ready := tr.InState(Ready)
+	if len(ready) != 4 { // root + 3 children
+		t.Fatalf("ready = %d", len(ready))
+	}
+	for i := 1; i < len(ready); i++ {
+		if ready[i-1].ID >= ready[i].ID {
+			t.Fatal("not sorted by ID")
+		}
+	}
+	if len(tr.InState(Blocked)) != 1 || len(tr.InState(Done)) != 1 {
+		t.Fatal("state filtering wrong")
+	}
+}
+
+func TestReplacePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr := NewTree()
+	tr.Replace(&Query{ID: 42})
+}
+
+func TestStateAndOutcomeStrings(t *testing.T) {
+	if Ready.String() != "Ready" || Blocked.String() != "Blocked" || Done.String() != "Done" {
+		t.Fatal("state strings")
+	}
+	if Pending.String() != "pending" || Reachable.String() != "reachable" || Unreachable.String() != "unreachable" {
+		t.Fatal("outcome strings")
+	}
+}

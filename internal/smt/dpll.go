@@ -1,0 +1,284 @@
+package smt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/logic"
+)
+
+// satDPLL decides satisfiability of a formula whose DNF is too large to
+// enumerate: DPLL over a boolean abstraction of the ≤-atoms with lazy
+// theory conflicts (the classic lazy SMT loop).
+func (s *Solver) satDPLL(f logic.Formula) Result {
+	sk := newSkeleton(f)
+	unknown := false
+	for i := 0; i < s.maxConflicts; i++ {
+		assign := sk.solve()
+		if assign == nil {
+			if unknown {
+				return Result{Sat: true}
+			}
+			return Result{Known: true} // propositionally exhausted
+		}
+		cube := sk.theoryCube(assign)
+		r := s.satCube(cube)
+		if r.Sat && r.Known {
+			return r
+		}
+		if r.Sat && !r.Known {
+			// Rationally satisfiable but no integer witness found: block
+			// this assignment and remember we cannot claim UNSAT.
+			unknown = true
+		}
+		atomic.AddInt64(&s.stats.Conflicts, 1)
+		sk.block(s, assign, cube, !r.Sat && r.Known)
+	}
+	return Result{Sat: true}
+}
+
+// skeleton is the propositional abstraction: atom i of atoms corresponds
+// to boolean variable i; gate variables for And/Or nodes follow.
+type skeleton struct {
+	atoms    []logic.Atom
+	atomVars []int // boolean variable index of atoms[i]
+	index    map[string]int
+	clauses  [][]int // literals: +v+1 (positive), -(v+1) (negative)
+	nvars    int
+}
+
+func newSkeleton(f logic.Formula) *skeleton {
+	sk := &skeleton{index: map[string]int{}}
+	root := sk.encode(f)
+	sk.clauses = append(sk.clauses, []int{root})
+	return sk
+}
+
+// atomVar interns the atom and returns its boolean variable index.
+func (sk *skeleton) atomVar(a logic.Atom) int {
+	key := a.L.String()
+	if i, ok := sk.index[key]; ok {
+		return i
+	}
+	i := sk.nvars
+	sk.nvars++
+	sk.index[key] = i
+	sk.atoms = append(sk.atoms, a)
+	sk.atomVars = append(sk.atomVars, i)
+	return i
+}
+
+// encode returns the literal representing f, adding Plaisted–Greenbaum
+// (one-sided, sufficient for NNF) definition clauses for gates.
+func (sk *skeleton) encode(f logic.Formula) int {
+	switch f := f.(type) {
+	case logic.Bool:
+		// Encode constants as a fresh gate forced to the right value.
+		g := sk.freshGate()
+		if bool(f) {
+			sk.clauses = append(sk.clauses, []int{g})
+		} else {
+			sk.clauses = append(sk.clauses, []int{-g})
+		}
+		return g
+	case logic.Atom:
+		if f.Eq {
+			panic("smt: equality atom reached the DPLL skeleton")
+		}
+		return sk.atomVar(f) + 1
+	case logic.And:
+		g := sk.freshGate()
+		for _, child := range f.Fs {
+			c := sk.encode(child)
+			sk.clauses = append(sk.clauses, []int{-g, c})
+		}
+		return g
+	case logic.Or:
+		g := sk.freshGate()
+		cl := []int{-g}
+		for _, child := range f.Fs {
+			cl = append(cl, sk.encode(child))
+		}
+		sk.clauses = append(sk.clauses, cl)
+		return g
+	default:
+		panic(fmt.Sprintf("smt: unknown Formula %T", f))
+	}
+}
+
+func (sk *skeleton) freshGate() int {
+	sk.nvars++
+	return sk.nvars // 1-based literal for the new var (index nvars-1)
+}
+
+// solve runs recursive DPLL with unit propagation and returns a full
+// assignment (index → value) or nil when propositionally unsatisfiable.
+func (sk *skeleton) solve() []int8 {
+	assign := make([]int8, sk.nvars) // 0 unassigned, 1 true, -1 false
+	if sk.dpll(assign) {
+		return assign
+	}
+	return nil
+}
+
+func (sk *skeleton) dpll(assign []int8) bool {
+	for {
+		status, unit := sk.propagateOnce(assign)
+		switch status {
+		case stConflict:
+			return false
+		case stUnit:
+			set(assign, unit)
+			continue
+		}
+		break
+	}
+	// Pick the first unassigned variable.
+	v := -1
+	for i, a := range assign {
+		if a == 0 {
+			v = i
+			break
+		}
+	}
+	if v == -1 {
+		return true
+	}
+	for _, val := range []int8{1, -1} {
+		saved := append([]int8(nil), assign...)
+		assign[v] = val
+		if sk.dpll(assign) {
+			return true
+		}
+		copy(assign, saved)
+	}
+	return false
+}
+
+type propStatus int
+
+const (
+	stStable propStatus = iota
+	stUnit
+	stConflict
+)
+
+// propagateOnce scans clauses for a conflict or a unit literal.
+func (sk *skeleton) propagateOnce(assign []int8) (propStatus, int) {
+	for _, cl := range sk.clauses {
+		satisfied := false
+		unassigned := 0
+		lastFree := 0
+		for _, lit := range cl {
+			switch litValue(assign, lit) {
+			case 1:
+				satisfied = true
+			case 0:
+				unassigned++
+				lastFree = lit
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if unassigned == 0 {
+			return stConflict, 0
+		}
+		if unassigned == 1 {
+			return stUnit, lastFree
+		}
+	}
+	return stStable, 0
+}
+
+func litValue(assign []int8, lit int) int8 {
+	v := lit
+	if v < 0 {
+		v = -v
+	}
+	a := assign[v-1]
+	if lit < 0 {
+		return -a
+	}
+	return a
+}
+
+func set(assign []int8, lit int) {
+	if lit > 0 {
+		assign[lit-1] = 1
+	} else {
+		assign[-lit-1] = -1
+	}
+}
+
+// theoryCube collects the linear constraints asserted by the assignment:
+// atom true contributes L ≤ 0, atom false contributes ¬(L ≤ 0) = -L+1 ≤ 0.
+func (sk *skeleton) theoryCube(assign []int8) logic.Cube {
+	var cube logic.Cube
+	for i, a := range sk.atoms {
+		switch assign[sk.atomVars[i]] {
+		case 1:
+			cube = append(cube, a)
+		case -1:
+			cube = append(cube, logic.Atom{L: a.L.Scale(-1).AddConst(1)})
+		}
+	}
+	return cube
+}
+
+// block adds a clause forbidding the current theory assignment. When the
+// conflict is a proven theory UNSAT, the clause is first minimized
+// greedily so it prunes more of the search space.
+func (sk *skeleton) block(s *Solver, assign []int8, cube logic.Cube, provenUnsat bool) {
+	// Literals over atom variables only; gate variables are functionally
+	// determined and must not appear in learned clauses.
+	type litAtom struct {
+		lit  int
+		atom logic.Atom
+	}
+	var lits []litAtom
+	for i := range sk.atoms {
+		v := sk.atomVars[i]
+		switch assign[v] {
+		case 1:
+			lits = append(lits, litAtom{-(v + 1), cubeAtom(sk.atoms[i], true)})
+		case -1:
+			lits = append(lits, litAtom{v + 1, cubeAtom(sk.atoms[i], false)})
+		}
+	}
+	if provenUnsat && len(lits) > 2 && len(lits) <= 64 {
+		// Greedy core minimization: drop literals whose removal keeps the
+		// remaining constraint set unsatisfiable.
+		kept := lits
+		for i := 0; i < len(kept) && len(kept) > 1; {
+			trial := make(logic.Cube, 0, len(kept)-1)
+			for j, la := range kept {
+				if j != i {
+					trial = append(trial, la.atom)
+				}
+			}
+			vars := cubeVars(trial)
+			if !s.rationallySat(trial, vars) {
+				kept = append(kept[:i:i], kept[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		lits = kept
+	}
+	cl := make([]int, len(lits))
+	for i, la := range lits {
+		cl[i] = la.lit
+	}
+	sk.clauses = append(sk.clauses, cl)
+}
+
+func cubeAtom(a logic.Atom, positive bool) logic.Atom {
+	if positive {
+		return a
+	}
+	return logic.Atom{L: a.L.Scale(-1).AddConst(1)}
+}

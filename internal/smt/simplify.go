@@ -1,0 +1,59 @@
+package smt
+
+import (
+	"repro/internal/logic"
+)
+
+// maxSimplifyParts bounds the width of conjunctions/disjunctions the
+// simplifier will attempt; larger formulas are returned unchanged.
+const maxSimplifyParts = 48
+
+// Simplify removes redundant conjuncts and disjuncts from f using
+// implication checks: a conjunct implied by its siblings is dropped, as is
+// a disjunct that implies the disjunction of its siblings. The result is
+// logically equivalent to f. Simplification keeps the region formulas of
+// refinement-based analyses from accumulating junk across splits.
+func (s *Solver) Simplify(f logic.Formula) logic.Formula {
+	switch f := f.(type) {
+	case logic.And:
+		if len(f.Fs) > maxSimplifyParts {
+			return f
+		}
+		parts := make([]logic.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			parts[i] = s.Simplify(g)
+		}
+		// Greedy deletion filter, scanning from the back so recently
+		// added (usually more redundant) conjuncts go first.
+		kept := append([]logic.Formula(nil), parts...)
+		for i := len(kept) - 1; i >= 0 && len(kept) > 1; i-- {
+			rest := make([]logic.Formula, 0, len(kept)-1)
+			rest = append(rest, kept[:i]...)
+			rest = append(rest, kept[i+1:]...)
+			if s.Implies(logic.Conj(rest...), kept[i]) {
+				kept = rest
+			}
+		}
+		return logic.Conj(kept...)
+	case logic.Or:
+		if len(f.Fs) > maxSimplifyParts {
+			return f
+		}
+		parts := make([]logic.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			parts[i] = s.Simplify(g)
+		}
+		kept := append([]logic.Formula(nil), parts...)
+		for i := len(kept) - 1; i >= 0 && len(kept) > 1; i-- {
+			rest := make([]logic.Formula, 0, len(kept)-1)
+			rest = append(rest, kept[:i]...)
+			rest = append(rest, kept[i+1:]...)
+			if s.Implies(kept[i], logic.Disj(rest...)) {
+				kept = rest
+			}
+		}
+		return logic.Disj(kept...)
+	default:
+		return f
+	}
+}

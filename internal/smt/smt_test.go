@@ -1,0 +1,367 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+func v(name string) logic.Lin         { return logic.LinVar(lang.Var(name)) }
+func k(x int64) logic.Lin             { return logic.LinConst(x) }
+func le(a, b logic.Lin) logic.Formula { return logic.LEq(a, b) }
+
+func TestSatTrivial(t *testing.T) {
+	s := New()
+	if r := s.Sat(logic.True); !r.Sat || !r.Known {
+		t.Fatalf("Sat(true) = %+v", r)
+	}
+	if r := s.Sat(logic.False); r.Sat || !r.Known {
+		t.Fatalf("Sat(false) = %+v", r)
+	}
+}
+
+func TestSatSimpleConjunction(t *testing.T) {
+	s := New()
+	// x ≥ 3 ∧ x ≤ 5 ∧ y = x + 1.
+	f := logic.Conj(
+		le(k(3), v("x")),
+		le(v("x"), k(5)),
+		logic.Eq(v("y"), v("x").AddConst(1)),
+	)
+	r := s.Sat(f)
+	if !r.Sat || !r.Known || r.Model == nil {
+		t.Fatalf("expected sat with model, got %+v", r)
+	}
+	if !logic.Eval(f, r.Model) {
+		t.Fatalf("model %v does not satisfy %v", r.Model, f)
+	}
+}
+
+func TestSatUnsatConjunction(t *testing.T) {
+	s := New()
+	// x ≤ 2 ∧ x ≥ 5.
+	f := logic.Conj(le(v("x"), k(2)), le(k(5), v("x")))
+	if r := s.Sat(f); r.Sat || !r.Known {
+		t.Fatalf("expected proven unsat, got %+v", r)
+	}
+}
+
+func TestSatIntegerOnlyGap(t *testing.T) {
+	s := New()
+	// 2x = 1 is rationally satisfiable but integer-unsat:
+	// encoded as 2x ≤ 1 ∧ 2x ≥ 1.
+	f := logic.Conj(
+		le(v("x").Scale(2), k(1)),
+		le(k(1), v("x").Scale(2)),
+	)
+	r := s.Sat(f)
+	if r.Sat && r.Model != nil {
+		t.Fatalf("found impossible model %v", r.Model)
+	}
+	// The solver may answer unknown here (dark-shadow incompleteness) but
+	// must never produce a model.
+}
+
+func TestSatIntegerGapWithRoom(t *testing.T) {
+	s := New()
+	// 3 ≤ 2x ≤ 5 has the integer solution x = 2.
+	f := logic.Conj(
+		le(k(3), v("x").Scale(2)),
+		le(v("x").Scale(2), k(5)),
+	)
+	r := s.Sat(f)
+	if !r.Sat || r.Model == nil {
+		t.Fatalf("expected model, got %+v", r)
+	}
+	if r.Model["x"] != 2 {
+		t.Fatalf("x = %d, want 2", r.Model["x"])
+	}
+}
+
+func TestSatDisjunction(t *testing.T) {
+	s := New()
+	// (x ≤ -10 ∨ x ≥ 10) ∧ 0 ≤ x ∧ x ≤ 20.
+	f := logic.Conj(
+		logic.Disj(le(v("x"), k(-10)), le(k(10), v("x"))),
+		le(k(0), v("x")),
+		le(v("x"), k(20)),
+	)
+	r := s.Sat(f)
+	if !r.Sat || r.Model == nil {
+		t.Fatalf("expected sat, got %+v", r)
+	}
+	if x := r.Model["x"]; x < 10 || x > 20 {
+		t.Fatalf("model x = %d outside [10,20]", x)
+	}
+}
+
+func TestValidAndImplies(t *testing.T) {
+	s := New()
+	// x ≤ 3 ⇒ x ≤ 10.
+	if !s.Implies(le(v("x"), k(3)), le(v("x"), k(10))) {
+		t.Error("x≤3 ⇒ x≤10 should be valid")
+	}
+	if s.Implies(le(v("x"), k(10)), le(v("x"), k(3))) {
+		t.Error("x≤10 ⇒ x≤3 should not be valid")
+	}
+	// x = y ⇒ x ≤ y.
+	if !s.Implies(logic.Eq(v("x"), v("y")), le(v("x"), v("y"))) {
+		t.Error("x=y ⇒ x≤y should be valid")
+	}
+	if !s.Valid(logic.Disj(le(v("x"), k(0)), le(k(1), v("x")))) {
+		t.Error("x≤0 ∨ x≥1 should be valid over the integers")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	s := New()
+	a := logic.Lt(v("x"), k(5)) // x < 5
+	b := le(v("x"), k(4))       // x ≤ 4
+	if !s.Equivalent(a, b) {
+		t.Error("x<5 and x≤4 should be equivalent over the integers")
+	}
+	if s.Equivalent(a, le(v("x"), k(5))) {
+		t.Error("x<5 and x≤5 should differ")
+	}
+}
+
+// randFormula builds a random formula over three variables with small
+// coefficients, bounded so brute force can decide it.
+func randFormula(r *rand.Rand, depth int) logic.Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		terms := logic.LinConst(int64(r.Intn(9) - 4))
+		for _, name := range []lang.Var{"x", "y", "z"} {
+			c := int64(r.Intn(5) - 2)
+			if c != 0 {
+				terms = terms.Add(logic.LinVar(name).Scale(c))
+			}
+		}
+		if r.Intn(4) == 0 {
+			return logic.EQ(terms)
+		}
+		return logic.LE(terms)
+	}
+	n := 2 + r.Intn(2)
+	fs := make([]logic.Formula, n)
+	for i := range fs {
+		fs[i] = randFormula(r, depth-1)
+	}
+	if r.Intn(2) == 0 {
+		return logic.Conj(fs...)
+	}
+	return logic.Disj(fs...)
+}
+
+// bruteSat searches the box [-B,B]^3 for a model.
+func bruteSat(f logic.Formula, bound int64) (map[lang.Var]int64, bool) {
+	for x := -bound; x <= bound; x++ {
+		for y := -bound; y <= bound; y++ {
+			for z := -bound; z <= bound; z++ {
+				m := map[lang.Var]int64{"x": x, "y": y, "z": z}
+				if logic.Eval(f, m) {
+					return m, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// Property: the solver agrees with brute force on random small formulas.
+// Coefficients ≤ 2 and constants ≤ 4 keep every satisfiable instance's
+// witness inside the search box.
+func TestSolverAgreesWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := New()
+	disagreeUnknown := 0
+	for i := 0; i < 400; i++ {
+		f := randFormula(r, 2)
+		_, bruteHas := bruteSat(f, 12)
+		got := s.Sat(f)
+		if got.Known {
+			if got.Sat != bruteHas && bruteHas {
+				t.Fatalf("solver says unsat, brute force found a model: %v", f)
+			}
+			if got.Sat && got.Model == nil {
+				t.Fatalf("known-sat without model: %v", f)
+			}
+			if got.Model != nil && !logic.Eval(f, got.Model) {
+				t.Fatalf("invalid model %v for %v", got.Model, f)
+			}
+			if got.Sat && !bruteHas {
+				// Model may be outside the brute-force box; verify it.
+				if !logic.Eval(f, got.Model) {
+					t.Fatalf("model outside box is invalid: %v for %v", got.Model, f)
+				}
+			}
+		} else {
+			disagreeUnknown++
+		}
+	}
+	if disagreeUnknown > 40 {
+		t.Fatalf("too many unknown verdicts: %d/400", disagreeUnknown)
+	}
+}
+
+// Property: UNSAT answers are always sound on random formulas conjoined
+// with their negation.
+func TestContradictionsAreUnsat(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := New()
+	proven := 0
+	for i := 0; i < 200; i++ {
+		f := randFormula(r, 2)
+		contra := logic.Conj(f, logic.Not(f))
+		got := s.Sat(contra)
+		if got.Model != nil {
+			t.Fatalf("model %v satisfies f ∧ ¬f for f=%v", got.Model, f)
+		}
+		if got.Known && !got.Sat {
+			proven++
+		}
+	}
+	if proven < 150 {
+		t.Fatalf("solver proved only %d/200 contradictions", proven)
+	}
+}
+
+func TestDPLLPathLargeDisjunction(t *testing.T) {
+	s := New()
+	// Force the DPLL path: conjunction of many binary disjunctions
+	// (2^n cubes) with a single consistent assignment.
+	var fs []logic.Formula
+	for i := 0; i < 8; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		fs = append(fs, logic.Disj(
+			le(logic.LinVar(name), k(-1)),
+			le(k(1), logic.LinVar(name)),
+		))
+		fs = append(fs, le(k(0), logic.LinVar(name))) // forces the ≥1 arm
+	}
+	f := logic.Conj(fs...)
+	r := s.Sat(f)
+	if !r.Sat || r.Model == nil {
+		t.Fatalf("expected sat, got %+v", r)
+	}
+	for i := 0; i < 8; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		if r.Model[name] < 1 {
+			t.Fatalf("model %v violates %s ≥ 1", r.Model, name)
+		}
+	}
+}
+
+func TestDPLLPathUnsat(t *testing.T) {
+	s := New()
+	var fs []logic.Formula
+	for i := 0; i < 6; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		fs = append(fs, logic.Disj(
+			le(logic.LinVar(name), k(-1)),
+			le(k(1), logic.LinVar(name)),
+		))
+	}
+	// a + b + c + d + e + f = 0 with every variable in {≤-1} ∪ {≥1} is
+	// satisfiable (e.g. three of each), but adding all ≥ 1 bounds and the
+	// sum ≤ 5 is unsat since the sum must be ≥ 6.
+	sum := logic.LinConst(0)
+	for i := 0; i < 6; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		sum = sum.Add(logic.LinVar(name))
+		fs = append(fs, le(k(1), logic.LinVar(name)))
+	}
+	fs = append(fs, le(sum, k(5)))
+	r := s.Sat(logic.Conj(fs...))
+	if r.Sat || !r.Known {
+		t.Fatalf("expected proven unsat, got %+v", r)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New()
+	before := s.StatsSnapshot()
+	s.Sat(le(v("x"), k(0)))
+	s.Sat(le(k(1), v("x")))
+	after := s.StatsSnapshot()
+	if after.SatCalls != before.SatCalls+2 {
+		t.Fatalf("SatCalls = %d, want %d", after.SatCalls, before.SatCalls+2)
+	}
+	if after.Ticks <= before.Ticks {
+		t.Fatal("Ticks did not advance")
+	}
+}
+
+func TestModelHelper(t *testing.T) {
+	s := New()
+	f := logic.Conj(le(k(7), v("x")), le(v("x"), k(7)))
+	m := s.Model(f)
+	if m == nil || m["x"] != 7 {
+		t.Fatalf("Model = %v, want x=7", m)
+	}
+	if s.Model(logic.False) != nil {
+		t.Fatal("Model(false) should be nil")
+	}
+}
+
+func TestSimplifyDropsRedundantConjuncts(t *testing.T) {
+	s := New()
+	// x ≤ 3 ∧ x ≤ 10 ∧ x ≥ 0  →  the x ≤ 10 conjunct is implied.
+	f := logic.Conj(le(v("x"), k(3)), le(v("x"), k(10)), le(k(0), v("x")))
+	g := s.Simplify(f)
+	if logic.Size(g) >= logic.Size(f) {
+		t.Fatalf("no simplification: %v -> %v", f, g)
+	}
+	if !s.Equivalent(f, g) {
+		t.Fatalf("simplification changed semantics: %v vs %v", f, g)
+	}
+}
+
+func TestSimplifyDropsAbsorbedDisjuncts(t *testing.T) {
+	s := New()
+	// (x ≤ 3) ∨ (x ≤ 10): the first disjunct implies the second.
+	f := logic.Disj(le(v("x"), k(3)), le(v("x"), k(10)))
+	g := s.Simplify(f)
+	if logic.Size(g) >= logic.Size(f) {
+		t.Fatalf("no simplification: %v -> %v", f, g)
+	}
+	if !s.Equivalent(f, g) {
+		t.Fatal("semantics changed")
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := New()
+	for i := 0; i < 120; i++ {
+		f := randFormula(r, 2)
+		g := s.Simplify(f)
+		m := map[lang.Var]int64{
+			"x": int64(r.Intn(11) - 5),
+			"y": int64(r.Intn(11) - 5),
+			"z": int64(r.Intn(11) - 5),
+		}
+		if logic.Eval(f, m) != logic.Eval(g, m) {
+			t.Fatalf("Simplify changed semantics under %v:\n f=%v\n g=%v", m, f, g)
+		}
+	}
+}
+
+func TestOversizedFormulaIsUnknownNotWrong(t *testing.T) {
+	s := New()
+	// Build a conjunction larger than the size cap that is actually
+	// unsatisfiable; the solver may answer unknown but never "sat with
+	// model" or a wrong proof.
+	fs := []logic.Formula{le(k(1), v("x")), le(v("x"), k(0))}
+	for i := 0; i < 3000; i++ {
+		fs = append(fs, le(v("x"), k(int64(i+100))))
+	}
+	r := s.Sat(logic.Conj(fs...))
+	if r.Model != nil {
+		t.Fatal("model for an unsatisfiable formula")
+	}
+	if r.Known && r.Sat {
+		t.Fatal("claimed known-sat without model")
+	}
+}

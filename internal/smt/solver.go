@@ -1,0 +1,332 @@
+// Package smt is a small, self-contained satisfiability solver for
+// quantifier-free linear integer arithmetic (QF_LIA), standing in for the
+// Z3 solver used by the paper's implementation.
+//
+// Architecture: formulas with few disjuncts are decided directly on their
+// DNF cubes; larger formulas go through a DPLL loop over a boolean
+// abstraction of the atoms with lazy theory conflicts. The theory check is
+// Fourier–Motzkin elimination over the rationals (refutation-complete for
+// UNSAT over the integers), followed by a branch-and-bound style integer
+// model search using the dark shadow when the real shadow admits only
+// fractional witnesses.
+//
+// Every verdict is conservative: UNSAT is only reported when proven, and a
+// model is only reported after it has been verified by evaluation. When
+// the solver gives up (resource caps, dark-shadow incompleteness) it
+// reports "possibly satisfiable, no model".
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result struct {
+	// Sat is false only when the formula is proven unsatisfiable.
+	Sat bool
+	// Model is a verified satisfying assignment; nil when Sat is false or
+	// the search was inconclusive.
+	Model map[lang.Var]int64
+	// Known is true when the verdict is definitive (proven unsat, or a
+	// verified model was found).
+	Known bool
+}
+
+// Stats carries the solver's operation counters. Counters are atomic so a
+// single Solver can be shared between the parallel PUNCH instances, as
+// SUMDB shares one in the paper's implementation.
+type Stats struct {
+	SatCalls     int64
+	TheoryChecks int64
+	Conflicts    int64
+	Ticks        int64 // abstract work units, the currency of virtual time
+}
+
+// Solver decides QF_LIA formulas. The zero value is not usable; call New.
+type Solver struct {
+	stats Stats
+	// maxDNF is the cube count above which the DPLL path is used.
+	maxDNF int
+	// maxConflicts caps theory-conflict iterations before giving up.
+	maxConflicts int
+	// cache memoizes Sat results by formula structure.
+	cache    sync.Map
+	cacheLen int64
+}
+
+// maxCacheEntries bounds the Sat memoization table.
+const maxCacheEntries = 1 << 15
+
+// New returns a solver with default resource limits.
+func New() *Solver {
+	return &Solver{maxDNF: 256, maxConflicts: 1500}
+}
+
+// Ticks returns the cumulative abstract work units spent so far.
+func (s *Solver) Ticks() int64 { return atomic.LoadInt64(&s.stats.Ticks) }
+
+// StatsSnapshot returns a copy of the operation counters.
+func (s *Solver) StatsSnapshot() Stats {
+	return Stats{
+		SatCalls:     atomic.LoadInt64(&s.stats.SatCalls),
+		TheoryChecks: atomic.LoadInt64(&s.stats.TheoryChecks),
+		Conflicts:    atomic.LoadInt64(&s.stats.Conflicts),
+		Ticks:        atomic.LoadInt64(&s.stats.Ticks),
+	}
+}
+
+func (s *Solver) tick(n int64) { atomic.AddInt64(&s.stats.Ticks, n) }
+
+// Sat decides satisfiability of f over the integers. Results are
+// memoized by formula structure.
+func (s *Solver) Sat(f logic.Formula) Result {
+	atomic.AddInt64(&s.stats.SatCalls, 1)
+	s.tick(1)
+	key := logic.Key(f)
+	if v, ok := s.cache.Load(key); ok {
+		return v.(Result)
+	}
+	r := s.satUncached(f)
+	// Bounded memoization: once the cap is reached new results are simply
+	// not cached (no eviction, so no synchronization hazards).
+	if atomic.LoadInt64(&s.cacheLen) < maxCacheEntries {
+		atomic.AddInt64(&s.cacheLen, 1)
+		s.cache.Store(key, r)
+	}
+	return r
+}
+
+// maxFormulaSize bounds the formulas the solver will attempt; beyond it
+// the conservative "possibly satisfiable" verdict is returned immediately
+// (sound for every use in the analyses: proofs need proven-unsat, and
+// witnesses need verified models).
+const maxFormulaSize = 2500
+
+func (s *Solver) satUncached(f logic.Formula) Result {
+	if logic.Size(f) > maxFormulaSize {
+		return Result{Sat: true}
+	}
+	f = eliminateEq(f)
+	switch g := f.(type) {
+	case logic.Bool:
+		if bool(g) {
+			return Result{Sat: true, Model: map[lang.Var]int64{}, Known: true}
+		}
+		return Result{Known: true}
+	}
+	// Fast path: small DNF, decide cube by cube.
+	if cubes, ok := logic.Cubes(f, s.maxDNF); ok {
+		unknown := false
+		for _, c := range cubes {
+			r := s.satCube(c)
+			if r.Sat && r.Known {
+				return r
+			}
+			if !r.Known {
+				unknown = true
+			}
+		}
+		if unknown {
+			return Result{Sat: true}
+		}
+		return Result{Known: true}
+	}
+	return s.satDPLL(f)
+}
+
+// satCube decides a single conjunction of ≤-atoms.
+func (s *Solver) satCube(c logic.Cube) Result {
+	atomic.AddInt64(&s.stats.TheoryChecks, 1)
+	s.tick(int64(len(c)) + 1)
+	vars := cubeVars(c)
+	if !s.rationallySat(c, vars) {
+		return Result{Known: true}
+	}
+	model := s.findIntModel(c, vars, 0)
+	if model == nil {
+		return Result{Sat: true} // rational-sat, integer status unknown
+	}
+	for v := range vars {
+		if _, ok := model[v]; !ok {
+			model[v] = 0
+		}
+	}
+	if !logic.Eval(c.Formula(), model) {
+		// Defensive: a model we cannot verify is treated as unknown.
+		return Result{Sat: true}
+	}
+	return Result{Sat: true, Model: model, Known: true}
+}
+
+// rationallySat runs real-shadow FM elimination to refute the cube over
+// the rationals. A false answer is a proof of integer unsatisfiability.
+func (s *Solver) rationallySat(c logic.Cube, vars map[lang.Var]bool) bool {
+	_, _, sat := logic.ProjectCube(c, vars, logic.Over)
+	s.tick(int64(len(c)))
+	return sat
+}
+
+// findIntModel searches for an integer model of the cube. It eliminates
+// variables one at a time, first with the real shadow; if back-substitution
+// finds an empty integer interval it retries with the dark shadow, whose
+// result guarantees an integer witness for the eliminated variable.
+func (s *Solver) findIntModel(c logic.Cube, vars map[lang.Var]bool, depth int) map[lang.Var]int64 {
+	s.tick(1)
+	if depth > 64 {
+		return nil
+	}
+	v, ok := firstVar(vars)
+	if !ok {
+		// Ground cube: satisfiable iff no positive constant remains, which
+		// simplifyCube inside ProjectCube has already established.
+		if _, _, sat := logic.ProjectCube(c, nil, logic.Over); !sat {
+			return nil
+		}
+		return map[lang.Var]int64{}
+	}
+	rest := cloneVarSet(vars)
+	delete(rest, v)
+
+	try := func(mode logic.Shadow) map[lang.Var]int64 {
+		proj, _, sat := logic.ProjectCube(c, map[lang.Var]bool{v: true}, mode)
+		if !sat {
+			return nil
+		}
+		m := s.findIntModel(proj, rest, depth+1)
+		if m == nil {
+			return nil
+		}
+		lo, hi, hasLo, hasHi := logic.BoundsOn(c, v, m)
+		switch {
+		case hasLo && hasHi && lo > hi:
+			return nil
+		case hasLo && hasHi:
+			m[v] = clamp(0, lo, hi)
+		case hasLo:
+			m[v] = max64(0, lo)
+		case hasHi:
+			m[v] = min64(0, hi)
+		default:
+			m[v] = 0
+		}
+		return m
+	}
+	if m := try(logic.Over); m != nil {
+		return m
+	}
+	return try(logic.Under)
+}
+
+// Valid reports whether f is valid (holds in all integer states). Only a
+// proven-valid formula yields true.
+func (s *Solver) Valid(f logic.Formula) bool {
+	r := s.Sat(logic.Not(f))
+	return r.Known && !r.Sat
+}
+
+// Implies reports whether a ⇒ b is proven valid. Structurally identical
+// formulas short-circuit without a solver call.
+func (s *Solver) Implies(a, b logic.Formula) bool {
+	if logic.Key(a) == logic.Key(b) {
+		return true
+	}
+	return s.Valid(logic.Disj(logic.Not(a), b))
+}
+
+// Equivalent reports whether a ⇔ b is proven valid.
+func (s *Solver) Equivalent(a, b logic.Formula) bool {
+	return s.Implies(a, b) && s.Implies(b, a)
+}
+
+// Model returns a verified model of f, or nil when none was found (which
+// does not prove unsatisfiability unless Sat reports Known).
+func (s *Solver) Model(f logic.Formula) map[lang.Var]int64 {
+	r := s.Sat(f)
+	return r.Model
+}
+
+// eliminateEq rewrites equality atoms into conjunctions of inequalities so
+// the DPLL abstraction only sees ≤-atoms, which negate to single atoms.
+func eliminateEq(f logic.Formula) logic.Formula {
+	switch f := f.(type) {
+	case logic.Bool:
+		return f
+	case logic.Atom:
+		if f.Eq {
+			return logic.Conj(logic.LE(f.L), logic.LE(f.L.Scale(-1)))
+		}
+		return f
+	case logic.And:
+		out := make([]logic.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = eliminateEq(g)
+		}
+		return logic.Conj(out...)
+	case logic.Or:
+		out := make([]logic.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = eliminateEq(g)
+		}
+		return logic.Disj(out...)
+	default:
+		return f
+	}
+}
+
+func cubeVars(c logic.Cube) map[lang.Var]bool {
+	out := map[lang.Var]bool{}
+	for _, a := range c {
+		for _, v := range a.L.Vars {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func cloneVarSet(m map[lang.Var]bool) map[lang.Var]bool {
+	out := make(map[lang.Var]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func firstVar(m map[lang.Var]bool) (lang.Var, bool) {
+	var best lang.Var
+	found := false
+	for v := range m {
+		if !found || v < best {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+func clamp(x, lo, hi int64) int64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+// Package summary implements the two summary kinds of §3.1 — must
+// summaries and not-may summaries — and SUMDB, the concurrent summary
+// database that is the only state shared between parallel PUNCH instances
+// (Fig. 1 of the paper).
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+	"repro/internal/smt"
+)
+
+// Kind distinguishes the two summary flavours.
+type Kind int
+
+// Summary kinds.
+const (
+	// Must: every exit state in Post is reachable from some entry state in
+	// Pre. Witnesses reachability ("yes" answers / bugs).
+	Must Kind = iota
+	// NotMay: no entry state in Pre can reach any exit state in Post.
+	// Witnesses unreachability ("no" answers / proofs).
+	NotMay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Must:
+		return "must"
+	case NotMay:
+		return "not-may"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Summary is a procedure summary over the program's global variables.
+type Summary struct {
+	Kind Kind
+	Proc string
+	Pre  logic.Formula
+	Post logic.Formula
+}
+
+func (s Summary) String() string {
+	arrow := "=>must"
+	if s.Kind == NotMay {
+		arrow = "=>notmay"
+	}
+	return fmt.Sprintf("(%s %s_%s %s)", s.Pre, arrow, s.Proc, s.Post)
+}
+
+// Question is a reachability question (φ1 ⇒?_P φ2) over globals: can P,
+// started in a state satisfying Pre, reach an exit state satisfying Post?
+type Question struct {
+	Proc string
+	Pre  logic.Formula
+	Post logic.Formula
+}
+
+func (q Question) String() string {
+	return fmt.Sprintf("(%s =?>_%s %s)", q.Pre, q.Proc, q.Post)
+}
+
+// Stats counts database traffic.
+type Stats struct {
+	Added     int64
+	YesHits   int64
+	NoHits    int64
+	Misses    int64
+	DupesSkip int64
+}
+
+// DB is the concurrent summary database SUMDB. All methods are safe for
+// concurrent use; per the paper it is the only resource shared by the
+// parallel instances of PUNCH.
+type DB struct {
+	mu      sync.RWMutex
+	byProc  map[string][]Summary
+	keys    map[string]bool
+	solver  *smt.Solver
+	stats   Stats
+	enabled bool
+}
+
+// New returns an empty database using solver for the answering checks.
+func New(solver *smt.Solver) *DB {
+	return &DB{
+		byProc:  map[string][]Summary{},
+		keys:    map[string]bool{},
+		solver:  solver,
+		enabled: true,
+	}
+}
+
+// NewDisabled returns a database that stores nothing and answers nothing;
+// used by the no-SUMDB ablation.
+func NewDisabled(solver *smt.Solver) *DB {
+	db := New(solver)
+	db.enabled = false
+	return db
+}
+
+// Add stores a summary (deduplicated structurally).
+func (db *DB) Add(s Summary) {
+	if !db.enabled {
+		return
+	}
+	key := fmt.Sprintf("%d|%s|%s|%s", s.Kind, s.Proc, logic.Key(s.Pre), logic.Key(s.Post))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.keys[key] {
+		atomic.AddInt64(&db.stats.DupesSkip, 1)
+		return
+	}
+	db.keys[key] = true
+	db.byProc[s.Proc] = append(db.byProc[s.Proc], s)
+	atomic.AddInt64(&db.stats.Added, 1)
+}
+
+// snapshot returns the current summaries for proc.
+func (db *DB) snapshot(proc string) []Summary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ss := db.byProc[proc]
+	out := make([]Summary, len(ss))
+	copy(out, ss)
+	return out
+}
+
+// AnswerYes looks for a must summary (ψ1 ⇒must ψ2) answering q with "yes":
+// ψ1 ⊆ q.Pre and q.Post ∩ ψ2 ≠ ∅ (§3.1). When found it returns the
+// summary and a verified model of q.Post ∩ ψ2 (an exit state proven
+// reachable).
+func (db *DB) AnswerYes(q Question) (Summary, bool) {
+	if !db.enabled {
+		return Summary{}, false
+	}
+	for _, s := range db.snapshot(q.Proc) {
+		if s.Kind != Must {
+			continue
+		}
+		if !db.solver.Implies(s.Pre, q.Pre) {
+			continue
+		}
+		inter := db.solver.Sat(logic.Conj(q.Post, s.Post))
+		if inter.Known && inter.Sat {
+			atomic.AddInt64(&db.stats.YesHits, 1)
+			return s, true
+		}
+	}
+	atomic.AddInt64(&db.stats.Misses, 1)
+	return Summary{}, false
+}
+
+// AnswerNo looks for a not-may summary (ψ1 ⇒¬may ψ2) answering q with
+// "no": q.Pre ⊆ ψ1 and q.Post ⊆ ψ2 (§3.1).
+func (db *DB) AnswerNo(q Question) (Summary, bool) {
+	if !db.enabled {
+		return Summary{}, false
+	}
+	for _, s := range db.snapshot(q.Proc) {
+		if s.Kind != NotMay {
+			continue
+		}
+		if db.solver.Implies(q.Pre, s.Pre) && db.solver.Implies(q.Post, s.Post) {
+			atomic.AddInt64(&db.stats.NoHits, 1)
+			return s, true
+		}
+	}
+	atomic.AddInt64(&db.stats.Misses, 1)
+	return Summary{}, false
+}
+
+// Answer tries both answering rules; verdict is +1 for yes, -1 for no,
+// 0 for no answer.
+func (db *DB) Answer(q Question) (Summary, int) {
+	if s, ok := db.AnswerYes(q); ok {
+		return s, +1
+	}
+	if s, ok := db.AnswerNo(q); ok {
+		return s, -1
+	}
+	return Summary{}, 0
+}
+
+// ForProc returns a snapshot of the summaries stored for proc.
+func (db *DB) ForProc(proc string) []Summary {
+	if !db.enabled {
+		return nil
+	}
+	return db.snapshot(proc)
+}
+
+// Count returns the number of stored summaries.
+func (db *DB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, ss := range db.byProc {
+		n += len(ss)
+	}
+	return n
+}
+
+// All returns every stored summary, sorted by procedure then insertion
+// order, for reporting and testing.
+func (db *DB) All() []Summary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	procs := make([]string, 0, len(db.byProc))
+	for p := range db.byProc {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var out []Summary
+	for _, p := range procs {
+		out = append(out, db.byProc[p]...)
+	}
+	return out
+}
+
+// StatsSnapshot returns a copy of the traffic counters.
+func (db *DB) StatsSnapshot() Stats {
+	return Stats{
+		Added:     atomic.LoadInt64(&db.stats.Added),
+		YesHits:   atomic.LoadInt64(&db.stats.YesHits),
+		NoHits:    atomic.LoadInt64(&db.stats.NoHits),
+		Misses:    atomic.LoadInt64(&db.stats.Misses),
+		DupesSkip: atomic.LoadInt64(&db.stats.DupesSkip),
+	}
+}
+
+// Solver exposes the database's solver so analyses share one instance (and
+// its tick counter) per engine run.
+func (db *DB) Solver() *smt.Solver { return db.solver }

@@ -1,0 +1,145 @@
+package summary
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/smt"
+)
+
+func v(name string) logic.Lin { return logic.LinVar(lang.Var(name)) }
+func k(x int64) logic.Lin     { return logic.LinConst(x) }
+
+func eqv(name string, x int64) logic.Formula { return logic.Eq(v(name), k(x)) }
+
+func TestAnswerYesRule(t *testing.T) {
+	db := New(smt.New())
+	// must summary: from g=5, every exit state with g ≥ 6 is reachable.
+	db.Add(Summary{Kind: Must, Proc: "p", Pre: eqv("g", 5), Post: logic.LEq(k(6), v("g"))})
+
+	// Query whose Pre contains g=5 and whose Post intersects g≥6: yes.
+	q := Question{Proc: "p", Pre: logic.LEq(k(0), v("g")), Post: logic.LEq(k(10), v("g"))}
+	if _, ok := db.AnswerYes(q); !ok {
+		t.Fatal("expected a yes answer")
+	}
+	// Pre not containing ψ1 (g ≤ 3 excludes g=5): no answer.
+	q2 := Question{Proc: "p", Pre: logic.LEq(v("g"), k(3)), Post: logic.LEq(k(10), v("g"))}
+	if _, ok := db.AnswerYes(q2); ok {
+		t.Fatal("yes answer with uncovered precondition")
+	}
+	// Post disjoint from ψ2 (g ≤ 2): no answer.
+	q3 := Question{Proc: "p", Pre: logic.LEq(k(0), v("g")), Post: logic.LEq(v("g"), k(2))}
+	if _, ok := db.AnswerYes(q3); ok {
+		t.Fatal("yes answer with disjoint postcondition")
+	}
+}
+
+func TestAnswerNoRule(t *testing.T) {
+	db := New(smt.New())
+	// not-may: from g ≥ 0, no exit state with g ≤ -1 is reachable.
+	db.Add(Summary{Kind: NotMay, Proc: "p", Pre: logic.LEq(k(0), v("g")), Post: logic.LEq(v("g"), k(-1))})
+
+	// Query Pre ⊆ ψ1 and Post ⊆ ψ2: no (unreachable).
+	q := Question{Proc: "p", Pre: eqv("g", 7), Post: logic.LEq(v("g"), k(-5))}
+	if _, ok := db.AnswerNo(q); !ok {
+		t.Fatal("expected a no answer")
+	}
+	// Pre outside ψ1: not answered.
+	q2 := Question{Proc: "p", Pre: logic.LEq(v("g"), k(-2)), Post: logic.LEq(v("g"), k(-5))}
+	if _, ok := db.AnswerNo(q2); ok {
+		t.Fatal("no answer with uncovered precondition")
+	}
+	// Post outside ψ2: not answered.
+	q3 := Question{Proc: "p", Pre: eqv("g", 7), Post: logic.LEq(v("g"), k(0))}
+	if _, ok := db.AnswerNo(q3); ok {
+		t.Fatal("no answer with uncovered postcondition")
+	}
+}
+
+func TestAnswerCombined(t *testing.T) {
+	db := New(smt.New())
+	db.Add(Summary{Kind: Must, Proc: "p", Pre: eqv("g", 1), Post: eqv("g", 2)})
+	db.Add(Summary{Kind: NotMay, Proc: "p", Pre: logic.True, Post: logic.LEq(k(100), v("g"))})
+
+	if _, verdict := db.Answer(Question{Proc: "p", Pre: logic.True, Post: eqv("g", 2)}); verdict != 1 {
+		t.Fatalf("verdict = %d, want +1", verdict)
+	}
+	if _, verdict := db.Answer(Question{Proc: "p", Pre: logic.True, Post: logic.LEq(k(200), v("g"))}); verdict != -1 {
+		t.Fatalf("verdict = %d, want -1", verdict)
+	}
+	if _, verdict := db.Answer(Question{Proc: "p", Pre: eqv("g", 9), Post: eqv("g", 50)}); verdict != 0 {
+		t.Fatalf("verdict = %d, want 0", verdict)
+	}
+}
+
+func TestProcIsolation(t *testing.T) {
+	db := New(smt.New())
+	db.Add(Summary{Kind: NotMay, Proc: "p", Pre: logic.True, Post: logic.False})
+	if _, ok := db.AnswerNo(Question{Proc: "other", Pre: logic.True, Post: logic.False}); ok {
+		t.Fatal("summary leaked across procedures")
+	}
+	if len(db.ForProc("p")) != 1 || len(db.ForProc("other")) != 0 {
+		t.Fatal("ForProc wrong")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	db := New(smt.New())
+	s := Summary{Kind: Must, Proc: "p", Pre: eqv("g", 1), Post: eqv("g", 2)}
+	db.Add(s)
+	db.Add(s)
+	if db.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", db.Count())
+	}
+	if db.StatsSnapshot().DupesSkip != 1 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestDisabledDB(t *testing.T) {
+	db := NewDisabled(smt.New())
+	db.Add(Summary{Kind: Must, Proc: "p", Pre: logic.True, Post: logic.True})
+	if db.Count() != 0 {
+		t.Fatal("disabled DB stored a summary")
+	}
+	if _, ok := db.AnswerYes(Question{Proc: "p", Pre: logic.True, Post: logic.True}); ok {
+		t.Fatal("disabled DB answered")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	db := New(smt.New())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				db.Add(Summary{Kind: Must, Proc: "p", Pre: eqv("g", int64(i*100+j)), Post: eqv("g", 0)})
+				db.Answer(Question{Proc: "p", Pre: logic.True, Post: eqv("g", 0)})
+				db.ForProc("p")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if db.Count() != 400 {
+		t.Fatalf("Count = %d, want 400", db.Count())
+	}
+	st := db.StatsSnapshot()
+	if st.Added != 400 {
+		t.Fatalf("Added = %d", st.Added)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	s := Summary{Kind: Must, Proc: "p", Pre: logic.True, Post: logic.False}
+	if got := fmt.Sprint(s); got == "" {
+		t.Fatal("empty summary string")
+	}
+	if Must.String() != "must" || NotMay.String() != "not-may" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,206 @@
+// Package witness turns an ErrorReachable verdict into a concrete
+// counterexample: a sequence of nondeterministic input values and the
+// execution trace they induce, found by randomized directed search with
+// the concrete interpreter (the role DART-style test generation plays in
+// the Yogi toolchain the paper builds on).
+package witness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+// Trace is a concrete failing execution.
+type Trace struct {
+	// Havocs are the input values, in draw order; replaying them with a
+	// fixed scheduler reproduces the failure.
+	Havocs []int64
+	// Seed is the scheduler seed that reproduces the run.
+	Seed int64
+	// Steps is the executed edge sequence.
+	Steps []interp.TraceStep
+	// Final is the error state at main's exit.
+	Final interp.State
+
+	rangeUsed int64
+}
+
+// Options bound the search.
+type Options struct {
+	// MaxSeeds bounds the number of randomized runs tried (default 4000).
+	MaxSeeds int
+	// MaxSteps bounds each run (default 100000).
+	MaxSteps int
+	// HavocRange bounds input magnitudes (default 16).
+	HavocRange int64
+}
+
+// Find searches for a concrete execution of prog that reaches main's exit
+// with the error flag raised. ok=false when no witness was found within
+// the budget (which does not refute reachability — the witness may need
+// inputs outside the searched range).
+func Find(prog *cfg.Program, opts Options) (*Trace, bool) {
+	if opts.MaxSeeds == 0 {
+		opts.MaxSeeds = 4000
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100000
+	}
+	if opts.HavocRange == 0 {
+		opts.HavocRange = 16
+	}
+	pool := constantPool(prog)
+	for seed := int64(0); seed < int64(opts.MaxSeeds); seed++ {
+		// Widen the input range geometrically across the seed budget:
+		// 1×, 4×, 16×, 64× for each successive quarter.
+		r := opts.HavocRange
+		for q := int64(opts.MaxSeeds) / 4; q > 0 && seed >= q; q += int64(opts.MaxSeeds) / 4 {
+			r *= 4
+		}
+		res := interp.Run(prog, interp.Options{
+			Rand:        rand.New(rand.NewSource(seed)),
+			MaxSteps:    opts.MaxSteps,
+			HavocRange:  r,
+			RecordTrace: true,
+			HavocPool:   pool,
+		})
+		if res.Completed && res.Final[parser.ErrVar] != 0 {
+			return &Trace{
+				Havocs:    res.Havocs,
+				Seed:      seed,
+				Steps:     res.Trace,
+				Final:     res.Final,
+				rangeUsed: r,
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// Replay re-executes the witness deterministically and reports whether it
+// still fails (a self-check for reproducibility).
+func (tr *Trace) Replay(prog *cfg.Program) bool {
+	res := interp.Run(prog, interp.Options{
+		Rand:       rand.New(rand.NewSource(tr.Seed)),
+		HavocRange: tr.rangeUsed,
+		HavocPool:  constantPool(prog),
+	})
+	return res.Completed && res.Final[parser.ErrVar] != 0
+}
+
+// constantPool collects the integer literals appearing in the program and
+// their neighbours, the values most likely to flip guards.
+func constantPool(prog *cfg.Program) []int64 {
+	set := map[int64]bool{0: true, 1: true, -1: true}
+	var addInt func(e lang.IntExpr)
+	addInt = func(e lang.IntExpr) {
+		switch e := e.(type) {
+		case lang.Const:
+			for _, v := range []int64{e.Val, e.Val - 1, e.Val + 1, -e.Val} {
+				set[v] = true
+			}
+		case lang.Add:
+			addInt(e.X)
+			addInt(e.Y)
+		case lang.Sub:
+			addInt(e.X)
+			addInt(e.Y)
+		case lang.Neg:
+			addInt(e.X)
+		case lang.Mul:
+			addInt(e.X)
+		}
+	}
+	var addBool func(b lang.BoolExpr)
+	addBool = func(b lang.BoolExpr) {
+		switch b := b.(type) {
+		case lang.Cmp:
+			addInt(b.X)
+			addInt(b.Y)
+		case lang.And:
+			addBool(b.X)
+			addBool(b.Y)
+		case lang.Or:
+			addBool(b.X)
+			addBool(b.Y)
+		case lang.Not:
+			addBool(b.X)
+		}
+	}
+	for _, proc := range prog.Procs {
+		for _, e := range proc.Edges {
+			switch s := e.Stmt.(type) {
+			case lang.Assign:
+				addInt(s.Rhs)
+			case lang.Assume:
+				addBool(s.Cond)
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Format renders the trace for humans: the inputs, then the statement
+// path with call/return structure, eliding bookkeeping edges.
+func (tr *Trace) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample (seed %d)\n", tr.Seed)
+	if len(tr.Havocs) > 0 {
+		fmt.Fprintf(&b, "inputs: %v\n", tr.Havocs)
+	}
+	fmt.Fprintf(&b, "trace:\n")
+	var stack []string
+	for _, s := range tr.Steps {
+		if len(stack) == 0 {
+			stack = []string{s.Proc}
+		}
+		// Returning: unwind to the frame this step belongs to.
+		for len(stack) > 1 && stack[len(stack)-1] != s.Proc {
+			stack = stack[:len(stack)-1]
+		}
+		depth := len(stack) - 1
+		switch stmt := s.Stmt.(type) {
+		case lang.Skip:
+			continue
+		case lang.Call:
+			fmt.Fprintf(&b, "  %s%s: call %s\n", strings.Repeat("  ", depth), s.Proc, stmt.Proc)
+			stack = append(stack, stmt.Proc)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s%s: %s\n", strings.Repeat("  ", depth), s.Proc, s.Stmt)
+	}
+	var finals []string
+	for _, g := range sortedVars(tr.Final) {
+		if strings.HasPrefix(string(g), "$") {
+			continue
+		}
+		finals = append(finals, fmt.Sprintf("%s=%d", g, tr.Final[g]))
+	}
+	fmt.Fprintf(&b, "error state: %s\n", strings.Join(finals, " "))
+	return b.String()
+}
+
+func sortedVars(s interp.State) []lang.Var {
+	out := make([]lang.Var, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package witness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/parser"
+)
+
+func TestFindWitnessSimple(t *testing.T) {
+	prog := parser.MustParse(`
+proc main {
+  locals x;
+  havoc x;
+  if (x > 7) { assert(x <= 7); }
+}`)
+	tr, ok := Find(prog, Options{})
+	if !ok {
+		t.Fatal("no witness found")
+	}
+	if len(tr.Havocs) == 0 || tr.Havocs[0] <= 7 {
+		t.Fatalf("witness inputs %v do not trigger the bug", tr.Havocs)
+	}
+	if !tr.Replay(prog) {
+		t.Fatal("witness does not replay")
+	}
+	out := tr.Format()
+	for _, want := range []string{"counterexample", "inputs:", "trace:", "error state:", "__err=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindWitnessThroughCalls(t *testing.T) {
+	prog := parser.MustParse(`
+globals g;
+proc main {
+  g = 0;
+  child();
+  assert(g <= 0);
+}
+proc child {
+  locals v;
+  havoc v;
+  if (v == 3) { g = 1; }
+}`)
+	tr, ok := Find(prog, Options{})
+	if !ok {
+		t.Fatal("no witness found")
+	}
+	out := tr.Format()
+	if !strings.Contains(out, "call child") {
+		t.Errorf("trace missing the call:\n%s", out)
+	}
+	if !strings.Contains(out, "g = 1") {
+		t.Errorf("trace missing the mutation:\n%s", out)
+	}
+}
+
+func TestFindWitnessOnSafeProgramFails(t *testing.T) {
+	prog := parser.MustParse(`proc main { locals x; x = 1; assert(x > 0); }`)
+	if _, ok := Find(prog, Options{MaxSeeds: 200}); ok {
+		t.Fatal("found a witness in a safe program")
+	}
+}
+
+func TestFindWitnessOnBuggyDriver(t *testing.T) {
+	prog := drivers.Generate(drivers.NamedCheck("parport", "IoAllocateFree", true).Config)
+	tr, ok := Find(prog, Options{})
+	if !ok {
+		t.Fatal("no witness for the injected driver bug")
+	}
+	if !strings.Contains(tr.Format(), "allocs") {
+		t.Error("trace does not mention the monitor variable")
+	}
+}
+
+func TestWitnessReplayOnCorpus(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/corpus/bug_*.bolt")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := parser.MustParse(string(src))
+		tr, ok := Find(prog, Options{})
+		if !ok {
+			t.Errorf("%s: no witness found", filepath.Base(f))
+			continue
+		}
+		if !tr.Replay(prog) {
+			t.Errorf("%s: witness does not replay", filepath.Base(f))
+		}
+		if len(tr.Steps) == 0 {
+			t.Errorf("%s: empty trace", filepath.Base(f))
+		}
+	}
+}
