@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the tier-1 gate: everything must pass before a change lands.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race re-runs the concurrency-heavy packages under the race detector:
+# the streaming engine and the sharded summary database.
+race:
+	$(GO) test -race ./internal/core/... ./internal/summary/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .

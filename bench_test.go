@@ -1,13 +1,18 @@
 package bolt_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/drivers"
 	"repro/internal/harness"
+	"repro/internal/lang"
+	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/punch/maymust"
+	"repro/internal/smt"
+	"repro/internal/summary"
 )
 
 // The benchmarks below regenerate the paper's tables and figures (§5) at
@@ -157,6 +162,81 @@ func BenchmarkAblationNoSumDB(b *testing.B) {
 			Run(core.AssertionQuestion(prog))
 		b.ReportMetric(float64(r.VirtualTicks), "vticks")
 	}
+}
+
+// BenchmarkAsyncVsBarrier: the streaming work-stealing engine against the
+// bulk-synchronous baseline at 8 threads. The first check is a regular
+// corpus-scale run (async must not be slower in virtual ticks); the
+// second is straggler-heavy — long PUNCH invocations of very uneven cost
+// — where the barrier idles whole batches and streaming should win.
+// Verdict confluence is asserted on every iteration.
+func BenchmarkAsyncVsBarrier(b *testing.B) {
+	checks := []struct{ name, driver, prop string }{
+		{"parport", "parport", "MarkPowerDown"},
+		{"straggler", "selsusp", "IrqlExAllocatePool"},
+	}
+	for _, c := range checks {
+		prog := drivers.Generate(drivers.NamedCheck(c.driver, c.prop, false).Config)
+		want := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8, MaxIterations: 1 << 19}).
+			Run(core.AssertionQuestion(prog)).Verdict
+		for _, mode := range []string{"barrier", "async"} {
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := core.New(prog, core.Options{
+						Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8,
+						MaxIterations: 1 << 19, Async: mode == "async",
+					}).Run(core.AssertionQuestion(prog))
+					if r.Verdict != want {
+						b.Fatalf("verdict = %v, barrier baseline said %v", r.Verdict, want)
+					}
+					b.ReportMetric(float64(r.VirtualTicks), "vticks")
+					if mode == "async" {
+						b.ReportMetric(float64(r.Steals), "steals")
+						b.ReportMetric(float64(r.IdleWaits), "idlewaits")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSumDBAnswer: query-answering latency against a prebuilt
+// summary database. "repeat" re-asks one question (served by the memo
+// after the first scan); "varied" cycles fresh questions (always scans
+// the shard's summary slice).
+func BenchmarkSumDBAnswer(b *testing.B) {
+	g := func(x int64) logic.Formula { return logic.Eq(logic.LinVar(lang.Var("g")), logic.LinConst(x)) }
+	build := func() *summary.DB {
+		db := summary.New(smt.New())
+		for p := 0; p < 8; p++ {
+			proc := fmt.Sprintf("proc%d", p)
+			for i := int64(0); i < 64; i++ {
+				db.Add(summary.Summary{Kind: summary.Must, Proc: proc, Pre: g(i), Post: g(i + 1)})
+			}
+		}
+		return db
+	}
+	b.Run("repeat", func(b *testing.B) {
+		db := build()
+		q := summary.Question{Proc: "proc3", Pre: g(63), Post: g(64)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := db.AnswerYes(q); !ok {
+				b.Fatal("no answer")
+			}
+		}
+		b.ReportMetric(float64(db.StatsSnapshot().MemoHits), "memohits")
+	})
+	b.Run("varied", func(b *testing.B) {
+		db := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := summary.Question{Proc: fmt.Sprintf("proc%d", i%8), Pre: g(int64(i % 64)), Post: g(int64(i%64) + 1)}
+			if _, ok := db.AnswerYes(q); !ok {
+				b.Fatal("no answer")
+			}
+		}
+	})
 }
 
 // BenchmarkSolver: the QF_LIA substrate on a representative formula mix.

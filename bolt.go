@@ -131,6 +131,11 @@ type Options struct {
 	Timeout time.Duration
 	// Speculate enables the §7 speculative extension.
 	Speculate bool
+	// Async selects the streaming work-stealing engine: persistent
+	// workers, incremental REDUCE per completed query, and root-done
+	// cancellation instead of bulk-synchronous MAP/REDUCE batches. Same
+	// verdicts, lower wall-clock on straggler-heavy workloads.
+	Async bool
 	// DisableGC and DisableSumDB are the ablation switches.
 	DisableGC    bool
 	DisableSumDB bool
@@ -182,6 +187,7 @@ func (o Options) engine(prog *cfg.Program) *core.Engine {
 		MaxVirtualTicks: o.MaxVirtualTicks,
 		RealTimeout:     o.Timeout,
 		Speculate:       o.Speculate,
+		Async:           o.Async,
 		DisableGC:       o.DisableGC,
 		DisableSumDB:    o.DisableSumDB,
 	})

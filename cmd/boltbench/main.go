@@ -27,9 +27,10 @@ func main() {
 		maxChecks = flag.Int("suite", 110, "suite subset size for table 2 (0 = all 495)")
 		hard      = flag.Int64("hard", 200000, "sequential ticks for a check to count as hard (table 2)")
 		wall      = flag.Duration("wall", 120*time.Second, "wall-clock safety budget per run")
+		async     = flag.Bool("async", false, "run every check with the streaming work-stealing engine")
 	)
 	flag.Parse()
-	opts := harness.Options{WallBudget: *wall}
+	opts := harness.Options{WallBudget: *wall, Async: *async}
 
 	did := false
 	run := func(n int, f func()) {

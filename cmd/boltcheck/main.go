@@ -22,6 +22,7 @@ func main() {
 	var (
 		analysis = flag.String("analysis", "maymust", "intraprocedural analysis: maymust|may|must")
 		threads  = flag.Int("threads", 8, "maximum concurrent queries (1 = sequential)")
+		async    = flag.Bool("async", false, "use the streaming work-stealing engine instead of bulk-synchronous MAP/REDUCE")
 		timeout  = flag.Duration("timeout", 60*time.Second, "wall-clock budget (0 = none)")
 		ticks    = flag.Int64("ticks", 0, "virtual-time budget (0 = none)")
 		proc     = flag.String("proc", "", "procedure for a custom reachability question")
@@ -55,6 +56,7 @@ func main() {
 		Threads:         *threads,
 		Timeout:         *timeout,
 		MaxVirtualTicks: *ticks,
+		Async:           *async,
 		FindWitness:     *wit,
 	}
 	switch *analysis {

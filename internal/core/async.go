@@ -1,0 +1,368 @@
+// Streaming BOLT: an asynchronous work-stealing alternative to the
+// bulk-synchronous Fig. 4 loop. The barrier engine's MAP stage waits for
+// its slowest PUNCH before REDUCE may wake any parent, so one
+// long-running query idles the whole fleet — the straggler effect that
+// asynchronous task pools eliminate. Here a persistent pool of
+// MaxThreads workers pulls Ready queries from per-worker deques
+// (LIFO-local for cache affinity and depth-first flavour, FIFO-steal for
+// breadth when idle), and REDUCE happens incrementally per completion:
+// a finished query immediately wakes its Blocked parent and
+// garbage-collects its subtree without waiting for the rest of any
+// batch. When the root query completes, in-flight work is cancelled.
+//
+// Semantics match the barrier engine: the same PUNCH contract, the same
+// summary-database monotonicity, and therefore the same verdicts (the
+// confluence tests assert this across the corpus and fuzz seeds). The
+// virtual clock is event-driven instead of batch-synchronous: each
+// completed PUNCH invocation's cost is assigned greedily to the
+// least-loaded simulated core, and virtual time is the resulting online
+// list-scheduling makespan — the exact analogue of the barrier engine's
+// per-batch makespan without the barrier.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// coreClock is the event-driven virtual clock: a min-heap of simulated
+// core loads. Each completion event assigns its cost to the least-loaded
+// core; the clock reads the makespan so far.
+type coreClock struct {
+	load  []int64 // min-heap
+	vtime int64   // max completion time assigned so far
+}
+
+func newCoreClock(cores int) *coreClock {
+	if cores <= 0 {
+		cores = 1
+	}
+	return &coreClock{load: make([]int64, cores)}
+}
+
+// assign charges cost to the least-loaded core and returns the new
+// virtual time. Tracking the running max of assigned completion times is
+// exactly the makespan: the eventually-max-loaded core reached its load
+// via its own last assignment.
+func (c *coreClock) assign(cost int64) int64 {
+	l := c.load[0] + cost
+	c.load[0] = l
+	siftDown(c.load, 0)
+	if l > c.vtime {
+		c.vtime = l
+	}
+	return c.vtime
+}
+
+// asyncState is the shared scheduler state. One mutex guards the deques,
+// the query tree and the instrumentation; PUNCH — the dominant cost —
+// always runs outside the lock.
+type asyncState struct {
+	e    *Engine
+	root query.ID
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	tree *query.Tree
+	// deques[i] is worker i's deque: the owner pushes and pops at the
+	// tail (LIFO, depth-first on its own children), thieves steal from
+	// the head (FIFO, oldest queries first).
+	deques  [][]*query.Query
+	queued  map[query.ID]bool // in some deque (dedup guard)
+	running map[query.ID]bool // currently inside a PUNCH invocation
+	// rewake marks running queries whose child completed mid-flight: if
+	// such a query returns Blocked it is immediately re-enqueued, so the
+	// wake-up is never lost (the barrier engine gets this for free from
+	// its stage ordering).
+	rewake map[query.ID]bool
+
+	stopped   bool
+	timedOut  bool
+	busy      int   // workers inside PUNCH
+	events    int64 // completion events processed
+	maxEvents int64
+	doneCount int64
+	clock     *coreClock
+	start     time.Time
+	res       *Result
+}
+
+// runAsync answers q0 with the streaming engine.
+func (e *Engine) runAsync(q0 summary.Question) Result {
+	start := time.Now()
+	solver := smt.New()
+	var db *summary.DB
+	if e.opts.DisableSumDB {
+		db = summary.NewDisabled(solver)
+	} else {
+		db = summary.New(solver)
+	}
+	alloc := &query.Allocator{}
+	ctx := &punch.Context{Prog: e.prog, DB: db, Alloc: alloc, ModRef: e.prog.ModRef()}
+	tree := query.NewTree()
+	root := alloc.New(query.NoParent, q0)
+	tree.Add(root)
+
+	cores := e.opts.VirtualCores
+	if cores <= 0 || cores > e.opts.MaxThreads {
+		cores = e.opts.MaxThreads
+	}
+	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
+	s := &asyncState{
+		e:       e,
+		root:    root.ID,
+		tree:    tree,
+		deques:  make([][]*query.Query, e.opts.MaxThreads),
+		queued:  map[query.ID]bool{},
+		running: map[query.ID]bool{},
+		rewake:  map[query.ID]bool{},
+		// The barrier engine's MaxIterations bounds batches of up to
+		// MaxThreads invocations; bound completion events equivalently.
+		maxEvents: int64(e.opts.MaxIterations) * int64(e.opts.MaxThreads),
+		clock:     newCoreClock(cores),
+		start:     start,
+		res:       &res,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.push(0, root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.opts.MaxThreads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id, ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	if res.Verdict == Unknown {
+		if s.timedOut {
+			res.TimedOut = true
+		} else if tree.Len() > 0 {
+			// Work drained with live queries left: every survivor is
+			// Blocked and no child can ever answer (the query tree has no
+			// cycles), so the analysis is stuck.
+			res.Deadlocked = true
+		}
+	}
+	res.TotalQueries = alloc.Count()
+	res.DoneQueries = s.doneCount
+	res.VirtualTicks = s.clock.vtime
+	res.WallTime = time.Since(start)
+	res.SumDB = db.StatsSnapshot()
+	res.Solver = solver.StatsSnapshot()
+	res.Summaries = db.All()
+	return res
+}
+
+// worker is the persistent loop of one pool member.
+func (s *asyncState) worker(id int, ctx *punch.Context) {
+	s.mu.Lock()
+	for {
+		if s.stopped {
+			break
+		}
+		if s.checkBudgets() {
+			break
+		}
+		q := s.pop(id)
+		if q == nil {
+			if s.busy == 0 {
+				// No queued work anywhere and nobody running who could
+				// produce more: the run is over (root answered, or every
+				// survivor is Blocked).
+				s.stop()
+				break
+			}
+			s.res.IdleWaits++
+			s.cond.Wait()
+			continue
+		}
+		s.busy++
+		s.running[q.ID] = true
+		// While PUNCH runs it may mutate q in place outside the lock;
+		// keep index scans (ReadyCount, InState) away from it.
+		s.tree.Deschedule(q.ID)
+		s.mu.Unlock()
+		r := s.e.opts.Punch.Step(ctx, q)
+		s.mu.Lock()
+		s.busy--
+		delete(s.running, q.ID)
+		s.reduce(id, q, r)
+	}
+	s.mu.Unlock()
+}
+
+// checkBudgets enforces the wall-clock, virtual-tick and event budgets.
+// Called with mu held; returns true when the run must stop.
+func (s *asyncState) checkBudgets() bool {
+	o := &s.e.opts
+	if (o.RealTimeout > 0 && time.Since(s.start) > o.RealTimeout) ||
+		(o.MaxVirtualTicks > 0 && s.clock.vtime >= o.MaxVirtualTicks) ||
+		s.events >= s.maxEvents {
+		s.timedOut = true
+		s.stop()
+		return true
+	}
+	return false
+}
+
+// stop cancels the run: workers finish their current PUNCH invocation
+// and exit. Called with mu held.
+func (s *asyncState) stop() {
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// push enqueues q on worker id's deque unless it is already queued or
+// running. Called with mu held.
+func (s *asyncState) push(id int, q *query.Query) {
+	if s.stopped || s.queued[q.ID] || s.running[q.ID] {
+		return
+	}
+	s.queued[q.ID] = true
+	s.deques[id] = append(s.deques[id], q)
+	s.cond.Signal()
+}
+
+// pop returns the next runnable query for worker id: newest from its own
+// deque, else oldest stolen from another worker's. Entries whose query
+// was garbage-collected or is no longer Ready are discarded in passing.
+// Called with mu held.
+func (s *asyncState) pop(id int) *query.Query {
+	for {
+		var q *query.Query
+		if d := s.deques[id]; len(d) > 0 {
+			q = d[len(d)-1]
+			s.deques[id] = d[:len(d)-1]
+		} else {
+			for off := 1; off < len(s.deques); off++ {
+				v := (id + off) % len(s.deques)
+				if d := s.deques[v]; len(d) > 0 {
+					q = d[0]
+					s.deques[v] = d[1:]
+					s.res.Steals++
+					break
+				}
+			}
+		}
+		if q == nil {
+			return nil
+		}
+		delete(s.queued, q.ID)
+		if live := s.tree.Get(q.ID); live == q && q.State == query.Ready {
+			return q
+		}
+		// Stale: the subtree was collected or the state moved on.
+	}
+}
+
+// reduce applies one PUNCH result: the incremental REDUCE stage. Called
+// with mu held.
+func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
+	if s.e.opts.CheckContract {
+		if err := punch.CheckContract(q, r); err != nil {
+			panic(err)
+		}
+	}
+	s.events++
+	vtimeBefore := s.clock.vtime
+	s.clock.assign(r.Cost)
+	s.res.CostByProc[q.Q.Proc] += r.Cost
+	wasRewake := s.rewake[r.Self.ID]
+	delete(s.rewake, r.Self.ID)
+
+	if s.tree.Get(r.Self.ID) == nil {
+		// The query's subtree was garbage-collected while it ran (its
+		// parent finished first): the result is obsolete. The cost was
+		// still charged — real cycles were spent.
+		s.sample(vtimeBefore, r.Cost, 0)
+		return
+	}
+	s.tree.Replace(r.Self)
+	newQ := 0
+	if r.Self.State != query.Done {
+		for _, c := range r.Children {
+			s.tree.Add(c)
+			s.push(id, c)
+			newQ++
+		}
+	}
+	if l := s.tree.Len(); l > s.res.PeakLive {
+		s.res.PeakLive = l
+	}
+
+	switch r.Self.State {
+	case query.Done:
+		s.doneCount++
+		if r.Self.ID == s.root {
+			// Root answered: record the verdict and cancel all in-flight
+			// and queued work.
+			s.res.RootOutcome = r.Self.Outcome
+			switch r.Self.Outcome {
+			case query.Reachable:
+				s.res.Verdict = ErrorReachable
+			case query.Unreachable:
+				s.res.Verdict = Safe
+			}
+			s.sample(vtimeBefore, r.Cost, newQ)
+			s.stop()
+			return
+		}
+		if r.Self.Parent != query.NoParent {
+			if p := s.tree.Get(r.Self.Parent); p != nil {
+				if s.running[p.ID] {
+					// The parent is inside PUNCH right now; poke it to
+					// re-run if it comes back Blocked.
+					s.rewake[p.ID] = true
+				} else if p.State == query.Blocked {
+					s.tree.SetState(p.ID, query.Ready)
+					s.push(id, p)
+				}
+			}
+		}
+		if !s.e.opts.DisableGC {
+			s.tree.RemoveSubtree(r.Self.ID)
+		}
+	case query.Ready:
+		// Budget slice exhausted: more work to do, go around again.
+		s.push(id, r.Self)
+	case query.Blocked:
+		if wasRewake {
+			// A child completed while this query ran; its answer may be
+			// exactly what unblocks it.
+			s.tree.SetState(r.Self.ID, query.Ready)
+			s.push(id, r.Self)
+		}
+	}
+	s.sample(vtimeBefore, r.Cost, newQ)
+	if rc := s.tree.ReadyCount(); rc > s.res.PeakReady {
+		s.res.PeakReady = rc
+	}
+}
+
+// sample records one completion event in the instrumentation trace.
+// Called with mu held.
+func (s *asyncState) sample(vtimeBefore, cost int64, newQ int) {
+	s.res.Iterations = int(s.events)
+	smp := IterSample{
+		Iter:       int(s.events) - 1,
+		VTime:      vtimeBefore,
+		StageCost:  cost,
+		Ready:      s.tree.ReadyCount(),
+		Processed:  1,
+		Live:       s.tree.Len(),
+		DoneSoFar:  s.doneCount,
+		NewQueries: newQ,
+	}
+	s.res.Trace = append(s.res.Trace, smp)
+	if s.e.opts.OnIteration != nil {
+		s.e.opts.OnIteration(smp)
+	}
+}

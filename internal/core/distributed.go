@@ -188,7 +188,7 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 			}
 			for _, n := range nodes {
 				for _, q := range n.tree.InState(query.Blocked) {
-					q.State = query.Ready
+					n.tree.SetState(q.ID, query.Ready)
 				}
 			}
 			res.Rounds = round + 1
@@ -244,7 +244,7 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 					for _, other := range nodes {
 						if p := other.tree.Get(self.Parent); p != nil {
 							if p.State == query.Blocked {
-								p.State = query.Ready
+								other.tree.SetState(p.ID, query.Ready)
 							}
 							break
 						}

@@ -98,9 +98,20 @@ type Options struct {
 	CheckContract bool
 	// Speculate enables the §7 speculative extension: when a MAP stage has
 	// spare thread slots, Blocked queries are also scheduled so they can
-	// re-examine SUMDB and fan out further work early.
+	// re-examine SUMDB and fan out further work early. (Barrier engine
+	// only; the streaming engine keeps workers saturated by design.)
 	Speculate bool
-	// OnIteration, when set, observes per-iteration samples.
+	// Async selects the streaming work-stealing engine (async.go): a
+	// persistent pool of MaxThreads workers pulls Ready queries from
+	// work-stealing deques and REDUCE happens incrementally per Done
+	// result, so a finished query immediately wakes its Blocked parent
+	// without waiting for the rest of a batch. Verdict semantics are
+	// identical to the barrier engine; scheduling (and hence trace
+	// shapes) is nondeterministic.
+	Async bool
+	// OnIteration, when set, observes per-iteration samples. Under Async
+	// each sample is one PUNCH completion event rather than one
+	// MAP/REDUCE batch.
 	OnIteration func(IterSample)
 }
 
@@ -130,7 +141,13 @@ type Result struct {
 	WallTime     time.Duration
 	TimedOut     bool
 	Deadlocked   bool
-	Trace        []IterSample
+	// Steals and IdleWaits instrument the streaming engine's scheduler:
+	// how many queries were stolen from another worker's deque, and how
+	// many times a worker found no runnable work and had to park. Both
+	// are zero for the barrier engine.
+	Steals    int64
+	IdleWaits int64
+	Trace     []IterSample
 	SumDB        summary.Stats
 	Solver       smt.Stats
 	// CostByProc aggregates PUNCH cost per analyzed procedure, a profile
@@ -160,8 +177,13 @@ func New(prog *cfg.Program, opts Options) *Engine {
 	return &Engine{prog: prog, opts: opts}
 }
 
-// Run answers the verification question q0 (Fig. 4).
+// Run answers the verification question q0 (Fig. 4). With Options.Async
+// it delegates to the streaming work-stealing engine; otherwise it runs
+// the paper's bulk-synchronous MAP/REDUCE loop.
 func (e *Engine) Run(q0 summary.Question) Result {
+	if e.opts.Async {
+		return e.runAsync(q0)
+	}
 	start := time.Now()
 	solver := smt.New()
 	var db *summary.DB
@@ -217,7 +239,7 @@ func (e *Engine) Run(q0 summary.Question) Result {
 				if len(sel) >= e.opts.MaxThreads {
 					break
 				}
-				b.State = query.Ready
+				tree.SetState(b.ID, query.Ready)
 				sel = append(sel, b)
 			}
 		}
@@ -280,6 +302,12 @@ func (e *Engine) Run(q0 summary.Question) Result {
 			break
 		}
 
+		// The true live peak is reached before REDUCE garbage-collects
+		// Done subtrees; record it here as well as after GC below.
+		if tree.Len() > res.PeakLive {
+			res.PeakLive = tree.Len()
+		}
+
 		// REDUCE: wake Blocked parents of Done queries and garbage-collect
 		// Done subtrees (§3.3).
 		for i := range results {
@@ -290,7 +318,7 @@ func (e *Engine) Run(q0 summary.Question) Result {
 			doneCount++
 			if self.Parent != query.NoParent {
 				if p := tree.Get(self.Parent); p != nil && p.State == query.Blocked {
-					p.State = query.Ready
+					tree.SetState(p.ID, query.Ready)
 				}
 			}
 			if !e.opts.DisableGC {
@@ -319,7 +347,10 @@ func (e *Engine) Run(q0 summary.Question) Result {
 
 // makespan computes the greedy list-scheduling completion time of the
 // given task costs on n identical machines (tasks assigned in order to
-// the least-loaded machine).
+// the least-loaded machine). The machine loads live in a binary min-heap,
+// so each assignment is O(log n) instead of the former O(n) scan; since
+// the machines are identical, which min-loaded machine receives a task
+// does not change the resulting load multiset, so the value is unchanged.
 func makespan(costs []int64, n int) int64 {
 	if n <= 0 {
 		n = 1
@@ -330,23 +361,36 @@ func makespan(costs []int64, n int) int64 {
 	if n == 0 {
 		return 0
 	}
-	load := make([]int64, n)
-	for _, c := range costs {
-		min := 0
-		for i := 1; i < n; i++ {
-			if load[i] < load[min] {
-				min = i
-			}
-		}
-		load[min] += c
-	}
+	load := make([]int64, n) // min-heap (all zeros is a valid heap)
 	var out int64
-	for _, l := range load {
+	for _, c := range costs {
+		l := load[0] + c
+		load[0] = l
+		siftDown(load, 0)
 		if l > out {
 			out = l
 		}
 	}
 	return out
+}
+
+// siftDown restores the min-heap property of h after h[i] increased.
+func siftDown(h []int64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 func (e *Engine) sample(res *Result, iter int, vtime, stageCost int64, ready, processed, live int, done int64, newQ int) {

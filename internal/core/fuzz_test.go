@@ -122,26 +122,34 @@ func TestFuzzVerdictSoundness(t *testing.T) {
 	}
 }
 
-// TestFuzzEngineConfluence: sequential and parallel engines agree on
-// random programs (Unknown counts as agreement with anything, since it
-// only reflects resource budgets).
+// TestFuzzEngineConfluence: sequential, parallel and streaming engines
+// agree on random programs (Unknown counts as agreement with anything,
+// since it only reflects resource budgets).
 func TestFuzzEngineConfluence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzzing is not short")
 	}
 	r := rand.New(rand.NewSource(7))
+	configs := []Options{
+		{MaxThreads: 1},
+		{MaxThreads: 8},
+		{MaxThreads: 1, Async: true},
+		{MaxThreads: 8, Async: true},
+	}
 	for i := 0; i < 25; i++ {
 		src := randProgram(r)
 		prog := parser.MustParse(src)
-		var verdicts []Verdict
-		for _, th := range []int{1, 8} {
-			res := New(prog, Options{Punch: maymust.New(), MaxThreads: th, MaxIterations: 1200}).
-				Run(AssertionQuestion(prog))
-			verdicts = append(verdicts, res.Verdict)
+		verdicts := make([]Verdict, len(configs))
+		for j, o := range configs {
+			o.Punch = maymust.New()
+			o.MaxIterations = 1200
+			verdicts[j] = New(prog, o).Run(AssertionQuestion(prog)).Verdict
 		}
-		a, b := verdicts[0], verdicts[1]
-		if a != Unknown && b != Unknown && a != b {
-			t.Fatalf("engines disagree (%v vs %v) on\n%s", a, b, src)
+		for j := 1; j < len(verdicts); j++ {
+			a, b := verdicts[0], verdicts[j]
+			if a != Unknown && b != Unknown && a != b {
+				t.Fatalf("engine configs 0 and %d disagree (%v vs %v) on\n%s", j, a, b, src)
+			}
 		}
 	}
 }

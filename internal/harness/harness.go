@@ -32,6 +32,9 @@ type Options struct {
 	// NewPunch builds a fresh intraprocedural analysis per run; nil uses
 	// the may-must instantiation, as the paper's evaluation does.
 	NewPunch func() punch.Punch
+	// Async runs every check with the streaming work-stealing engine
+	// instead of the paper's bulk-synchronous MAP/REDUCE loop.
+	Async bool
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +75,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		MaxVirtualTicks: opts.TickBudget,
 		RealTimeout:     opts.WallBudget,
 		MaxIterations:   1 << 19,
+		Async:           opts.Async,
 	})
 	res := eng.Run(core.AssertionQuestion(prog))
 	return CheckResult{

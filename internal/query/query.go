@@ -106,15 +106,22 @@ func (a *Allocator) Count() int64 { return atomic.LoadInt64(&a.next) }
 
 // Tree tracks the live query set and the parent/child relation. It is
 // used by the engine between MAP stages (single-goroutine at that point,
-// so it needs no locking).
+// so it needs no locking; the async engine serializes access externally).
+//
+// The tree maintains an incremental index of Ready queries so schedulers
+// do not rescan every live query per iteration. The index is a superset
+// approximation — entries are validated against the query's current state
+// on read and pruned lazily — which keeps it correct even when PUNCH
+// mutates a query's state in place before the engine calls Replace.
 type Tree struct {
 	queries  map[ID]*Query
 	children map[ID][]ID
+	ready    map[ID]*Query // queries Ready at last accounting (lazy superset)
 }
 
 // NewTree returns an empty tree.
 func NewTree() *Tree {
-	return &Tree{queries: map[ID]*Query{}, children: map[ID][]ID{}}
+	return &Tree{queries: map[ID]*Query{}, children: map[ID][]ID{}, ready: map[ID]*Query{}}
 }
 
 // Add inserts a query.
@@ -122,6 +129,16 @@ func (t *Tree) Add(q *Query) {
 	t.queries[q.ID] = q
 	if q.Parent != NoParent {
 		t.children[q.Parent] = append(t.children[q.Parent], q.ID)
+	}
+	t.index(q)
+}
+
+// index refreshes q's membership in the Ready index.
+func (t *Tree) index(q *Query) {
+	if q.State == Ready {
+		t.ready[q.ID] = q
+	} else {
+		delete(t.ready, q.ID)
 	}
 }
 
@@ -134,6 +151,27 @@ func (t *Tree) Replace(q *Query) {
 		panic(fmt.Sprintf("query: Replace of unknown query %d", q.ID))
 	}
 	t.queries[q.ID] = q
+	t.index(q)
+}
+
+// SetState transitions a live query to the given state, keeping the Ready
+// index current. Engines use this instead of writing State directly.
+func (t *Tree) SetState(id ID, s State) {
+	q, ok := t.queries[id]
+	if !ok {
+		return
+	}
+	q.State = s
+	t.index(q)
+}
+
+// Deschedule removes a query from the Ready index without changing its
+// state. The streaming engine calls it when handing a query to PUNCH:
+// while the invocation runs (and may mutate the query in place, outside
+// the scheduler lock), index scans must not read the query. Replace or
+// SetState re-index it afterwards.
+func (t *Tree) Deschedule(id ID) {
+	delete(t.ready, id)
 }
 
 // Len returns the number of live queries.
@@ -162,6 +200,7 @@ func (t *Tree) Descendants(id ID) []ID {
 func (t *Tree) Remove(id ID) {
 	delete(t.queries, id)
 	delete(t.children, id)
+	delete(t.ready, id)
 }
 
 // RemoveSubtree removes q and all its live descendants, returning how many
@@ -175,16 +214,42 @@ func (t *Tree) RemoveSubtree(id ID) int {
 }
 
 // InState returns the live queries in the given state, sorted by ID for
-// deterministic scheduling.
+// deterministic scheduling. The Ready case is served from the incremental
+// index (O(ready) instead of O(live)); stale entries are pruned in
+// passing.
 func (t *Tree) InState(s State) []*Query {
 	var out []*Query
-	for _, q := range t.queries {
-		if q.State == s {
+	if s == Ready {
+		for id, q := range t.ready {
+			if q.State != Ready {
+				delete(t.ready, id)
+				continue
+			}
 			out = append(out, q)
+		}
+	} else {
+		for _, q := range t.queries {
+			if q.State == s {
+				out = append(out, q)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// ReadyCount returns the number of Ready queries, pruning stale index
+// entries in passing.
+func (t *Tree) ReadyCount() int {
+	n := 0
+	for id, q := range t.ready {
+		if q.State != Ready {
+			delete(t.ready, id)
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // All returns the live queries sorted by ID.

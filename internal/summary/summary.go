@@ -6,6 +6,7 @@ package summary
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,28 +73,118 @@ type Stats struct {
 	NoHits    int64
 	Misses    int64
 	DupesSkip int64
+	// MemoHits counts answers served from the bounded question memo
+	// without re-running any solver check.
+	MemoHits int64
 }
 
-// DB is the concurrent summary database SUMDB. All methods are safe for
-// concurrent use; per the paper it is the only resource shared by the
-// parallel instances of PUNCH.
-type DB struct {
+// numShards stripes the procedure map so concurrent PUNCH instances
+// working on different procedures never contend on one lock.
+const numShards = 32
+
+// memoBound caps the per-procedure question memo; when exceeded the memo
+// is reset rather than evicted entry by entry (resets are rare and the
+// memo is purely a cache).
+const memoBound = 4096
+
+// memoEntry records a previously computed answer for one question under
+// one rule. Positive answers stay valid forever (summaries are never
+// removed); negative answers are valid only while the procedure's
+// summary set is unchanged (version matches).
+type memoEntry struct {
+	sum     Summary
+	ok      bool
+	version uint64 // procShard.version at computation time (misses only)
+}
+
+// procShard holds one procedure's summaries: an append-only slice (the
+// hot read path iterates a stable prefix without copying), the dedup key
+// set, and a bounded memo of answered questions.
+type procShard struct {
 	mu      sync.RWMutex
-	byProc  map[string][]Summary
-	keys    map[string]bool
+	keys    map[string]struct{}
+	sums    []Summary // append-only; elements are never mutated in place
+	version uint64    // bumped on every successful Add
+	added   int64     // guarded by mu
+	dupes   int64     // guarded by mu
+
+	memoMu sync.Mutex
+	memo   map[string]memoEntry
+}
+
+// view returns the current stable prefix of the append-only summary
+// slice. The returned header may be iterated without holding any lock:
+// appends may reallocate the backing array, but never mutate elements
+// already visible through this header.
+func (ps *procShard) view() []Summary {
+	ps.mu.RLock()
+	v := ps.sums
+	ps.mu.RUnlock()
+	return v
+}
+
+func (ps *procShard) currentVersion() uint64 {
+	ps.mu.RLock()
+	v := ps.version
+	ps.mu.RUnlock()
+	return v
+}
+
+// memoGet looks up a memoized answer. A hit is returned only when still
+// valid: positive entries always, negative entries only at the recorded
+// summary-set version.
+func (ps *procShard) memoGet(key string, version uint64) (memoEntry, bool) {
+	ps.memoMu.Lock()
+	defer ps.memoMu.Unlock()
+	e, ok := ps.memo[key]
+	if !ok {
+		return memoEntry{}, false
+	}
+	if !e.ok && e.version != version {
+		delete(ps.memo, key) // stale miss: a summary arrived since
+		return memoEntry{}, false
+	}
+	return e, true
+}
+
+func (ps *procShard) memoPut(key string, e memoEntry) {
+	ps.memoMu.Lock()
+	defer ps.memoMu.Unlock()
+	if ps.memo == nil || len(ps.memo) >= memoBound {
+		ps.memo = make(map[string]memoEntry)
+	}
+	ps.memo[key] = e
+}
+
+// shard is one stripe of the procedure map.
+type shard struct {
+	mu    sync.RWMutex
+	procs map[string]*procShard
+}
+
+// DB is the concurrent summary database SUMDB, sharded by procedure. All
+// methods are safe for concurrent use; per the paper it is the only
+// resource shared by the parallel instances of PUNCH.
+type DB struct {
+	shards  [numShards]shard
 	solver  *smt.Solver
-	stats   Stats
 	enabled bool
+	// Global read-path counters (atomics: the read paths hold no
+	// exclusive lock). Added/DupesSkip live per procShard under its
+	// write lock and are summed by StatsSnapshot.
+	yesHits  int64
+	noHits   int64
+	misses   int64
+	memoHits int64
 }
 
 // New returns an empty database using solver for the answering checks.
 func New(solver *smt.Solver) *DB {
-	return &DB{
-		byProc:  map[string][]Summary{},
-		keys:    map[string]bool{},
-		solver:  solver,
-		enabled: true,
+	db := &DB{solver: solver, enabled: true}
+	for i := range db.shards {
+		db.shards[i].procs = map[string]*procShard{}
 	}
+	return db
 }
 
 // NewDisabled returns a database that stores nothing and answers nothing;
@@ -104,31 +195,62 @@ func NewDisabled(solver *smt.Solver) *DB {
 	return db
 }
 
-// Add stores a summary (deduplicated structurally).
+func shardIndex(proc string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(proc))
+	return int(h.Sum32() % numShards)
+}
+
+// lookup returns proc's shard entry, or nil when the procedure has no
+// summaries yet.
+func (db *DB) lookup(proc string) *procShard {
+	sh := &db.shards[shardIndex(proc)]
+	sh.mu.RLock()
+	ps := sh.procs[proc]
+	sh.mu.RUnlock()
+	return ps
+}
+
+// entry returns proc's shard entry, creating it on first use.
+func (db *DB) entry(proc string) *procShard {
+	if ps := db.lookup(proc); ps != nil {
+		return ps
+	}
+	sh := &db.shards[shardIndex(proc)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ps := sh.procs[proc]
+	if ps == nil {
+		ps = &procShard{keys: map[string]struct{}{}}
+		sh.procs[proc] = ps
+	}
+	return ps
+}
+
+// Add stores a summary (deduplicated structurally). Adding bumps the
+// procedure's version, which invalidates memoized "no answer" results
+// for that procedure.
 func (db *DB) Add(s Summary) {
 	if !db.enabled {
 		return
 	}
-	key := fmt.Sprintf("%d|%s|%s|%s", s.Kind, s.Proc, logic.Key(s.Pre), logic.Key(s.Post))
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.keys[key] {
-		atomic.AddInt64(&db.stats.DupesSkip, 1)
+	key := fmt.Sprintf("%d|%s|%s", s.Kind, logic.Key(s.Pre), logic.Key(s.Post))
+	ps := db.entry(s.Proc)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, dup := ps.keys[key]; dup {
+		ps.dupes++
 		return
 	}
-	db.keys[key] = true
-	db.byProc[s.Proc] = append(db.byProc[s.Proc], s)
-	atomic.AddInt64(&db.stats.Added, 1)
+	ps.keys[key] = struct{}{}
+	ps.sums = append(ps.sums, s)
+	ps.version++
+	ps.added++
 }
 
-// snapshot returns the current summaries for proc.
-func (db *DB) snapshot(proc string) []Summary {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ss := db.byProc[proc]
-	out := make([]Summary, len(ss))
-	copy(out, ss)
-	return out
+// questionKey builds the memo key for q under the given answering rule.
+func questionKey(rule byte, q Question) string {
+	return string(rule) + "|" + logic.Key(q.Pre) + "|" + logic.Key(q.Post)
 }
 
 // AnswerYes looks for a must summary (ψ1 ⇒must ψ2) answering q with "yes":
@@ -139,7 +261,23 @@ func (db *DB) AnswerYes(q Question) (Summary, bool) {
 	if !db.enabled {
 		return Summary{}, false
 	}
-	for _, s := range db.snapshot(q.Proc) {
+	ps := db.lookup(q.Proc)
+	if ps == nil {
+		atomic.AddInt64(&db.misses, 1)
+		return Summary{}, false
+	}
+	version := ps.currentVersion()
+	key := questionKey('Y', q)
+	if e, hit := ps.memoGet(key, version); hit {
+		atomic.AddInt64(&db.memoHits, 1)
+		if e.ok {
+			atomic.AddInt64(&db.yesHits, 1)
+			return e.sum, true
+		}
+		atomic.AddInt64(&db.misses, 1)
+		return Summary{}, false
+	}
+	for _, s := range ps.view() {
 		if s.Kind != Must {
 			continue
 		}
@@ -148,11 +286,13 @@ func (db *DB) AnswerYes(q Question) (Summary, bool) {
 		}
 		inter := db.solver.Sat(logic.Conj(q.Post, s.Post))
 		if inter.Known && inter.Sat {
-			atomic.AddInt64(&db.stats.YesHits, 1)
+			atomic.AddInt64(&db.yesHits, 1)
+			ps.memoPut(key, memoEntry{sum: s, ok: true})
 			return s, true
 		}
 	}
-	atomic.AddInt64(&db.stats.Misses, 1)
+	atomic.AddInt64(&db.misses, 1)
+	ps.memoPut(key, memoEntry{version: version})
 	return Summary{}, false
 }
 
@@ -162,16 +302,34 @@ func (db *DB) AnswerNo(q Question) (Summary, bool) {
 	if !db.enabled {
 		return Summary{}, false
 	}
-	for _, s := range db.snapshot(q.Proc) {
+	ps := db.lookup(q.Proc)
+	if ps == nil {
+		atomic.AddInt64(&db.misses, 1)
+		return Summary{}, false
+	}
+	version := ps.currentVersion()
+	key := questionKey('N', q)
+	if e, hit := ps.memoGet(key, version); hit {
+		atomic.AddInt64(&db.memoHits, 1)
+		if e.ok {
+			atomic.AddInt64(&db.noHits, 1)
+			return e.sum, true
+		}
+		atomic.AddInt64(&db.misses, 1)
+		return Summary{}, false
+	}
+	for _, s := range ps.view() {
 		if s.Kind != NotMay {
 			continue
 		}
 		if db.solver.Implies(q.Pre, s.Pre) && db.solver.Implies(q.Post, s.Post) {
-			atomic.AddInt64(&db.stats.NoHits, 1)
+			atomic.AddInt64(&db.noHits, 1)
+			ps.memoPut(key, memoEntry{sum: s, ok: true})
 			return s, true
 		}
 	}
-	atomic.AddInt64(&db.stats.Misses, 1)
+	atomic.AddInt64(&db.misses, 1)
+	ps.memoPut(key, memoEntry{version: version})
 	return Summary{}, false
 }
 
@@ -187,21 +345,29 @@ func (db *DB) Answer(q Question) (Summary, int) {
 	return Summary{}, 0
 }
 
-// ForProc returns a snapshot of the summaries stored for proc.
+// ForProc returns the summaries stored for proc as a stable read-only
+// view: callers may iterate it freely but must not mutate elements.
 func (db *DB) ForProc(proc string) []Summary {
 	if !db.enabled {
 		return nil
 	}
-	return db.snapshot(proc)
+	ps := db.lookup(proc)
+	if ps == nil {
+		return nil
+	}
+	return ps.view()
 }
 
 // Count returns the number of stored summaries.
 func (db *DB) Count() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, ss := range db.byProc {
-		n += len(ss)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, ps := range sh.procs {
+			n += len(ps.view())
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -209,29 +375,49 @@ func (db *DB) Count() int {
 // All returns every stored summary, sorted by procedure then insertion
 // order, for reporting and testing.
 func (db *DB) All() []Summary {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	procs := make([]string, 0, len(db.byProc))
-	for p := range db.byProc {
-		procs = append(procs, p)
+	byProc := map[string][]Summary{}
+	procs := []string{}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for p, ps := range sh.procs {
+			if v := ps.view(); len(v) > 0 {
+				byProc[p] = v
+				procs = append(procs, p)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(procs)
 	var out []Summary
 	for _, p := range procs {
-		out = append(out, db.byProc[p]...)
+		out = append(out, byProc[p]...)
 	}
 	return out
 }
 
-// StatsSnapshot returns a copy of the traffic counters.
+// StatsSnapshot returns a consistent copy of the traffic counters:
+// read-path counters from their atomics, write-path counters summed
+// across the procedure shards.
 func (db *DB) StatsSnapshot() Stats {
-	return Stats{
-		Added:     atomic.LoadInt64(&db.stats.Added),
-		YesHits:   atomic.LoadInt64(&db.stats.YesHits),
-		NoHits:    atomic.LoadInt64(&db.stats.NoHits),
-		Misses:    atomic.LoadInt64(&db.stats.Misses),
-		DupesSkip: atomic.LoadInt64(&db.stats.DupesSkip),
+	st := Stats{
+		YesHits:  atomic.LoadInt64(&db.yesHits),
+		NoHits:   atomic.LoadInt64(&db.noHits),
+		Misses:   atomic.LoadInt64(&db.misses),
+		MemoHits: atomic.LoadInt64(&db.memoHits),
 	}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, ps := range sh.procs {
+			ps.mu.RLock()
+			st.Added += ps.added
+			st.DupesSkip += ps.dupes
+			ps.mu.RUnlock()
+		}
+		sh.mu.RUnlock()
+	}
+	return st
 }
 
 // Solver exposes the database's solver so analyses share one instance (and

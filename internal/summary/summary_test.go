@@ -134,6 +134,101 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestShardedDBHammer drives the sharded DB from 32 goroutines mixing
+// adds, answers and scans across many procedures — run under -race this
+// exercises the striped locks, the append-only summary slices and the
+// per-procedure memo. Final counts must be exact.
+func TestShardedDBHammer(t *testing.T) {
+	db := New(smt.New())
+	const goroutines = 32
+	const perG = 40
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proc := fmt.Sprintf("p%d", i%7) // collide on procedures and shards
+			for j := 0; j < perG; j++ {
+				db.Add(Summary{Kind: Must, Proc: proc, Pre: eqv("g", int64(i*1000+j)), Post: eqv("g", 0)})
+				db.Add(Summary{Kind: Must, Proc: proc, Pre: eqv("g", int64(i*1000+j)), Post: eqv("g", 0)}) // dupe
+				db.AnswerYes(Question{Proc: proc, Pre: logic.True, Post: eqv("g", 0)})
+				db.AnswerNo(Question{Proc: proc, Pre: eqv("g", -1), Post: eqv("g", 99)})
+				db.ForProc(proc)
+				db.Count()
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := int64(goroutines * perG)
+	if got := int64(db.Count()); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	st := db.StatsSnapshot()
+	if st.Added != want {
+		t.Fatalf("Added = %d, want %d", st.Added, want)
+	}
+	if st.DupesSkip != want {
+		t.Fatalf("DupesSkip = %d, want %d", st.DupesSkip, want)
+	}
+	if got := len(db.All()); got != int(want) {
+		t.Fatalf("All() = %d summaries, want %d", got, want)
+	}
+}
+
+// TestMemoInvalidation: a memoized miss must be forgotten when Add lands
+// a summary that can answer the question, and repeated identical
+// questions must be served from the memo.
+func TestMemoInvalidation(t *testing.T) {
+	db := New(smt.New())
+	q := Question{Proc: "p", Pre: eqv("g", 5), Post: logic.LEq(k(6), v("g"))}
+
+	if _, ok := db.AnswerYes(q); ok {
+		t.Fatal("answered before any summary")
+	}
+	// Re-ask: the negative result is memoized, still a miss.
+	if _, ok := db.AnswerYes(q); ok {
+		t.Fatal("answered before any summary (memoized)")
+	}
+
+	// Adding a summary must invalidate the memoized miss.
+	db.Add(Summary{Kind: Must, Proc: "p", Pre: eqv("g", 5), Post: logic.LEq(k(6), v("g"))})
+	if _, ok := db.AnswerYes(q); !ok {
+		t.Fatal("stale memoized miss survived an Add")
+	}
+
+	// Positive answers are memoized; repeats must bump MemoHits (summaries
+	// are never removed, so a hit can be replayed forever).
+	before := db.StatsSnapshot().MemoHits
+	for i := 0; i < 5; i++ {
+		if _, ok := db.AnswerYes(q); !ok {
+			t.Fatal("memoized hit lost")
+		}
+	}
+	if after := db.StatsSnapshot().MemoHits; after < before+5 {
+		t.Fatalf("MemoHits %d -> %d, want +5", before, after)
+	}
+}
+
+// TestMemoAnswerNo: the memo also covers the not-may side.
+func TestMemoAnswerNo(t *testing.T) {
+	db := New(smt.New())
+	q := Question{Proc: "p", Pre: eqv("g", 7), Post: logic.LEq(v("g"), k(-5))}
+	if _, ok := db.AnswerNo(q); ok {
+		t.Fatal("answered before any summary")
+	}
+	db.Add(Summary{Kind: NotMay, Proc: "p", Pre: logic.LEq(k(0), v("g")), Post: logic.LEq(v("g"), k(-1))})
+	if _, ok := db.AnswerNo(q); !ok {
+		t.Fatal("stale memoized miss survived an Add")
+	}
+	before := db.StatsSnapshot().MemoHits
+	if _, ok := db.AnswerNo(q); !ok {
+		t.Fatal("memoized hit lost")
+	}
+	if db.StatsSnapshot().MemoHits != before+1 {
+		t.Fatal("repeat AnswerNo not served from memo")
+	}
+}
+
 func TestStringFormats(t *testing.T) {
 	s := Summary{Kind: Must, Proc: "p", Pre: logic.True, Post: logic.False}
 	if got := fmt.Sprint(s); got == "" {
