@@ -1,15 +1,21 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build cross test race bench
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: vet build test race
+ci: vet build cross test race
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# cross builds for a 32-bit target: int is 32 bits there, which catches
+# the signed-overflow bug class (e.g. int(hash32) % n going negative)
+# together with vet and the uint32-modulo regression tests.
+cross:
+	GOARCH=386 $(GO) build ./...
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,7 @@
 package bolt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -116,6 +117,36 @@ func (v Verdict) String() string {
 	return "Unknown (resources exhausted)"
 }
 
+// StopReason explains why a run terminated. Every Result carries exactly
+// one; an Unknown verdict always comes with the reason the engine gave
+// up (budget, deadlock, cancellation, or — for the distributed
+// simulation — total node failure).
+type StopReason int
+
+// Stop reasons. The values mirror internal/core.StopReason one to one.
+const (
+	// StopNone: the run did not record a reason (zero value).
+	StopNone StopReason = iota
+	// StopRootAnswered: the verification question was answered.
+	StopRootAnswered
+	// StopWallTimeout: the wall-clock budget expired.
+	StopWallTimeout
+	// StopTickBudget: the virtual-time budget expired.
+	StopTickBudget
+	// StopEventBudget: the iteration/event/round budget was exhausted.
+	StopEventBudget
+	// StopDeadlocked: every live query was Blocked with no way to make
+	// progress.
+	StopDeadlocked
+	// StopCancelled: the caller's context was cancelled.
+	StopCancelled
+	// StopNodeFailure: injected faults killed the whole simulated
+	// cluster.
+	StopNodeFailure
+)
+
+func (r StopReason) String() string { return core.StopReason(r).String() }
+
 // Options configure a verification run.
 type Options struct {
 	// Analysis selects the PUNCH instantiation (default MayMust).
@@ -147,13 +178,17 @@ type Options struct {
 
 // Result reports a verification run.
 type Result struct {
-	Verdict      Verdict
+	Verdict Verdict
+	// StopReason records why the run ended; TimedOut and Deadlocked are
+	// views derived from it.
+	StopReason   StopReason
 	TotalQueries int64
 	PeakReady    int
 	Iterations   int
 	VirtualTicks int64
 	WallTime     time.Duration
 	TimedOut     bool
+	Deadlocked   bool
 	// Witness is a concrete counterexample (present only when the verdict
 	// is ErrorReachable and Options.FindWitness was set, and the directed
 	// search succeeded).
@@ -195,12 +230,14 @@ func (o Options) engine(prog *cfg.Program) *core.Engine {
 
 func toResult(r core.Result) Result {
 	out := Result{
+		StopReason:   StopReason(r.StopReason),
 		TotalQueries: r.TotalQueries,
 		PeakReady:    r.PeakReady,
 		Iterations:   r.Iterations,
 		VirtualTicks: r.VirtualTicks,
 		WallTime:     r.WallTime,
 		TimedOut:     r.TimedOut,
+		Deadlocked:   r.Deadlocked,
 	}
 	switch r.Verdict {
 	case core.Safe:
@@ -214,7 +251,14 @@ func toResult(r core.Result) Result {
 // Check verifies the program's assertions: can main reach its exit with
 // the error flag raised?
 func (p *Program) Check(opts Options) Result {
-	res := toResult(opts.engine(p.prog).Run(core.AssertionQuestion(p.prog)))
+	return p.CheckContext(context.Background(), opts)
+}
+
+// CheckContext is Check with external cancellation: cancelling ctx stops
+// the run at the next scheduling boundary with StopReason StopCancelled
+// and all workers joined.
+func (p *Program) CheckContext(ctx context.Context, opts Options) Result {
+	res := toResult(opts.engine(p.prog).RunContext(ctx, core.AssertionQuestion(p.prog)))
 	if res.Verdict == ErrorReachable && opts.FindWitness {
 		if tr, ok := witness.Find(p.prog, witness.Options{}); ok {
 			res.Witness = &Witness{Inputs: tr.Havocs, Text: tr.Format()}
@@ -228,6 +272,11 @@ func (p *Program) Check(opts Options) Result {
 // reach its exit in a state satisfying post? A Safe verdict means post is
 // unreachable; ErrorReachable means some execution reaches it.
 func (p *Program) CheckReach(proc, pre, post string, opts Options) (Result, error) {
+	return p.CheckReachContext(context.Background(), proc, pre, post, opts)
+}
+
+// CheckReachContext is CheckReach with external cancellation.
+func (p *Program) CheckReachContext(ctx context.Context, proc, pre, post string, opts Options) (Result, error) {
 	if p.prog.Proc(proc) == nil {
 		return Result{}, fmt.Errorf("bolt: no procedure %q", proc)
 	}
@@ -240,5 +289,93 @@ func (p *Program) CheckReach(proc, pre, post string, opts Options) (Result, erro
 		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
 	}
 	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
-	return toResult(opts.engine(p.prog).Run(q)), nil
+	return toResult(opts.engine(p.prog).RunContext(ctx, q)), nil
+}
+
+// DistOptions configure a simulated-cluster verification run (the §7
+// distributed design).
+type DistOptions struct {
+	// Analysis selects the PUNCH instantiation (default MayMust).
+	Analysis Analysis
+	// Nodes is the cluster size (default 2).
+	Nodes int
+	// ThreadsPerNode is each node's MAP-stage throttle (default 4).
+	ThreadsPerNode int
+	// SyncEvery is the gossip period in rounds (default 1).
+	SyncEvery int
+	// SyncCost is the virtual-time cost per gossip exchange.
+	SyncCost int64
+	// MaxRounds bounds the simulation (0 = default).
+	MaxRounds int
+	// Timeout bounds wall-clock time (0 = unbounded).
+	Timeout time.Duration
+	// Faults is a fault-injection spec "kill=N@R,drop=P,seed=S"; every
+	// clause is optional and an empty spec injects nothing. See
+	// core.ParseFaults for the grammar.
+	Faults string
+}
+
+// DistResult reports a simulated-cluster run.
+type DistResult struct {
+	Verdict      Verdict
+	StopReason   StopReason
+	Rounds       int
+	TotalQueries int64
+	VirtualTicks int64
+	WallTime     time.Duration
+	// PerNodePeakLive is each node's peak live-query count (the memory
+	// sharding payoff); PerNodeSummaries each node's final summary count.
+	PerNodePeakLive  []int
+	PerNodeSummaries []int
+	SyncExchanges    int
+	// Fault-injection accounting: nodes killed, queries re-routed off
+	// dead nodes, summaries recovered by failover re-gossip, and gossip
+	// deliveries deferred by injected loss.
+	KilledNodes        []int
+	ReroutedQueries    int
+	RecoveredSummaries int
+	DroppedDeliveries  int
+}
+
+// CheckDistributed verifies the program's assertions on the simulated
+// cluster, optionally under an injected fault plan. Verdicts match Check;
+// the distributed result additionally reports per-node memory peaks and
+// fault-recovery accounting.
+func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistResult, error) {
+	faults, err := core.ParseFaults(opts.Faults)
+	if err != nil {
+		return DistResult{}, fmt.Errorf("bolt: %w", err)
+	}
+	eng := core.NewDistributed(p.prog, core.DistOptions{
+		Punch:          newPunch(opts.Analysis),
+		Nodes:          opts.Nodes,
+		ThreadsPerNode: opts.ThreadsPerNode,
+		SyncEvery:      opts.SyncEvery,
+		SyncCost:       opts.SyncCost,
+		MaxRounds:      opts.MaxRounds,
+		RealTimeout:    opts.Timeout,
+		Faults:         faults,
+	})
+	r := eng.RunContext(ctx, core.AssertionQuestion(p.prog))
+	out := DistResult{
+		StopReason:         StopReason(r.StopReason),
+		Rounds:             r.Rounds,
+		TotalQueries:       r.TotalQueries,
+		VirtualTicks:       r.VirtualTicks,
+		WallTime:           r.WallTime,
+		PerNodePeakLive:    r.PerNodePeakLive,
+		PerNodeSummaries:   r.PerNodeSummaries,
+		SyncExchanges:      r.SyncExchanges,
+		KilledNodes:        r.KilledNodes,
+		ReroutedQueries:    r.ReroutedQueries,
+		RecoveredSummaries: r.RecoveredSummaries,
+		DroppedDeliveries:  r.DroppedDeliveries,
+	}
+	switch r.Verdict {
+	case core.Safe:
+		out.Verdict = Safe
+	case core.ErrorReachable:
+		out.Verdict = ErrorReachable
+	}
+	return out, nil
 }

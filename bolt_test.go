@@ -1,6 +1,7 @@
 package bolt_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -156,5 +157,51 @@ func TestFacadeOnGeneratedDriver(t *testing.T) {
 	}
 	if res.VirtualTicks == 0 || res.TotalQueries < 2 {
 		t.Errorf("stats look wrong: %+v", res)
+	}
+}
+
+func TestCheckContextCancelled(t *testing.T) {
+	prog, err := bolt.Parse(apiSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, async := range []bool{false, true} {
+		res := prog.CheckContext(ctx, bolt.Options{Threads: 2, Async: async})
+		if res.StopReason != bolt.StopCancelled {
+			t.Errorf("async=%v: stop reason %v, want %v", async, res.StopReason, bolt.StopCancelled)
+		}
+		if res.Verdict != bolt.Unknown || res.TimedOut || res.Deadlocked {
+			t.Errorf("async=%v: cancelled run reported %v timedOut=%v deadlocked=%v",
+				async, res.Verdict, res.TimedOut, res.Deadlocked)
+		}
+	}
+	if got := bolt.StopCancelled.String(); got != "cancelled" {
+		t.Errorf("StopCancelled.String() = %q", got)
+	}
+}
+
+func TestCheckDistributedWithFaults(t *testing.T) {
+	prog, err := bolt.Parse(apiSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.CheckDistributed(context.Background(), bolt.DistOptions{
+		Nodes:  3,
+		Faults: "kill=1@1,drop=0.1,seed=7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bolt.Safe {
+		t.Fatalf("verdict %v, want Safe (stop %v)", res.Verdict, res.StopReason)
+	}
+	if res.StopReason != bolt.StopRootAnswered {
+		t.Fatalf("stop reason %v", res.StopReason)
+	}
+	// A malformed fault plan is an error, not a panic.
+	if _, err := prog.CheckDistributed(context.Background(), bolt.DistOptions{Nodes: 2, Faults: "drop=2.0"}); err == nil {
+		t.Fatal("invalid fault spec must be rejected")
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +28,17 @@ func main() {
 		maxChecks = flag.Int("suite", 110, "suite subset size for table 2 (0 = all 495)")
 		hard      = flag.Int64("hard", 200000, "sequential ticks for a check to count as hard (table 2)")
 		wall      = flag.Duration("wall", 120*time.Second, "wall-clock safety budget per run")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; expiry cancels in-flight checks (0 = none)")
 		async     = flag.Bool("async", false, "run every check with the streaming work-stealing engine")
 	)
 	flag.Parse()
-	opts := harness.Options{WallBudget: *wall, Async: *async}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := harness.Options{WallBudget: *wall, Async: *async, Ctx: ctx}
 
 	did := false
 	run := func(n int, f func()) {
@@ -84,6 +92,10 @@ func main() {
 	})
 	if !did {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "boltbench: global -timeout expired; remaining runs were cancelled (stop reason %q)\n", "cancelled")
 		os.Exit(2)
 	}
 }

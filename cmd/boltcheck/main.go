@@ -5,11 +5,13 @@
 //
 //	boltcheck [flags] program.bolt
 //	boltcheck -proc main -pre 'true' -post 'g >= 10' program.bolt
+//	boltcheck -dist 3 -faults 'kill=1@3,drop=0.2,seed=42' program.bolt
 //
 // Exit status: 0 safe, 1 error reachable, 2 unknown, 3 usage/parsing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,8 @@ func main() {
 		async    = flag.Bool("async", false, "use the streaming work-stealing engine instead of bulk-synchronous MAP/REDUCE")
 		timeout  = flag.Duration("timeout", 60*time.Second, "wall-clock budget (0 = none)")
 		ticks    = flag.Int64("ticks", 0, "virtual-time budget (0 = none)")
+		dist     = flag.Int("dist", 0, "run on a simulated cluster with this many nodes (0 = single-machine engine)")
+		faults   = flag.String("faults", "", "fault plan for -dist: kill=N@R,drop=P,seed=S (all clauses optional)")
 		proc     = flag.String("proc", "", "procedure for a custom reachability question")
 		pre      = flag.String("pre", "true", "precondition over globals (with -proc)")
 		post     = flag.String("post", "", "postcondition over globals (with -proc)")
@@ -51,6 +55,14 @@ func main() {
 	if *dot {
 		fmt.Print(prog.Dot())
 		os.Exit(0)
+	}
+	if *faults != "" && *dist <= 0 {
+		fmt.Fprintln(os.Stderr, "boltcheck: -faults requires -dist")
+		os.Exit(3)
+	}
+	if *dist > 0 {
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats)
+		return
 	}
 	opts := bolt.Options{
 		Threads:         *threads,
@@ -83,6 +95,9 @@ func main() {
 	}
 
 	fmt.Println(res.Verdict)
+	if res.Verdict == bolt.Unknown || *stats {
+		fmt.Printf("stop reason:  %s\n", res.StopReason)
+	}
 	if res.Witness != nil {
 		fmt.Print(res.Witness.Text)
 	}
@@ -93,7 +108,53 @@ func main() {
 		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
 		fmt.Printf("wall time:    %v\n", res.WallTime)
 	}
-	switch res.Verdict {
+	exitVerdict(res.Verdict)
+}
+
+// runDistributed verifies the whole-program assertion question on the
+// simulated cluster, optionally under an injected fault plan.
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool) {
+	opts := bolt.DistOptions{
+		Nodes:          nodes,
+		ThreadsPerNode: threads,
+		Timeout:        timeout,
+		Faults:         faults,
+	}
+	switch analysis {
+	case "maymust":
+		opts.Analysis = bolt.MayMust
+	case "may":
+		opts.Analysis = bolt.May
+	case "must":
+		opts.Analysis = bolt.Must
+	default:
+		fmt.Fprintf(os.Stderr, "unknown analysis %q\n", analysis)
+		os.Exit(3)
+	}
+	res, err := prog.CheckDistributed(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	fmt.Println(res.Verdict)
+	fmt.Printf("stop reason:  %s\n", res.StopReason)
+	if stats {
+		fmt.Printf("queries:      %d\n", res.TotalQueries)
+		fmt.Printf("rounds:       %d\n", res.Rounds)
+		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
+		fmt.Printf("wall time:    %v\n", res.WallTime)
+		fmt.Printf("gossip:       %d exchanges, %d deliveries dropped\n", res.SyncExchanges, res.DroppedDeliveries)
+		fmt.Printf("peak live:    %v per node\n", res.PerNodePeakLive)
+		if len(res.KilledNodes) > 0 {
+			fmt.Printf("faults:       killed nodes %v, %d queries re-routed, %d summaries recovered\n",
+				res.KilledNodes, res.ReroutedQueries, res.RecoveredSummaries)
+		}
+	}
+	exitVerdict(res.Verdict)
+}
+
+func exitVerdict(v bolt.Verdict) {
+	switch v {
 	case bolt.Safe:
 		os.Exit(0)
 	case bolt.ErrorReachable:

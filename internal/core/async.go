@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -65,6 +66,7 @@ func (c *coreClock) assign(cost int64) int64 {
 type asyncState struct {
 	e    *Engine
 	root query.ID
+	ctx  context.Context
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -82,8 +84,8 @@ type asyncState struct {
 	rewake map[query.ID]bool
 
 	stopped   bool
-	timedOut  bool
-	busy      int   // workers inside PUNCH
+	reason    StopReason // first stop condition to fire; set by halt
+	busy      int        // workers inside PUNCH
 	events    int64 // completion events processed
 	maxEvents int64
 	doneCount int64
@@ -93,7 +95,7 @@ type asyncState struct {
 }
 
 // runAsync answers q0 with the streaming engine.
-func (e *Engine) runAsync(q0 summary.Question) Result {
+func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	start := time.Now()
 	solver := smt.New()
 	var db *summary.DB
@@ -116,6 +118,7 @@ func (e *Engine) runAsync(q0 summary.Question) Result {
 	s := &asyncState{
 		e:       e,
 		root:    root.ID,
+		ctx:     ctx0,
 		tree:    tree,
 		deques:  make([][]*query.Query, e.opts.MaxThreads),
 		queued:  map[query.ID]bool{},
@@ -139,18 +142,30 @@ func (e *Engine) runAsync(q0 summary.Question) Result {
 			s.worker(id, ctx)
 		}(i)
 	}
-	wg.Wait()
-
-	if res.Verdict == Unknown {
-		if s.timedOut {
-			res.TimedOut = true
-		} else if tree.Len() > 0 {
-			// Work drained with live queries left: every survivor is
-			// Blocked and no child can ever answer (the query tree has no
-			// cycles), so the analysis is stuck.
-			res.Deadlocked = true
-		}
+	// Cancellation watcher: a parked worker sits in cond.Wait and cannot
+	// poll ctx, so a dedicated goroutine turns ctx expiry into halt()'s
+	// broadcast. It exits with the run (runDone), never after it.
+	runDone := make(chan struct{})
+	if ctx0.Done() != nil {
+		go func() {
+			select {
+			case <-ctx0.Done():
+				s.mu.Lock()
+				s.halt(StopCancelled)
+				s.mu.Unlock()
+			case <-runDone:
+			}
+		}()
 	}
+	wg.Wait()
+	close(runDone)
+
+	if res.Verdict != Unknown {
+		// A verdict recorded in the same instant as a budget or
+		// cancellation stop is still a verdict.
+		s.reason = StopRootAnswered
+	}
+	res.setStop(s.reason)
 	res.TotalQueries = alloc.Count()
 	res.DoneQueries = s.doneCount
 	res.VirtualTicks = s.clock.vtime
@@ -175,9 +190,10 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 		if q == nil {
 			if s.busy == 0 {
 				// No queued work anywhere and nobody running who could
-				// produce more: the run is over (root answered, or every
-				// survivor is Blocked).
-				s.stop()
+				// produce more: every survivor is Blocked and no child can
+				// ever answer, so the analysis is stuck. (A root answer
+				// stops the run before the pool can drain.)
+				s.halt(StopDeadlocked)
 				break
 			}
 			s.res.IdleWaits++
@@ -199,23 +215,35 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 	s.mu.Unlock()
 }
 
-// checkBudgets enforces the wall-clock, virtual-tick and event budgets.
-// Called with mu held; returns true when the run must stop.
+// checkBudgets enforces cancellation and the wall-clock, virtual-tick
+// and event budgets. Called with mu held; returns true when the run must
+// stop.
 func (s *asyncState) checkBudgets() bool {
 	o := &s.e.opts
-	if (o.RealTimeout > 0 && time.Since(s.start) > o.RealTimeout) ||
-		(o.MaxVirtualTicks > 0 && s.clock.vtime >= o.MaxVirtualTicks) ||
-		s.events >= s.maxEvents {
-		s.timedOut = true
-		s.stop()
-		return true
+	switch {
+	case s.ctx.Err() != nil:
+		s.halt(StopCancelled)
+	case o.RealTimeout > 0 && time.Since(s.start) > o.RealTimeout:
+		s.halt(StopWallTimeout)
+	case o.MaxVirtualTicks > 0 && s.clock.vtime >= o.MaxVirtualTicks:
+		s.halt(StopTickBudget)
+	case s.events >= s.maxEvents:
+		s.halt(StopEventBudget)
+	default:
+		return false
 	}
-	return false
+	return true
 }
 
-// stop cancels the run: workers finish their current PUNCH invocation
-// and exit. Called with mu held.
-func (s *asyncState) stop() {
+// halt records the first stop reason and cancels the run: workers finish
+// their current PUNCH invocation and exit, parked workers are woken by
+// the broadcast. Called with mu held; later calls are no-ops, so exactly
+// one reason survives.
+func (s *asyncState) halt(reason StopReason) {
+	if s.stopped {
+		return
+	}
+	s.reason = reason
 	s.stopped = true
 	s.cond.Broadcast()
 }
@@ -312,7 +340,7 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 				s.res.Verdict = Safe
 			}
 			s.sample(vtimeBefore, r.Cost, newQ)
-			s.stop()
+			s.halt(StopRootAnswered)
 			return
 		}
 		if r.Self.Parent != query.NoParent {
@@ -342,13 +370,13 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 		}
 	}
 	s.sample(vtimeBefore, r.Cost, newQ)
-	if rc := s.tree.ReadyCount(); rc > s.res.PeakReady {
-		s.res.PeakReady = rc
-	}
 }
 
-// sample records one completion event in the instrumentation trace.
-// Called with mu held.
+// sample records one completion event in the instrumentation trace and
+// folds its observations into the peak gauges — every reduce path
+// (including the root-done and obsolete-result early returns, which used
+// to skip the PeakReady update) ends in a sample, so no event's peak is
+// lost. Called with mu held.
 func (s *asyncState) sample(vtimeBefore, cost int64, newQ int) {
 	s.res.Iterations = int(s.events)
 	smp := IterSample{
@@ -360,6 +388,9 @@ func (s *asyncState) sample(vtimeBefore, cost int64, newQ int) {
 		Live:       s.tree.Len(),
 		DoneSoFar:  s.doneCount,
 		NewQueries: newQ,
+	}
+	if smp.Ready > s.res.PeakReady {
+		s.res.PeakReady = smp.Ready
 	}
 	s.res.Trace = append(s.res.Trace, smp)
 	if s.e.opts.OnIteration != nil {

@@ -14,11 +14,21 @@
 // BOLT's verdict semantics while exposing the quantities of interest for
 // a distributed deployment: per-node live-query and summary-count peaks
 // (the memory story) and the wall-clock effect of sync latency.
+//
+// The simulation also executes an injected fault plan (DistOptions.Faults)
+// — the straggler/partial-failure concerns a real deployment would face:
+// a node can be killed at the start of a chosen round, and gossip
+// deliveries can be dropped (deferred) with seeded randomness. Failover
+// re-routes the dead node's live queries to the surviving owners and
+// re-gossips its summaries (modelling a replicated summary log), so
+// verdicts are preserved under faults; the confluence tests assert this.
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -50,16 +60,24 @@ type DistOptions struct {
 	MaxRounds int
 	// RealTimeout bounds wall-clock time (0 = none).
 	RealTimeout time.Duration
+	// Faults is the injected fault plan (nil = fault-free run).
+	Faults *Faults
 }
 
 // DistResult reports a cluster run.
 type DistResult struct {
-	Verdict      Verdict
+	Verdict Verdict
+	// StopReason records why the run terminated; TimedOut and Deadlocked
+	// are derived from it.
+	StopReason   StopReason
 	Rounds       int
 	TotalQueries int64
 	VirtualTicks int64
 	WallTime     time.Duration
 	TimedOut     bool
+	// Deadlocked: the cluster went all-blocked and a forced gossip
+	// exchange moved nothing, so no stranded answer could unblock it.
+	Deadlocked bool
 	// PerNodePeakLive is each node's peak number of live queries — the
 	// memory-sharding payoff the paper's discussion predicts.
 	PerNodePeakLive []int
@@ -67,6 +85,28 @@ type DistResult struct {
 	PerNodeSummaries []int
 	// SyncExchanges counts gossip rounds performed.
 	SyncExchanges int
+	// KilledNodes lists the nodes removed by fault injection, in order.
+	KilledNodes []int
+	// ReroutedQueries counts live queries moved off dead nodes by
+	// failover.
+	ReroutedQueries int
+	// RecoveredSummaries counts summary deliveries performed by the
+	// failover re-gossip of dead nodes' databases.
+	RecoveredSummaries int
+	// DroppedDeliveries counts gossip deliveries deferred by injected
+	// loss (each is retried at a later exchange).
+	DroppedDeliveries int
+}
+
+// setStop records the termination reason exactly once and keeps the
+// legacy flag fields consistent with it.
+func (r *DistResult) setStop(reason StopReason) {
+	if r.StopReason != StopNone {
+		return
+	}
+	r.StopReason = reason
+	r.TimedOut = reason.Exhausted()
+	r.Deadlocked = reason == StopDeadlocked
 }
 
 // distNode is one simulated machine.
@@ -75,6 +115,7 @@ type distNode struct {
 	db    *summary.DB
 	tree  *query.Tree
 	known map[string]bool // summary keys already received via gossip
+	dead  bool            // killed by fault injection
 }
 
 // DistEngine runs BOLT sharded across simulated nodes.
@@ -106,15 +147,38 @@ func NewDistributed(prog *cfg.Program, opts DistOptions) *DistEngine {
 	return &DistEngine{prog: prog, opts: opts}
 }
 
-// nodeOf routes a procedure to its owning node.
+// nodeOf routes a procedure to its home node. The modulo is taken in
+// uint32 space like summary.shardIndex: int(h.Sum32()) is negative for
+// hashes above MaxInt32 on 32-bit platforms, and a signed modulo would
+// then yield a negative index.
 func (e *DistEngine) nodeOf(proc string) int {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(proc))
-	return int(h.Sum32()) % e.opts.Nodes
+	return int(h.Sum32() % uint32(e.opts.Nodes))
 }
 
-// Run answers q0 on the simulated cluster.
+// owner resolves proc's serving node: its hash home when alive, else the
+// next live node in ring order (failover re-routing). Returns nil when
+// every node is dead.
+func (e *DistEngine) owner(nodes []*distNode, proc string) *distNode {
+	home := e.nodeOf(proc)
+	for off := 0; off < len(nodes); off++ {
+		if n := nodes[(home+off)%len(nodes)]; !n.dead {
+			return n
+		}
+	}
+	return nil
+}
+
+// Run answers q0 on the simulated cluster with no external cancellation;
+// see RunContext.
 func (e *DistEngine) Run(q0 summary.Question) DistResult {
+	return e.RunContext(context.Background(), q0)
+}
+
+// RunContext answers q0 on the simulated cluster. Cancelling ctx stops
+// the run at the next round boundary with StopReason StopCancelled.
+func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistResult {
 	start := time.Now()
 	solver := smt.New()
 	alloc := &query.Allocator{}
@@ -130,8 +194,7 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 		}
 	}
 	root := alloc.New(query.NoParent, q0)
-	rootNode := e.nodeOf(q0.Proc)
-	nodes[rootNode].tree.Add(root)
+	nodes[e.nodeOf(q0.Proc)].tree.Add(root)
 
 	res := DistResult{
 		Verdict:          Unknown,
@@ -139,22 +202,45 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 		PerNodeSummaries: make([]int, e.opts.Nodes),
 	}
 	var vtime int64
+	faults := e.opts.Faults
+	var rng *rand.Rand
+	if faults != nil {
+		rng = rand.New(rand.NewSource(faults.Seed))
+	}
 
 	for round := 0; round < e.opts.MaxRounds; round++ {
-		if e.opts.RealTimeout > 0 && time.Since(start) > e.opts.RealTimeout {
-			res.TimedOut = true
+		if ctx0.Err() != nil {
+			res.setStop(StopCancelled)
 			break
 		}
-		// Each node runs one MAP stage on its own shard, in parallel.
+		if e.opts.RealTimeout > 0 && time.Since(start) > e.opts.RealTimeout {
+			res.setStop(StopWallTimeout)
+			break
+		}
+		// Fault injection: the victim dies at the start of its round,
+		// before MAP, so no in-flight work complicates recovery.
+		if faults != nil && faults.KillNode >= 0 && round == faults.KillRound {
+			e.failNode(nodes, faults.KillNode, &res)
+		}
+		rootOwner := e.owner(nodes, q0.Proc)
+		if rootOwner == nil {
+			res.setStop(StopNodeFailure)
+			break
+		}
+		res.Rounds = round + 1
+
+		// Each live node runs one MAP stage on its own shard, in parallel.
 		type nodeOutcome struct {
 			results []punch.Result
 			sel     []*query.Query
-			cost    int64
 		}
 		outcomes := make([]nodeOutcome, len(nodes))
 		var wg sync.WaitGroup
 		anyWork := false
 		for ni, n := range nodes {
+			if n.dead {
+				continue
+			}
 			ready := n.tree.InState(query.Ready)
 			if len(ready) == 0 {
 				continue
@@ -179,19 +265,17 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 		if !anyWork {
 			// All nodes are blocked: answers may be stranded in remote
 			// shards, so force a gossip exchange and wake blocked queries
-			// to re-examine their databases. If nothing new flowed, the
-			// cluster is genuinely deadlocked.
+			// to re-examine their databases. The forced exchange is exempt
+			// from injected loss (a reliable anti-entropy repair): drops
+			// may delay the cluster but must never wedge it. If nothing
+			// new flowed, the cluster is genuinely deadlocked.
 			res.SyncExchanges++
 			vtime += e.opts.SyncCost
-			if e.gossip(nodes) == 0 {
+			if e.gossip(nodes, nil, &res) == 0 {
+				res.setStop(StopDeadlocked)
 				break
 			}
-			for _, n := range nodes {
-				for _, q := range n.tree.InState(query.Blocked) {
-					n.tree.SetState(q.ID, query.Ready)
-				}
-			}
-			res.Rounds = round + 1
+			wakeBlocked(nodes)
 			continue
 		}
 
@@ -222,11 +306,15 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 			for _, r := range outcomes[ni].results {
 				n.tree.Replace(r.Self)
 				for _, c := range r.Children {
-					target := nodes[e.nodeOf(c.Q.Proc)]
-					target.tree.Add(c)
+					e.owner(nodes, c.Q.Proc).tree.Add(c)
 				}
 			}
 		}
+
+		// The true live peak is reached before REDUCE garbage-collects
+		// Done subtrees; record it here and again after GC, so the final
+		// round's peak is not lost to the root-answered break below.
+		e.recordPeaks(nodes, &res)
 
 		// REDUCE per node: wake parents (which may live on another node)
 		// and garbage-collect Done subtrees locally. A child's parent
@@ -253,46 +341,51 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 				n.tree.RemoveSubtree(self.ID)
 			}
 		}
+		e.recordPeaks(nodes, &res)
 
 		// Root check.
-		if rootQ := nodes[rootNode].tree.Get(root.ID); rootQ != nil && rootQ.State == query.Done {
+		if rootQ := rootOwner.tree.Get(root.ID); rootQ != nil && rootQ.State == query.Done {
 			switch rootQ.Outcome {
 			case query.Reachable:
 				res.Verdict = ErrorReachable
 			case query.Unreachable:
 				res.Verdict = Safe
 			}
-			res.Rounds = round + 1
+			res.setStop(StopRootAnswered)
 			break
 		}
 		// Also catch the case where REDUCE removed the Done root already.
-		if nodes[rootNode].tree.Get(root.ID) == nil {
-			if _, verdict := nodes[rootNode].db.Answer(q0); verdict != 0 {
+		if rootOwner.tree.Get(root.ID) == nil {
+			if _, verdict := rootOwner.db.Answer(q0); verdict != 0 {
 				if verdict > 0 {
 					res.Verdict = ErrorReachable
 				} else {
 					res.Verdict = Safe
 				}
-				res.Rounds = round + 1
+				res.setStop(StopRootAnswered)
 				break
 			}
 		}
 
-		// Gossip: every SyncEvery rounds nodes exchange new summaries.
+		// Gossip: every SyncEvery rounds nodes exchange new summaries,
+		// subject to the injected loss plan.
 		if (round+1)%e.opts.SyncEvery == 0 {
 			res.SyncExchanges++
 			vtime += e.opts.SyncCost
-			e.gossip(nodes)
-		}
-
-		for ni, n := range nodes {
-			if l := n.tree.Len(); l > res.PerNodePeakLive[ni] {
-				res.PerNodePeakLive[ni] = l
+			// A summary arrival is a wake event: queries that blocked before
+			// the delivery must re-examine their databases, or the deadlock
+			// detector below would declare a fully-replicated-but-sleeping
+			// cluster dead. (The barrier engine gets this ordering for free
+			// from its shared database.)
+			if e.gossip(nodes, rng, &res) > 0 {
+				wakeBlocked(nodes)
 			}
 		}
-		res.Rounds = round + 1
 	}
 
+	// Falling out of the loop without a recorded reason means the round
+	// budget ran dry.
+	res.setStop(StopEventBudget)
 	for ni, n := range nodes {
 		res.PerNodeSummaries[ni] = n.db.Count()
 	}
@@ -302,17 +395,102 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 	return res
 }
 
-// gossip copies summaries between all node pairs (full exchange),
+// wakeBlocked moves every Blocked query on a live node back to Ready so
+// its next PUNCH slice re-examines the (just updated) local database.
+func wakeBlocked(nodes []*distNode) {
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		for _, q := range n.tree.InState(query.Blocked) {
+			n.tree.SetState(q.ID, query.Ready)
+		}
+	}
+}
+
+// recordPeaks folds each live node's current tree size into the per-node
+// peak gauges.
+func (e *DistEngine) recordPeaks(nodes []*distNode, res *DistResult) {
+	for ni, n := range nodes {
+		if l := n.tree.Len(); l > res.PerNodePeakLive[ni] {
+			res.PerNodePeakLive[ni] = l
+		}
+	}
+}
+
+// failNode executes the kill clause of the fault plan: victim's summaries
+// are re-gossiped to the survivors (modelling a replicated summary log —
+// this recovery path is reliable, unlike periodic gossip), and its live
+// queries are re-routed to their new owners, with Blocked survivors woken
+// so they re-examine the recovered databases. No-op when the victim is
+// out of range or already dead.
+func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult) {
+	if victim < 0 || victim >= len(nodes) || nodes[victim].dead {
+		return
+	}
+	dead := nodes[victim]
+	dead.dead = true
+	res.KilledNodes = append(res.KilledNodes, victim)
+
+	for _, s := range dead.db.All() {
+		key := summaryKey(s)
+		for _, to := range nodes {
+			if to.dead || to.known[key] {
+				continue
+			}
+			to.known[key] = true
+			to.db.Add(s)
+			res.RecoveredSummaries++
+		}
+	}
+	for _, q := range dead.tree.All() {
+		dst := e.owner(nodes, q.Q.Proc)
+		if dst == nil {
+			return // cluster is gone; the caller stops with StopNodeFailure
+		}
+		dead.tree.MoveTo(dst.tree, q.ID)
+		if q.State == query.Blocked {
+			// The answer it waited for may have died with this node's
+			// in-flight state; re-examining the DB is always sound.
+			dst.tree.SetState(q.ID, query.Ready)
+		}
+		res.ReroutedQueries++
+	}
+	// Recovery deliveries are wake events like any other gossip: survivors
+	// blocked on the victim's summaries must re-examine their databases.
+	if res.RecoveredSummaries > 0 {
+		wakeBlocked(nodes)
+	}
+}
+
+func summaryKey(s summary.Summary) string {
+	return fmt.Sprintf("%d|%s|%s|%s", s.Kind, s.Proc, s.Pre, s.Post)
+}
+
+// gossip copies summaries between all live node pairs (full exchange),
 // returning how many summary deliveries occurred. Real deployments would
 // batch deltas; the simulation keys on summary structure to avoid
-// rebroadcast.
-func (e *DistEngine) gossip(nodes []*distNode) int {
+// rebroadcast. With a non-nil rng, each delivery is dropped with the
+// fault plan's probability; a dropped delivery stays unacknowledged and
+// is retried at the next exchange (drop-as-delay).
+func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult) int {
+	drop := 0.0
+	if rng != nil && e.opts.Faults != nil {
+		drop = e.opts.Faults.GossipDrop
+	}
 	moved := 0
 	for _, from := range nodes {
+		if from.dead {
+			continue
+		}
 		for _, s := range from.db.All() {
-			key := fmt.Sprintf("%d|%s|%s|%s", s.Kind, s.Proc, s.Pre, s.Post)
+			key := summaryKey(s)
 			for _, to := range nodes {
-				if to.id == from.id || to.known[key] {
+				if to.dead || to.id == from.id || to.known[key] {
+					continue
+				}
+				if drop > 0 && rng.Float64() < drop {
+					res.DroppedDeliveries++
 					continue
 				}
 				to.known[key] = true

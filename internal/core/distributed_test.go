@@ -1,6 +1,9 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/drivers"
@@ -81,4 +84,108 @@ func TestDistributedSyncLatency(t *testing.T) {
 	}
 	// Staleness must never change the verdict; it may change the cost.
 	t.Logf("sync every round: %d ticks; every 8 rounds: %d ticks", fast.VirtualTicks, slow.VirtualTicks)
+}
+
+// TestDistributedFaultConfluence is the acceptance criterion for the
+// fault-injection layer: killing a node mid-run while dropping 20% of
+// gossip deliveries (seeded) must leave every corpus verdict identical
+// to the fault-free barrier engine's. Recovery = the dead node's
+// summaries are re-gossiped from the replicated log and its live queries
+// re-routed to the next live node on the hash ring.
+func TestDistributedFaultConfluence(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/corpus/*.bolt")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			want := Safe
+			if strings.HasPrefix(name, "bug_") {
+				want = ErrorReachable
+			}
+			q0 := AssertionQuestion(prog)
+			barrier := New(prog, Options{Punch: maymust.New(), MaxThreads: 8, MaxIterations: 60000}).Run(q0)
+			if barrier.Verdict != want {
+				t.Fatalf("barrier verdict %v, want %v", barrier.Verdict, want)
+			}
+			dist := NewDistributed(prog, DistOptions{
+				Punch:          maymust.New(),
+				Nodes:          3,
+				ThreadsPerNode: 4,
+				MaxRounds:      60000,
+				Faults:         &Faults{KillNode: 1, KillRound: 1, GossipDrop: 0.2, Seed: 42},
+			}).Run(q0)
+			if dist.Verdict != barrier.Verdict {
+				t.Errorf("fault-injected verdict %v diverges from barrier %v (stop %v, killed %v, rerouted %d, recovered %d)",
+					dist.Verdict, barrier.Verdict, dist.StopReason, dist.KilledNodes, dist.ReroutedQueries, dist.RecoveredSummaries)
+			}
+			// The kill fires at the start of round 1; a program answered in
+			// round 0 legitimately never sees it.
+			if dist.Rounds > 1 && (len(dist.KilledNodes) != 1 || dist.KilledNodes[0] != 1) {
+				t.Errorf("killed nodes = %v after %d rounds, want [1]", dist.KilledNodes, dist.Rounds)
+			}
+		})
+	}
+}
+
+// TestDistributedKillRecovery kills a node deep into a driver-sized run
+// with lossy gossip and requires the verdict to survive the failover.
+func TestDistributedKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver verification is not short")
+	}
+	prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+	res := NewDistributed(prog, DistOptions{
+		Punch:          maymust.New(),
+		Nodes:          4,
+		ThreadsPerNode: 8,
+		MaxRounds:      1 << 18,
+		Faults:         &Faults{KillNode: 2, KillRound: 3, GossipDrop: 0.2, Seed: 7},
+	}).Run(AssertionQuestion(prog))
+	if res.Verdict != Safe {
+		t.Fatalf("verdict %v after node kill, want Safe (stop %v)", res.Verdict, res.StopReason)
+	}
+	if len(res.KilledNodes) != 1 || res.KilledNodes[0] != 2 {
+		t.Fatalf("killed nodes = %v, want [2]", res.KilledNodes)
+	}
+	if res.StopReason != StopRootAnswered {
+		t.Fatalf("stop reason %v, want root-answered", res.StopReason)
+	}
+	t.Logf("recovered: %d summaries re-gossiped, %d queries re-routed, %d deliveries dropped",
+		res.RecoveredSummaries, res.ReroutedQueries, res.DroppedDeliveries)
+}
+
+// TestDistributedNodeFailureStop: when the failing node is the last one
+// alive the run cannot proceed — it must stop with StopNodeFailure, not
+// pretend to time out or deadlock.
+func TestDistributedNodeFailureStop(t *testing.T) {
+	prog := parser.MustParse(relationalToySource())
+	res := NewDistributed(prog, DistOptions{
+		Punch:          maymust.New(),
+		Nodes:          1,
+		ThreadsPerNode: 2,
+		MaxRounds:      4000,
+		Faults:         &Faults{KillNode: 0, KillRound: 1, Seed: 1},
+	}).Run(AssertionQuestion(prog))
+	if res.StopReason != StopNodeFailure {
+		t.Fatalf("stop reason %v, want node-failure", res.StopReason)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict %v, want Unknown", res.Verdict)
+	}
+	if res.TimedOut || res.Deadlocked {
+		t.Fatalf("node failure misreported: timedOut=%v deadlocked=%v", res.TimedOut, res.Deadlocked)
+	}
+	if len(res.KilledNodes) != 1 {
+		t.Fatalf("killed nodes = %v", res.KilledNodes)
+	}
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -130,8 +131,11 @@ type IterSample struct {
 
 // Result reports a verification run.
 type Result struct {
-	Verdict      Verdict
-	RootOutcome  query.Outcome
+	Verdict     Verdict
+	RootOutcome query.Outcome
+	// StopReason records why the run terminated; the legacy TimedOut and
+	// Deadlocked flags below are derived from it (see Result.setStop).
+	StopReason   StopReason
 	Iterations   int
 	TotalQueries int64 // queries ever created
 	PeakReady    int
@@ -157,6 +161,17 @@ type Result struct {
 	Summaries []summary.Summary
 }
 
+// setStop records the termination reason exactly once and keeps the
+// legacy flag fields consistent with it.
+func (r *Result) setStop(reason StopReason) {
+	if r.StopReason != StopNone {
+		return
+	}
+	r.StopReason = reason
+	r.TimedOut = reason.Exhausted()
+	r.Deadlocked = reason == StopDeadlocked
+}
+
 // Engine runs BOLT on one program.
 type Engine struct {
 	prog *cfg.Program
@@ -177,12 +192,22 @@ func New(prog *cfg.Program, opts Options) *Engine {
 	return &Engine{prog: prog, opts: opts}
 }
 
-// Run answers the verification question q0 (Fig. 4). With Options.Async
-// it delegates to the streaming work-stealing engine; otherwise it runs
-// the paper's bulk-synchronous MAP/REDUCE loop.
+// Run answers the verification question q0 (Fig. 4) with no external
+// cancellation; see RunContext.
 func (e *Engine) Run(q0 summary.Question) Result {
+	return e.RunContext(context.Background(), q0)
+}
+
+// RunContext answers the verification question q0 (Fig. 4). With
+// Options.Async it delegates to the streaming work-stealing engine;
+// otherwise it runs the paper's bulk-synchronous MAP/REDUCE loop.
+// Cancelling ctx stops the run with StopReason StopCancelled; since PUNCH
+// invocations are not preemptible, cancellation is observed at stage
+// boundaries (one PUNCH slice is bounded by the step budget, so the
+// latency is small).
+func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	if e.opts.Async {
-		return e.runAsync(q0)
+		return e.runAsync(ctx0, q0)
 	}
 	start := time.Now()
 	solver := smt.New()
@@ -203,12 +228,16 @@ func (e *Engine) Run(q0 summary.Question) Result {
 	var doneCount int64
 
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		if ctx0.Err() != nil {
+			res.setStop(StopCancelled)
+			break
+		}
 		if e.opts.RealTimeout > 0 && time.Since(start) > e.opts.RealTimeout {
-			res.TimedOut = true
+			res.setStop(StopWallTimeout)
 			break
 		}
 		if e.opts.MaxVirtualTicks > 0 && vtime >= e.opts.MaxVirtualTicks {
-			res.TimedOut = true
+			res.setStop(StopTickBudget)
 			break
 		}
 		ready := tree.InState(query.Ready)
@@ -218,7 +247,7 @@ func (e *Engine) Run(q0 summary.Question) Result {
 		if len(ready) == 0 {
 			// Every live query is Blocked: no child can ever answer (the
 			// query tree has no cycles), so the analysis is stuck.
-			res.Deadlocked = true
+			res.setStop(StopDeadlocked)
 			break
 		}
 		if e.opts.Select == LIFO {
@@ -286,6 +315,19 @@ func (e *Engine) Run(q0 summary.Question) Result {
 			}
 		}
 
+		// The true live peak is reached before REDUCE garbage-collects
+		// Done subtrees, and every Done result of this batch counts —
+		// including results that land in the same batch as the root's
+		// completion, which the root-answered break below must not skip.
+		if tree.Len() > res.PeakLive {
+			res.PeakLive = tree.Len()
+		}
+		for i := range results {
+			if results[i].Self.State == query.Done {
+				doneCount++
+			}
+		}
+
 		// Check the root before REDUCE removes Done subtrees.
 		rootNow := tree.Get(root.ID)
 		if rootNow != nil && rootNow.State == query.Done {
@@ -296,16 +338,10 @@ func (e *Engine) Run(q0 summary.Question) Result {
 			case query.Unreachable:
 				res.Verdict = Safe
 			}
-			doneCount++
+			res.setStop(StopRootAnswered)
 			res.Iterations = iter + 1
 			e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
 			break
-		}
-
-		// The true live peak is reached before REDUCE garbage-collects
-		// Done subtrees; record it here as well as after GC below.
-		if tree.Len() > res.PeakLive {
-			res.PeakLive = tree.Len()
 		}
 
 		// REDUCE: wake Blocked parents of Done queries and garbage-collect
@@ -315,7 +351,6 @@ func (e *Engine) Run(q0 summary.Question) Result {
 			if self.State != query.Done {
 				continue
 			}
-			doneCount++
 			if self.Parent != query.NoParent {
 				if p := tree.Get(self.Parent); p != nil && p.State == query.Blocked {
 					tree.SetState(p.ID, query.Ready)
@@ -332,9 +367,9 @@ func (e *Engine) Run(q0 summary.Question) Result {
 		e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
 	}
 
-	if res.Verdict == Unknown && res.Iterations >= e.opts.MaxIterations {
-		res.TimedOut = true
-	}
+	// Falling out of the loop without a recorded reason means the
+	// iteration budget ran dry.
+	res.setStop(StopEventBudget)
 	res.TotalQueries = alloc.Count()
 	res.DoneQueries = doneCount
 	res.VirtualTicks = vtime

@@ -1,0 +1,152 @@
+// Run-lifecycle layer shared by the three engines (barrier, streaming,
+// distributed): one audited vocabulary for why a run ended, plus the
+// fault-injection plan the distributed simulation executes. Before this
+// layer each engine hand-rolled its own break/bool logic, and the edge
+// cases diverged (timeout vs deadlock conflation, lost mid-batch Done
+// counts, bare Unknown on all-blocked clusters); every termination path
+// now records exactly one StopReason, and the legacy TimedOut/Deadlocked
+// flags are derived from it.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StopReason explains why a run terminated. Exactly one reason is
+// recorded per run; the first stop condition to fire wins, except that an
+// answered root always reports RootAnswered (a verdict found in the same
+// instant as a budget stop is still a verdict).
+type StopReason int
+
+// Stop reasons, in rough priority order.
+const (
+	// StopNone: the run has not terminated (zero value; never returned by
+	// a completed Run).
+	StopNone StopReason = iota
+	// StopRootAnswered: the root question was answered; the Verdict field
+	// holds the answer.
+	StopRootAnswered
+	// StopWallTimeout: the wall-clock budget (RealTimeout) expired.
+	StopWallTimeout
+	// StopTickBudget: the virtual-time budget (MaxVirtualTicks) expired.
+	StopTickBudget
+	// StopEventBudget: the iteration/event/round budget (MaxIterations,
+	// its event-count analogue in the streaming engine, or MaxRounds in
+	// the distributed simulation) was exhausted.
+	StopEventBudget
+	// StopDeadlocked: every live query is Blocked and no child can ever
+	// answer, so the analysis is stuck short of any budget.
+	StopDeadlocked
+	// StopCancelled: the context passed to RunContext was cancelled.
+	StopCancelled
+	// StopNodeFailure: injected faults killed every node of the
+	// distributed simulation, leaving nobody to answer the root.
+	StopNodeFailure
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopRootAnswered:
+		return "root-answered"
+	case StopWallTimeout:
+		return "wall-timeout"
+	case StopTickBudget:
+		return "tick-budget"
+	case StopEventBudget:
+		return "event-budget"
+	case StopDeadlocked:
+		return "deadlocked"
+	case StopCancelled:
+		return "cancelled"
+	case StopNodeFailure:
+		return "node-failure"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// Exhausted reports whether the reason is a resource-budget stop — the
+// cases the legacy TimedOut flag covered. Cancellation and deadlock are
+// not budget exhaustion.
+func (r StopReason) Exhausted() bool {
+	return r == StopWallTimeout || r == StopTickBudget || r == StopEventBudget
+}
+
+// Faults is the fault-injection plan for the distributed simulation
+// (DistOptions.Faults): kill one node at the start of a given round, and
+// drop gossip deliveries with seeded randomness. A dropped delivery is
+// not acknowledged (the receiver's dedup set is left unmarked), so it is
+// retried at the next exchange — injected drop is therefore also injected
+// delay. All randomness flows from Seed, keeping faulty runs replayable.
+type Faults struct {
+	// KillNode is the node to kill (-1 = no kill).
+	KillNode int
+	// KillRound is the round at whose start the node dies. Rounds are
+	// 0-based; a kill round the run never reaches injects nothing.
+	KillRound int
+	// GossipDrop is the probability in [0,1) that one summary delivery is
+	// dropped (deferred to a later exchange) during a periodic gossip.
+	// Deadlock-recovery exchanges are exempt: they model a reliable
+	// anti-entropy repair, so injected loss can delay but never wedge the
+	// cluster.
+	GossipDrop float64
+	// Seed seeds the drop randomness.
+	Seed int64
+}
+
+// NoFaultNode marks a Faults plan with no kill.
+const NoFaultNode = -1
+
+// ParseFaults parses a command-line fault spec of the form
+//
+//	kill=N@R,drop=P,seed=S
+//
+// where every clause is optional (an empty spec returns nil: no faults).
+// Examples: "kill=1@3", "drop=0.2,seed=42", "kill=0@5,drop=0.1".
+func ParseFaults(spec string) (*Faults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := &Faults{KillNode: NoFaultNode}
+	for _, clause := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "kill":
+			node, round, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: kill=%q is not NODE@ROUND", val)
+			}
+			n, err := strconv.Atoi(node)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: bad kill node %q", node)
+			}
+			r, err := strconv.Atoi(round)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("faults: bad kill round %q", round)
+			}
+			f.KillNode, f.KillRound = n, r
+		case "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p >= 1 {
+				return nil, fmt.Errorf("faults: drop=%q is not a probability in [0,1)", val)
+			}
+			f.GossipDrop = p
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", val)
+			}
+			f.Seed = s
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q", key)
+		}
+	}
+	return f, nil
+}

@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -35,6 +36,10 @@ type Options struct {
 	// Async runs every check with the streaming work-stealing engine
 	// instead of the paper's bulk-synchronous MAP/REDUCE loop.
 	Async bool
+	// Ctx, when set, cancels in-flight runs: a check observing the
+	// cancellation returns with StopReason core.StopCancelled. Nil means
+	// no external cancellation.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -52,15 +57,21 @@ func (o Options) withDefaults() Options {
 
 // CheckResult is the outcome of one check under one thread count.
 type CheckResult struct {
-	Check      drivers.Check
-	Threads    int
-	Verdict    core.Verdict
-	Ticks      int64
-	Wall       time.Duration
-	Queries    int64
-	Peak       int
-	Trace      []core.IterSample
+	Check   drivers.Check
+	Threads int
+	Verdict core.Verdict
+	Ticks   int64
+	Wall    time.Duration
+	Queries int64
+	Peak    int
+	Trace   []core.IterSample
+	// StopReason says why the run ended. TimedOut and Deadlocked mirror
+	// the engine's derived flags: an Unknown verdict is no longer lumped
+	// into TimedOut — a deadlocked or cancelled run reports its own
+	// reason.
+	StopReason core.StopReason
 	TimedOut   bool
+	Deadlocked bool
 	CostByProc map[string]int64
 }
 
@@ -77,7 +88,11 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		MaxIterations:   1 << 19,
 		Async:           opts.Async,
 	})
-	res := eng.Run(core.AssertionQuestion(prog))
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := eng.RunContext(ctx, core.AssertionQuestion(prog))
 	return CheckResult{
 		Check:      check,
 		Threads:    threads,
@@ -87,7 +102,9 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Queries:    res.TotalQueries,
 		Peak:       res.PeakReady,
 		Trace:      res.Trace,
-		TimedOut:   res.TimedOut || res.Verdict == core.Unknown,
+		StopReason: res.StopReason,
+		TimedOut:   res.TimedOut,
+		Deadlocked: res.Deadlocked,
 		CostByProc: res.CostByProc,
 	}
 }

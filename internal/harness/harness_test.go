@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -119,4 +120,34 @@ func TestPlotSeries(t *testing.T) {
 	// Degenerate inputs must not panic.
 	PlotSeries(&b, "empty", nil, 0, 0)
 	PlotSeries(&b, "flat", []Series{{Label: "l", Points: [][2]int64{{0, 0}}}}, 10, 4)
+}
+
+// TestRunCheckStopReason: the harness must surface the engine's stop
+// reason instead of conflating every Unknown verdict with a timeout (the
+// old `TimedOut || Verdict == Unknown` logic).
+func TestRunCheckStopReason(t *testing.T) {
+	check := drivers.NamedCheck("parport", "MarkPowerDown", false)
+
+	// An exhausted tick budget is a timeout...
+	r := RunCheck(check, 4, Options{TickBudget: 1})
+	if r.StopReason != core.StopTickBudget {
+		t.Fatalf("stop reason %v, want tick-budget", r.StopReason)
+	}
+	if !r.TimedOut || r.Deadlocked {
+		t.Fatalf("tick budget: timedOut=%v deadlocked=%v", r.TimedOut, r.Deadlocked)
+	}
+
+	// ...but a cancelled run is not.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r = RunCheck(check, 4, Options{Ctx: ctx})
+	if r.StopReason != core.StopCancelled {
+		t.Fatalf("stop reason %v, want cancelled", r.StopReason)
+	}
+	if r.TimedOut || r.Deadlocked {
+		t.Fatalf("cancelled run misreported: timedOut=%v deadlocked=%v", r.TimedOut, r.Deadlocked)
+	}
+	if r.Verdict != core.Unknown {
+		t.Fatalf("cancelled verdict %v", r.Verdict)
+	}
 }

@@ -203,6 +203,42 @@ func (t *Tree) Remove(id ID) {
 	delete(t.ready, id)
 }
 
+// MoveTo transfers a live query — with its child-edge bookkeeping — from
+// t to dst, preserving ID, parent and state. The distributed engine's
+// failover uses it to re-route a dead node's queries to their new owning
+// shard. Reports whether the query was present in t.
+func (t *Tree) MoveTo(dst *Tree, id ID) bool {
+	q, ok := t.queries[id]
+	if !ok {
+		return false
+	}
+	kids := t.children[id]
+	t.Remove(id)
+	dst.queries[q.ID] = q
+	// When a parent and its child move to the same destination, the edge
+	// between them would be recorded twice (once carried with the parent's
+	// kids, once by the child's own move); dedup keeps Descendants exact.
+	if q.Parent != NoParent && !containsID(dst.children[q.Parent], q.ID) {
+		dst.children[q.Parent] = append(dst.children[q.Parent], q.ID)
+	}
+	for _, k := range kids {
+		if !containsID(dst.children[id], k) {
+			dst.children[id] = append(dst.children[id], k)
+		}
+	}
+	dst.index(q)
+	return true
+}
+
+func containsID(ids []ID, id ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
 // RemoveSubtree removes q and all its live descendants, returning how many
 // queries were removed.
 func (t *Tree) RemoveSubtree(id ID) int {

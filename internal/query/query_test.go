@@ -119,3 +119,53 @@ func TestStateAndOutcomeStrings(t *testing.T) {
 		t.Fatal("outcome strings")
 	}
 }
+
+func TestTreeMoveTo(t *testing.T) {
+	a := &Allocator{}
+	src, dst := NewTree(), NewTree()
+	root := a.New(NoParent, q("main"))
+	child := a.New(root.ID, q("callee"))
+	grand := a.New(child.ID, q("leaf"))
+	src.Add(root)
+	src.Add(child)
+	src.Add(grand)
+
+	if src.MoveTo(dst, ID(999)) {
+		t.Fatal("moving an unknown ID must report false")
+	}
+
+	// Move parent and child in both orders relative to each other; the
+	// failover path moves a dead node's whole tree, so parent-child pairs
+	// land in the same destination and edges must not duplicate.
+	if !src.MoveTo(dst, child.ID) {
+		t.Fatal("MoveTo(child) failed")
+	}
+	if !src.MoveTo(dst, grand.ID) {
+		t.Fatal("MoveTo(grand) failed")
+	}
+	if src.Get(child.ID) != nil || src.Get(grand.ID) != nil {
+		t.Fatal("moved queries still present in source")
+	}
+	if dst.Get(child.ID) == nil || dst.Get(grand.ID) == nil {
+		t.Fatal("moved queries missing from destination")
+	}
+	if src.Len() != 1 || dst.Len() != 2 {
+		t.Fatalf("sizes: src=%d dst=%d", src.Len(), dst.Len())
+	}
+	// Descendants includes the starting node itself.
+	if ds := dst.Descendants(child.ID); len(ds) != 2 {
+		t.Fatalf("descendants of child = %v, want self+grandchild (no duplicate edges)", ds)
+	}
+	if !src.MoveTo(dst, root.ID) {
+		t.Fatal("MoveTo(root) failed")
+	}
+	if ds := dst.Descendants(root.ID); len(ds) != 3 {
+		t.Fatalf("descendants of root = %v, want self+child+grand", ds)
+	}
+	if n := dst.RemoveSubtree(root.ID); n != 3 {
+		t.Fatalf("RemoveSubtree removed %d, want 3", n)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("destination not empty after subtree removal: %d", dst.Len())
+	}
+}
