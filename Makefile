@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build cross test race bench
+.PHONY: ci vet build cross test race trace-smoke bench
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: vet build cross test race
+ci: vet build cross test race trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,11 @@ test:
 # the streaming engine and the sharded summary database.
 race:
 	$(GO) test -race ./internal/core/... ./internal/summary/...
+
+# trace-smoke round-trips a corpus program through all three engines with
+# the Chrome tracer attached and validates the serialized document.
+trace-smoke:
+	$(GO) test -run TestTraceRoundTrip -count=1 ./internal/obs
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -9,6 +9,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/lang"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/punch/maymust"
 	"repro/internal/smt"
@@ -197,6 +198,46 @@ func BenchmarkAsyncVsBarrier(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures the observability layer's hot-path cost
+// on the streaming engine at 8 threads: disabled (the nil-tracer /
+// nil-registry branch the zero-allocation contract is about), metrics
+// only, and metrics plus a full Chrome trace. "disabled" is the
+// before/after comparison against BenchmarkAsyncVsBarrier's async runs;
+// the acceptance bar is < 2% makespan regression.
+func BenchmarkObsOverhead(b *testing.B) {
+	prog := drivers.Generate(drivers.NamedCheck("parport", "MarkPowerDown", false).Config)
+	modes := []struct {
+		name    string
+		metrics bool
+		trace   bool
+	}{
+		{"disabled", false, false},
+		{"metrics", true, false},
+		{"metrics+trace", true, true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{
+					Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8,
+					MaxIterations: 1 << 19, Async: true,
+				}
+				if mode.metrics {
+					opts.Metrics = obs.NewMetrics()
+				}
+				if mode.trace {
+					opts.Tracer = obs.NewChromeTracer()
+				}
+				r := core.New(prog, opts).Run(core.AssertionQuestion(prog))
+				if r.Verdict != core.Safe {
+					b.Fatalf("verdict = %v", r.Verdict)
+				}
+				b.ReportMetric(float64(r.VirtualTicks), "vticks")
+			}
+		})
 	}
 }
 

@@ -17,11 +17,13 @@ package bolt
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/punch"
 	"repro/internal/punch/may"
@@ -174,6 +176,20 @@ type Options struct {
 	// concrete counterexample (inputs + trace) and attaches it to the
 	// result.
 	FindWitness bool
+	// TraceTo, when set, records the run's query-lifecycle events and
+	// writes them here as Chrome trace-event JSON when the run ends: one
+	// track per worker, one span per PUNCH invocation, loadable at
+	// ui.perfetto.dev or chrome://tracing. Result.TraceSpans and
+	// Result.TraceErr report the outcome.
+	TraceTo io.Writer
+	// CollectMetrics enables the engine metrics registry; the snapshot is
+	// attached to Result.Metrics and Result.WorkerMetrics. Off by default:
+	// disabled instrumentation costs one branch per would-be observation.
+	CollectMetrics bool
+	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels
+	// (engine, proc, query-depth), so CPU profiles break analysis time
+	// down by procedure and tree depth.
+	PprofLabels bool
 }
 
 // Result reports a verification run.
@@ -193,6 +209,28 @@ type Result struct {
 	// is ErrorReachable and Options.FindWitness was set, and the directed
 	// search succeeded).
 	Witness *Witness
+	// Metrics is the flattened engine metrics snapshot (nil unless
+	// Options.CollectMetrics): lifecycle counters, summary-database
+	// traffic under sumdb_* keys, punch-histogram aggregates, and
+	// makespan_ticks.
+	Metrics map[string]int64
+	// WorkerMetrics is the per-worker accounting behind Metrics;
+	// utilization is BusyTicks / Metrics["makespan_ticks"].
+	WorkerMetrics []WorkerMetric
+	// TraceSpans is the number of completed PUNCH spans recorded when
+	// Options.TraceTo was set; TraceErr reports the write, if any failed.
+	TraceSpans int
+	TraceErr   error
+}
+
+// WorkerMetric is one worker's accounting for a run with
+// Options.CollectMetrics set.
+type WorkerMetric struct {
+	Worker     int
+	Punches    int64
+	BusyTicks  int64
+	BusyWallNs int64
+	Steals     int64
 }
 
 // Witness is a concrete failing execution.
@@ -214,7 +252,7 @@ func newPunch(a Analysis) punch.Punch {
 	}
 }
 
-func (o Options) engine(prog *cfg.Program) *core.Engine {
+func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics) *core.Engine {
 	return core.New(prog, core.Options{
 		Punch:           newPunch(o.Analysis),
 		MaxThreads:      max(1, o.Threads),
@@ -225,7 +263,48 @@ func (o Options) engine(prog *cfg.Program) *core.Engine {
 		Async:           o.Async,
 		DisableGC:       o.DisableGC,
 		DisableSumDB:    o.DisableSumDB,
+		Tracer:          tr,
+		Metrics:         m,
+		PprofLabels:     o.PprofLabels,
 	})
+}
+
+// hooks builds the run's tracer and registry from the options. The
+// Tracer return is a nil interface (not a typed nil) when tracing is
+// off, so the engines' single `!= nil` guard stays correct.
+func (o Options) hooks() (*obs.ChromeTracer, obs.Tracer, *obs.Metrics) {
+	var ct *obs.ChromeTracer
+	var tr obs.Tracer
+	if o.TraceTo != nil {
+		ct = obs.NewChromeTracer()
+		tr = ct
+	}
+	var m *obs.Metrics
+	if o.CollectMetrics {
+		m = obs.NewMetrics()
+	}
+	return ct, tr, m
+}
+
+// attachObs folds the run's observability outputs into the public result:
+// the flattened metrics snapshot and the serialized Chrome trace.
+func attachObs(res *Result, snap *obs.Snapshot, ct *obs.ChromeTracer, w io.Writer) {
+	res.Metrics = snap.Flatten()
+	if snap != nil {
+		for _, ws := range snap.Workers {
+			res.WorkerMetrics = append(res.WorkerMetrics, WorkerMetric{
+				Worker:     ws.Worker,
+				Punches:    ws.Punches,
+				BusyTicks:  ws.BusyTicks,
+				BusyWallNs: ws.BusyWallNs,
+				Steals:     ws.Steals,
+			})
+		}
+	}
+	if ct != nil {
+		res.TraceSpans = ct.Spans()
+		res.TraceErr = ct.Export(w)
+	}
 }
 
 func toResult(r core.Result) Result {
@@ -258,7 +337,10 @@ func (p *Program) Check(opts Options) Result {
 // the run at the next scheduling boundary with StopReason StopCancelled
 // and all workers joined.
 func (p *Program) CheckContext(ctx context.Context, opts Options) Result {
-	res := toResult(opts.engine(p.prog).RunContext(ctx, core.AssertionQuestion(p.prog)))
+	ct, tr, m := opts.hooks()
+	r := opts.engine(p.prog, tr, m).RunContext(ctx, core.AssertionQuestion(p.prog))
+	res := toResult(r)
+	attachObs(&res, r.Metrics, ct, opts.TraceTo)
 	if res.Verdict == ErrorReachable && opts.FindWitness {
 		if tr, ok := witness.Find(p.prog, witness.Options{}); ok {
 			res.Witness = &Witness{Inputs: tr.Havocs, Text: tr.Format()}
@@ -289,7 +371,11 @@ func (p *Program) CheckReachContext(ctx context.Context, proc, pre, post string,
 		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
 	}
 	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
-	return toResult(opts.engine(p.prog).RunContext(ctx, q)), nil
+	ct, tr, m := opts.hooks()
+	r := opts.engine(p.prog, tr, m).RunContext(ctx, q)
+	res := toResult(r)
+	attachObs(&res, r.Metrics, ct, opts.TraceTo)
+	return res, nil
 }
 
 // DistOptions configure a simulated-cluster verification run (the §7
@@ -313,6 +399,12 @@ type DistOptions struct {
 	// clause is optional and an empty spec injects nothing. See
 	// core.ParseFaults for the grammar.
 	Faults string
+	// TraceTo, CollectMetrics and PprofLabels mirror Options: Chrome
+	// trace-event output (one process per node, one track per node-local
+	// worker slot), the metrics registry, and pprof labels around PUNCH.
+	TraceTo        io.Writer
+	CollectMetrics bool
+	PprofLabels    bool
 }
 
 // DistResult reports a simulated-cluster run.
@@ -335,6 +427,12 @@ type DistResult struct {
 	ReroutedQueries    int
 	RecoveredSummaries int
 	DroppedDeliveries  int
+	// Metrics, WorkerMetrics, TraceSpans and TraceErr mirror Result;
+	// worker slot w of node n appears as worker n*ThreadsPerNode+w.
+	Metrics       map[string]int64
+	WorkerMetrics []WorkerMetric
+	TraceSpans    int
+	TraceErr      error
 }
 
 // CheckDistributed verifies the program's assertions on the simulated
@@ -346,6 +444,8 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	if err != nil {
 		return DistResult{}, fmt.Errorf("bolt: %w", err)
 	}
+	hooks := Options{TraceTo: opts.TraceTo, CollectMetrics: opts.CollectMetrics}
+	ct, tr, m := hooks.hooks()
 	eng := core.NewDistributed(p.prog, core.DistOptions{
 		Punch:          newPunch(opts.Analysis),
 		Nodes:          opts.Nodes,
@@ -355,6 +455,9 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		MaxRounds:      opts.MaxRounds,
 		RealTimeout:    opts.Timeout,
 		Faults:         faults,
+		Tracer:         tr,
+		Metrics:        m,
+		PprofLabels:    opts.PprofLabels,
 	})
 	r := eng.RunContext(ctx, core.AssertionQuestion(p.prog))
 	out := DistResult{
@@ -370,6 +473,22 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		ReroutedQueries:    r.ReroutedQueries,
 		RecoveredSummaries: r.RecoveredSummaries,
 		DroppedDeliveries:  r.DroppedDeliveries,
+	}
+	out.Metrics = r.Metrics.Flatten()
+	if r.Metrics != nil {
+		for _, ws := range r.Metrics.Workers {
+			out.WorkerMetrics = append(out.WorkerMetrics, WorkerMetric{
+				Worker:     ws.Worker,
+				Punches:    ws.Punches,
+				BusyTicks:  ws.BusyTicks,
+				BusyWallNs: ws.BusyWallNs,
+				Steals:     ws.Steals,
+			})
+		}
+	}
+	if ct != nil {
+		out.TraceSpans = ct.Spans()
+		out.TraceErr = ct.Export(opts.TraceTo)
 	}
 	switch r.Verdict {
 	case core.Safe:

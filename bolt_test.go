@@ -1,6 +1,7 @@
 package bolt_test
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	bolt "repro"
 	"repro/internal/drivers"
+	"repro/internal/obs"
 )
 
 const apiSample = `
@@ -203,5 +205,91 @@ func TestCheckDistributedWithFaults(t *testing.T) {
 	// A malformed fault plan is an error, not a panic.
 	if _, err := prog.CheckDistributed(context.Background(), bolt.DistOptions{Nodes: 2, Faults: "drop=2.0"}); err == nil {
 		t.Fatal("invalid fault spec must be rejected")
+	}
+}
+
+// TestObservabilityFacade: Options.TraceTo / CollectMetrics / PprofLabels
+// flow through the public API on both single-machine engines and the
+// simulated cluster; the trace validates and the metrics land on the
+// result.
+func TestObservabilityFacade(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	for _, async := range []bool{false, true} {
+		var buf bytes.Buffer
+		res := prog.Check(bolt.Options{
+			Threads:        4,
+			Async:          async,
+			Timeout:        30 * time.Second,
+			TraceTo:        &buf,
+			CollectMetrics: true,
+			PprofLabels:    true,
+		})
+		if res.Verdict != bolt.Safe {
+			t.Fatalf("async=%v: verdict = %v", async, res.Verdict)
+		}
+		if res.TraceErr != nil {
+			t.Fatalf("async=%v: trace error %v", async, res.TraceErr)
+		}
+		spans, err := obs.ValidateChromeTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("async=%v: invalid trace: %v", async, err)
+		}
+		if spans < 1 || spans != res.TraceSpans {
+			t.Errorf("async=%v: spans = %d, TraceSpans = %d", async, spans, res.TraceSpans)
+		}
+		if res.Metrics == nil || res.Metrics["punch_invocations"] < 1 {
+			t.Errorf("async=%v: metrics missing punch invocations: %v", async, res.Metrics)
+		}
+		if res.Metrics["makespan_ticks"] != res.VirtualTicks {
+			t.Errorf("async=%v: makespan_ticks = %d, want %d", async, res.Metrics["makespan_ticks"], res.VirtualTicks)
+		}
+		if len(res.WorkerMetrics) != 4 {
+			t.Errorf("async=%v: worker metrics = %d, want 4", async, len(res.WorkerMetrics))
+		}
+	}
+}
+
+// TestObservabilityOffByDefault: a plain run attaches nothing.
+func TestObservabilityOffByDefault(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	res := prog.Check(bolt.Options{Threads: 2, Timeout: 30 * time.Second})
+	if res.Metrics != nil || res.WorkerMetrics != nil || res.TraceSpans != 0 {
+		t.Errorf("observability fields populated without opting in: %+v", res.Metrics)
+	}
+}
+
+// TestDistObservabilityFacade mirrors TestObservabilityFacade for the
+// simulated cluster.
+func TestDistObservabilityFacade(t *testing.T) {
+	prog := bolt.MustParse(apiSample)
+	var buf bytes.Buffer
+	res, err := prog.CheckDistributed(context.Background(), bolt.DistOptions{
+		Nodes:          2,
+		ThreadsPerNode: 2,
+		Timeout:        30 * time.Second,
+		TraceTo:        &buf,
+		CollectMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bolt.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.TraceErr != nil {
+		t.Fatal(res.TraceErr)
+	}
+	spans, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if spans != res.TraceSpans || spans < 1 {
+		t.Errorf("spans = %d, TraceSpans = %d", spans, res.TraceSpans)
+	}
+	if res.Metrics == nil || res.Metrics["queries_spawned"] < 1 {
+		t.Errorf("metrics missing: %v", res.Metrics)
+	}
+	if res.Metrics["workers"] != 4 {
+		t.Errorf("workers = %d, want 4 (2 nodes x 2 threads)", res.Metrics["workers"])
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,19 @@ func main() {
 		wall      = flag.Duration("wall", 120*time.Second, "wall-clock safety budget per run")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; expiry cancels in-flight checks (0 = none)")
 		async     = flag.Bool("async", false, "run every check with the streaming work-stealing engine")
+		snapshot  = flag.String("snapshot", "", "write a streaming-engine perf snapshot (makespan, speedup, metrics) to this JSON file, e.g. BENCH_streaming.json")
+		snapTh    = flag.Int("snapshot-threads", 32, "streaming pool size for -snapshot")
+		pprofA    = flag.String("pprof", "", "serve /debug/pprof on this address for the bench's duration")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		addr, err := obs.StartPprofServer(*pprofA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on http://%s\n", addr)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -90,6 +102,27 @@ func main() {
 		harness.PlotSeries(os.Stdout, "Figure 7: queries processed in parallel over virtual time", series, 72, 16)
 		harness.WriteSeries(os.Stdout, "series data:", series)
 	})
+	if *snapshot != "" {
+		bench := harness.CollectStreaming(opts, *snapTh, harness.Table1Checks())
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := harness.WriteStreamingBench(f, bench); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "snapshot: wrote %s (%d checks, total speedup %.2fx at %d threads)\n",
+			*snapshot, len(bench.Checks), bench.TotalSpeedup, *snapTh)
+		for _, c := range bench.Checks {
+			fmt.Printf("%-45s %10d -> %-10d %6.2fx  steals %d\n",
+				c.Check, c.SeqTicks, c.ParTicks, c.Speedup, c.Metrics["steals_succeeded"])
+		}
+		did = true
+	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)

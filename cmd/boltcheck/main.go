@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	bolt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "print engine statistics")
 		wit      = flag.Bool("witness", false, "on Error Reachable, print a concrete counterexample")
 		dot      = flag.Bool("dot", false, "print the control-flow graphs in Graphviz DOT format and exit")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open at ui.perfetto.dev)")
+		metrics  = flag.Bool("metrics", false, "collect and print the engine metrics registry")
+		pprofA   = flag.String("pprof", "", "serve /debug/pprof on this address for the run's duration (also enables pprof labels)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,8 +65,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boltcheck: -faults requires -dist")
 		os.Exit(3)
 	}
+	if *pprofA != "" {
+		addr, err := obs.StartPprofServer(*pprofA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on http://%s\n", addr)
+	}
+	var traceOut *os.File
+	if *trace != "" {
+		traceOut, err = os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(3)
+		}
+		defer traceOut.Close()
+	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, *metrics, *pprofA != "")
 		return
 	}
 	opts := bolt.Options{
@@ -70,6 +92,11 @@ func main() {
 		MaxVirtualTicks: *ticks,
 		Async:           *async,
 		FindWitness:     *wit,
+		CollectMetrics:  *metrics,
+		PprofLabels:     *pprofA != "",
+	}
+	if traceOut != nil {
+		opts.TraceTo = traceOut
 	}
 	switch *analysis {
 	case "maymust":
@@ -108,17 +135,63 @@ func main() {
 		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
 		fmt.Printf("wall time:    %v\n", res.WallTime)
 	}
+	if *metrics {
+		printMetrics(res.Metrics, res.WorkerMetrics)
+	}
+	reportTrace(*trace, res.TraceSpans, res.TraceErr)
 	exitVerdict(res.Verdict)
+}
+
+// printMetrics renders the flattened registry sorted by key, then the
+// per-worker ledger with a utilization column.
+func printMetrics(m map[string]int64, workers []bolt.WorkerMetric) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("metrics:")
+	for _, k := range keys {
+		fmt.Printf("  %-28s %12d\n", k, m[k])
+	}
+	makespan := m["makespan_ticks"]
+	for _, w := range workers {
+		util := 0.0
+		if makespan > 0 {
+			util = float64(w.BusyTicks) / float64(makespan) * 100
+		}
+		fmt.Printf("  worker %-3d punches %-8d busy %-10d steals %-6d util %5.1f%%\n",
+			w.Worker, w.Punches, w.BusyTicks, w.Steals, util)
+	}
+}
+
+// reportTrace confirms (or fails loudly on) the -trace output.
+func reportTrace(path string, spans int, err error) {
+	if path == "" {
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltcheck: writing trace %s: %v\n", path, err)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d punch spans); open at https://ui.perfetto.dev\n", path, spans)
 }
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut *os.File, metrics, labels bool) {
 	opts := bolt.DistOptions{
 		Nodes:          nodes,
 		ThreadsPerNode: threads,
 		Timeout:        timeout,
 		Faults:         faults,
+		CollectMetrics: metrics,
+		PprofLabels:    labels,
+	}
+	tracePath := ""
+	if traceOut != nil {
+		opts.TraceTo = traceOut
+		tracePath = traceOut.Name()
 	}
 	switch analysis {
 	case "maymust":
@@ -150,6 +223,10 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 				res.KilledNodes, res.ReroutedQueries, res.RecoveredSummaries)
 		}
 	}
+	if metrics {
+		printMetrics(res.Metrics, res.WorkerMetrics)
+	}
+	reportTrace(tracePath, res.TraceSpans, res.TraceErr)
 	exitVerdict(res.Verdict)
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
@@ -92,6 +93,16 @@ type asyncState struct {
 	clock     *coreClock
 	start     time.Time
 	res       *Result
+
+	// in holds the run's observability hooks. All event emissions
+	// happen with mu held (punch-start before the worker unlocks,
+	// punch-end and the lifecycle events inside reduce), so the
+	// recorded stream is totally ordered and its virtual-time stamps
+	// are monotone.
+	in instr
+	// depth is each live query's distance from the root, maintained
+	// only when pprof labels are on.
+	depth map[query.ID]int
 }
 
 // runAsync answers q0 with the streaming engine.
@@ -132,6 +143,14 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 		res:       &res,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.in = newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.MaxThreads, start, e.opts.PprofLabels)
+	if s.in.labels {
+		s.depth = map[query.ID]int{root.ID: 0}
+	}
+	s.in.m.Inc(obs.QueriesSpawned)
+	if s.in.tr != nil {
+		s.in.emit(obs.Event{Type: obs.EvSpawn, Query: root.ID, Parent: query.NoParent, Proc: root.Q.Proc})
+	}
 	s.push(0, root)
 
 	var wg sync.WaitGroup
@@ -173,6 +192,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
+	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB)
 	return res
 }
 
@@ -197,6 +217,7 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 				break
 			}
 			s.res.IdleWaits++
+			s.in.m.Inc(obs.IdleParks)
 			s.cond.Wait()
 			continue
 		}
@@ -205,11 +226,36 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 		// While PUNCH runs it may mutate q in place outside the lock;
 		// keep index scans (ReadyCount, InState) away from it.
 		s.tree.Deschedule(q.ID)
+		if s.in.tr != nil {
+			s.in.emit(obs.Event{Type: obs.EvPunchStart, Query: q.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
+		}
+		var d int
+		if s.in.labels {
+			d = s.depth[q.ID]
+		}
 		s.mu.Unlock()
-		r := s.e.opts.Punch.Step(ctx, q)
+		var t0 time.Time
+		if s.in.m != nil {
+			t0 = time.Now()
+		}
+		var r punch.Result
+		if s.in.labels {
+			obs.DoPunch(s.ctx, "async", q.Q.Proc, d, func() {
+				r = s.e.opts.Punch.Step(ctx, q)
+			})
+		} else {
+			r = s.e.opts.Punch.Step(ctx, q)
+		}
+		var wall time.Duration
+		if s.in.m != nil {
+			wall = time.Since(t0)
+		}
 		s.mu.Lock()
 		s.busy--
 		delete(s.running, q.ID)
+		if s.in.m != nil {
+			s.in.m.ObservePunch(id, r.Cost, wall)
+		}
 		s.reduce(id, q, r)
 	}
 	s.mu.Unlock()
@@ -270,12 +316,18 @@ func (s *asyncState) pop(id int) *query.Query {
 			q = d[len(d)-1]
 			s.deques[id] = d[:len(d)-1]
 		} else {
+			s.in.m.Inc(obs.StealsAttempted)
 			for off := 1; off < len(s.deques); off++ {
 				v := (id + off) % len(s.deques)
 				if d := s.deques[v]; len(d) > 0 {
 					q = d[0]
 					s.deques[v] = d[1:]
 					s.res.Steals++
+					s.in.m.Inc(obs.StealsSucceeded)
+					s.in.m.ObserveSteal(id)
+					if s.in.tr != nil {
+						s.in.emit(obs.Event{Type: obs.EvSteal, Query: q.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime, N: int64(v)})
+					}
 					break
 				}
 			}
@@ -305,6 +357,9 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 	s.res.CostByProc[q.Q.Proc] += r.Cost
 	wasRewake := s.rewake[r.Self.ID]
 	delete(s.rewake, r.Self.ID)
+	if s.in.tr != nil {
+		s.in.emit(obs.Event{Type: obs.EvPunchEnd, Query: q.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime, Cost: r.Cost})
+	}
 
 	if s.tree.Get(r.Self.ID) == nil {
 		// The query's subtree was garbage-collected while it ran (its
@@ -316,10 +371,17 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 	s.tree.Replace(r.Self)
 	newQ := 0
 	if r.Self.State != query.Done {
+		s.in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 		for _, c := range r.Children {
 			s.tree.Add(c)
 			s.push(id, c)
 			newQ++
+			if s.in.labels {
+				s.depth[c.ID] = s.depth[r.Self.ID] + 1
+			}
+			if s.in.tr != nil {
+				s.in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Worker: id, VTime: s.clock.vtime})
+			}
 		}
 	}
 	if l := s.tree.Len(); l > s.res.PeakLive {
@@ -329,6 +391,10 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 	switch r.Self.State {
 	case query.Done:
 		s.doneCount++
+		s.in.m.Inc(obs.QueriesDone)
+		if s.in.tr != nil {
+			s.in.emit(obs.Event{Type: obs.EvDone, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
+		}
 		if r.Self.ID == s.root {
 			// Root answered: record the verdict and cancel all in-flight
 			// and queued work.
@@ -352,21 +418,40 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 				} else if p.State == query.Blocked {
 					s.tree.SetState(p.ID, query.Ready)
 					s.push(id, p)
+					s.in.m.Inc(obs.Wakes)
+					if s.in.tr != nil {
+						s.in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, Worker: id, VTime: s.clock.vtime})
+					}
 				}
 			}
 		}
 		if !s.e.opts.DisableGC {
-			s.tree.RemoveSubtree(r.Self.ID)
+			removed := s.tree.RemoveSubtree(r.Self.ID)
+			s.in.m.Add(obs.QueriesGCd, int64(removed))
+			if s.in.tr != nil {
+				s.in.emit(obs.Event{Type: obs.EvGC, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime, N: int64(removed)})
+			}
 		}
 	case query.Ready:
 		// Budget slice exhausted: more work to do, go around again.
 		s.push(id, r.Self)
+		if s.in.tr != nil {
+			s.in.emit(obs.Event{Type: obs.EvReady, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
+		}
 	case query.Blocked:
+		s.in.m.Inc(obs.QueriesBlocked)
+		if s.in.tr != nil {
+			s.in.emit(obs.Event{Type: obs.EvBlock, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
+		}
 		if wasRewake {
 			// A child completed while this query ran; its answer may be
 			// exactly what unblocks it.
 			s.tree.SetState(r.Self.ID, query.Ready)
 			s.push(id, r.Self)
+			s.in.m.Inc(obs.Rewakes)
+			if s.in.tr != nil {
+				s.in.emit(obs.Event{Type: obs.EvWake, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
+			}
 		}
 	}
 	s.sample(vtimeBefore, r.Cost, newQ)

@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
@@ -62,6 +64,12 @@ type DistOptions struct {
 	RealTimeout time.Duration
 	// Faults is the injected fault plan (nil = fault-free run).
 	Faults *Faults
+	// Tracer receives the run's query-lifecycle event stream (nil = off).
+	Tracer obs.Tracer
+	// Metrics is the registry the run updates (nil = off).
+	Metrics *obs.Metrics
+	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels.
+	PprofLabels bool
 }
 
 // DistResult reports a cluster run.
@@ -96,6 +104,9 @@ type DistResult struct {
 	// DroppedDeliveries counts gossip deliveries deferred by injected
 	// loss (each is retried at a later exchange).
 	DroppedDeliveries int
+	// Metrics is the run's metrics snapshot (nil when DistOptions.Metrics
+	// was nil), with summary-database traffic aggregated across nodes.
+	Metrics *obs.Snapshot
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -202,6 +213,17 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		PerNodeSummaries: make([]int, e.opts.Nodes),
 	}
 	var vtime int64
+	// Worker slot w of node n gets the global metrics index
+	// n*ThreadsPerNode + w.
+	in := newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.Nodes*e.opts.ThreadsPerNode, start, e.opts.PprofLabels)
+	var depth map[query.ID]int
+	if in.labels {
+		depth = map[query.ID]int{root.ID: 0}
+	}
+	in.m.Inc(obs.QueriesSpawned)
+	if in.tr != nil {
+		in.emit(obs.Event{Type: obs.EvSpawn, Query: root.ID, Parent: query.NoParent, Proc: root.Q.Proc, Node: e.nodeOf(q0.Proc)})
+	}
 	faults := e.opts.Faults
 	var rng *rand.Rand
 	if faults != nil {
@@ -220,7 +242,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		// Fault injection: the victim dies at the start of its round,
 		// before MAP, so no in-flight work complicates recovery.
 		if faults != nil && faults.KillNode >= 0 && round == faults.KillRound {
-			e.failNode(nodes, faults.KillNode, &res)
+			e.failNode(nodes, faults.KillNode, &res, &in, vtime)
 		}
 		rootOwner := e.owner(nodes, q0.Proc)
 		if rootOwner == nil {
@@ -233,6 +255,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		type nodeOutcome struct {
 			results []punch.Result
 			sel     []*query.Query
+			walls   []time.Duration
 		}
 		outcomes := make([]nodeOutcome, len(nodes))
 		var wg sync.WaitGroup
@@ -252,12 +275,35 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			}
 			outcomes[ni].sel = sel
 			outcomes[ni].results = make([]punch.Result, len(sel))
+			outcomes[ni].walls = make([]time.Duration, len(sel))
 			ctx := &punch.Context{Prog: e.prog, DB: n.db, Alloc: alloc, ModRef: modref}
+			// Punch spans are emitted from the round loop (start here, end
+			// at merge below), so the trace stream stays single-writer and
+			// each (node, worker) track holds at most one open span.
+			if in.tr != nil {
+				for i := range sel {
+					in.emit(obs.Event{Type: obs.EvPunchStart, Query: sel[i].ID, Proc: sel[i].Q.Proc, Node: ni, Worker: i, VTime: vtime})
+				}
+			}
 			for i := range sel {
 				wg.Add(1)
 				go func(ni, i int) {
 					defer wg.Done()
-					outcomes[ni].results[i] = e.opts.Punch.Step(ctx, outcomes[ni].sel[i])
+					o := &outcomes[ni]
+					var t0 time.Time
+					if in.m != nil {
+						t0 = time.Now()
+					}
+					if in.labels {
+						obs.DoPunch(ctx0, "dist", o.sel[i].Q.Proc, depth[o.sel[i].ID], func() {
+							o.results[i] = e.opts.Punch.Step(ctx, o.sel[i])
+						})
+					} else {
+						o.results[i] = e.opts.Punch.Step(ctx, o.sel[i])
+					}
+					if in.m != nil {
+						o.walls[i] = time.Since(t0)
+					}
 				}(ni, i)
 			}
 		}
@@ -271,11 +317,11 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			// new flowed, the cluster is genuinely deadlocked.
 			res.SyncExchanges++
 			vtime += e.opts.SyncCost
-			if e.gossip(nodes, nil, &res) == 0 {
+			if e.gossip(nodes, nil, &res, &in, vtime) == 0 {
 				res.setStop(StopDeadlocked)
 				break
 			}
-			wakeBlocked(nodes)
+			wakeBlocked(nodes, &in, vtime)
 			continue
 		}
 
@@ -303,10 +349,24 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			if outcomes[ni].sel == nil {
 				continue
 			}
-			for _, r := range outcomes[ni].results {
+			for i, r := range outcomes[ni].results {
+				if in.m != nil {
+					in.m.ObservePunch(ni*e.opts.ThreadsPerNode+i, r.Cost, outcomes[ni].walls[i])
+				}
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvPunchEnd, Query: r.Self.ID, Proc: r.Self.Q.Proc, Node: ni, Worker: i, VTime: vtime, Cost: r.Cost})
+				}
 				n.tree.Replace(r.Self)
+				in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 				for _, c := range r.Children {
-					e.owner(nodes, c.Q.Proc).tree.Add(c)
+					dst := e.owner(nodes, c.Q.Proc)
+					dst.tree.Add(c)
+					if in.labels {
+						depth[c.ID] = depth[r.Self.ID] + 1
+					}
+					if in.tr != nil {
+						in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime})
+					}
 				}
 			}
 		}
@@ -323,22 +383,40 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			if outcomes[ni].sel == nil {
 				continue
 			}
-			for _, r := range outcomes[ni].results {
+			for i, r := range outcomes[ni].results {
 				self := r.Self
+				if self.State == query.Blocked {
+					in.m.Inc(obs.QueriesBlocked)
+					if in.tr != nil {
+						in.emit(obs.Event{Type: obs.EvBlock, Query: self.ID, Proc: self.Q.Proc, Node: ni, Worker: i, VTime: vtime})
+					}
+				}
 				if self.State != query.Done {
 					continue
+				}
+				in.m.Inc(obs.QueriesDone)
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvDone, Query: self.ID, Proc: self.Q.Proc, Node: ni, Worker: i, VTime: vtime})
 				}
 				if self.Parent != query.NoParent {
 					for _, other := range nodes {
 						if p := other.tree.Get(self.Parent); p != nil {
 							if p.State == query.Blocked {
 								other.tree.SetState(p.ID, query.Ready)
+								in.m.Inc(obs.Wakes)
+								if in.tr != nil {
+									in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, Node: other.id, VTime: vtime})
+								}
 							}
 							break
 						}
 					}
 				}
-				n.tree.RemoveSubtree(self.ID)
+				removed := n.tree.RemoveSubtree(self.ID)
+				in.m.Add(obs.QueriesGCd, int64(removed))
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvGC, Query: self.ID, Proc: self.Q.Proc, Node: ni, Worker: i, VTime: vtime, N: int64(removed)})
+				}
 			}
 		}
 		e.recordPeaks(nodes, &res)
@@ -377,8 +455,8 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			// detector below would declare a fully-replicated-but-sleeping
 			// cluster dead. (The barrier engine gets this ordering for free
 			// from its shared database.)
-			if e.gossip(nodes, rng, &res) > 0 {
-				wakeBlocked(nodes)
+			if e.gossip(nodes, rng, &res, &in, vtime) > 0 {
+				wakeBlocked(nodes, &in, vtime)
 			}
 		}
 	}
@@ -392,18 +470,62 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 	res.TotalQueries = alloc.Count()
 	res.VirtualTicks = vtime
 	res.WallTime = time.Since(start)
+	res.Metrics = in.finish(vtime, aggregateStats(nodes))
 	return res
+}
+
+// aggregateStats sums the per-node summary-database traffic into one
+// Stats view, merging the per-stripe breakdown by shard index (every
+// node stripes its shard the same way).
+func aggregateStats(nodes []*distNode) summary.Stats {
+	var agg summary.Stats
+	byShard := map[int]*summary.ShardTraffic{}
+	for _, n := range nodes {
+		st := n.db.StatsSnapshot()
+		agg.Added += st.Added
+		agg.YesHits += st.YesHits
+		agg.NoHits += st.NoHits
+		agg.Misses += st.Misses
+		agg.DupesSkip += st.DupesSkip
+		agg.MemoHits += st.MemoHits
+		for _, sh := range st.PerShard {
+			t := byShard[sh.Shard]
+			if t == nil {
+				t = &summary.ShardTraffic{Shard: sh.Shard}
+				byShard[t.Shard] = t
+			}
+			t.Procs += sh.Procs
+			t.Summaries += sh.Summaries
+			t.YesHits += sh.YesHits
+			t.NoHits += sh.NoHits
+			t.Misses += sh.Misses
+			t.MemoHits += sh.MemoHits
+		}
+	}
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		agg.PerShard = append(agg.PerShard, *byShard[s])
+	}
+	return agg
 }
 
 // wakeBlocked moves every Blocked query on a live node back to Ready so
 // its next PUNCH slice re-examines the (just updated) local database.
-func wakeBlocked(nodes []*distNode) {
+func wakeBlocked(nodes []*distNode, in *instr, vtime int64) {
 	for _, n := range nodes {
 		if n.dead {
 			continue
 		}
 		for _, q := range n.tree.InState(query.Blocked) {
 			n.tree.SetState(q.ID, query.Ready)
+			in.m.Inc(obs.Wakes)
+			if in.tr != nil {
+				in.emit(obs.Event{Type: obs.EvWake, Query: q.ID, Proc: q.Q.Proc, Node: n.id, VTime: vtime})
+			}
 		}
 	}
 }
@@ -424,13 +546,17 @@ func (e *DistEngine) recordPeaks(nodes []*distNode, res *DistResult) {
 // queries are re-routed to their new owners, with Blocked survivors woken
 // so they re-examine the recovered databases. No-op when the victim is
 // out of range or already dead.
-func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult) {
+func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult, in *instr, vtime int64) {
 	if victim < 0 || victim >= len(nodes) || nodes[victim].dead {
 		return
 	}
 	dead := nodes[victim]
 	dead.dead = true
 	res.KilledNodes = append(res.KilledNodes, victim)
+	in.m.Inc(obs.NodeKills)
+	if in.tr != nil {
+		in.emit(obs.Event{Type: obs.EvNodeKill, Node: victim, VTime: vtime})
+	}
 
 	for _, s := range dead.db.All() {
 		key := summaryKey(s)
@@ -441,6 +567,7 @@ func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult) {
 			to.known[key] = true
 			to.db.Add(s)
 			res.RecoveredSummaries++
+			in.deliver(victim, to.id, s.Proc, len(key), vtime)
 		}
 	}
 	for _, q := range dead.tree.All() {
@@ -459,7 +586,7 @@ func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult) {
 	// Recovery deliveries are wake events like any other gossip: survivors
 	// blocked on the victim's summaries must re-examine their databases.
 	if res.RecoveredSummaries > 0 {
-		wakeBlocked(nodes)
+		wakeBlocked(nodes, in, vtime)
 	}
 }
 
@@ -473,7 +600,8 @@ func summaryKey(s summary.Summary) string {
 // rebroadcast. With a non-nil rng, each delivery is dropped with the
 // fault plan's probability; a dropped delivery stays unacknowledged and
 // is retried at the next exchange (drop-as-delay).
-func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult) int {
+func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult, in *instr, vtime int64) int {
+	in.m.Inc(obs.GossipRounds)
 	drop := 0.0
 	if rng != nil && e.opts.Faults != nil {
 		drop = e.opts.Faults.GossipDrop
@@ -496,6 +624,7 @@ func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult) 
 				to.known[key] = true
 				to.db.Add(s)
 				moved++
+				in.deliver(from.id, to.id, s.Proc, len(key), vtime)
 			}
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
@@ -114,6 +115,17 @@ type Options struct {
 	// each sample is one PUNCH completion event rather than one
 	// MAP/REDUCE batch.
 	OnIteration func(IterSample)
+	// Tracer, when non-nil, receives the run's query-lifecycle event
+	// stream (see internal/obs). A nil tracer costs one branch per
+	// would-be event.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is the registry the run's counters and
+	// histograms accumulate into; a snapshot lands in Result.Metrics.
+	// A nil registry costs one branch per would-be update.
+	Metrics *obs.Metrics
+	// PprofLabels wraps every PUNCH invocation in runtime/pprof labels
+	// (engine, proc, query-depth) for CPU-profile attribution.
+	PprofLabels bool
 }
 
 // IterSample is one MAP/REDUCE iteration's instrumentation record; the
@@ -157,6 +169,10 @@ type Result struct {
 	// CostByProc aggregates PUNCH cost per analyzed procedure, a profile
 	// of where virtual time is spent.
 	CostByProc map[string]int64
+	// Metrics is the observability snapshot (nil unless Options.Metrics
+	// was set): counters, punch histograms, per-worker accounting, and
+	// sumdb_* traffic including the per-shard breakdown.
+	Metrics *obs.Snapshot
 	// Summaries is the final content of SUMDB.
 	Summaries []summary.Summary
 }
@@ -227,6 +243,18 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	var vtime int64
 	var doneCount int64
 
+	in := newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.MaxThreads, start, e.opts.PprofLabels)
+	// depth tracks each live query's distance from the root for the
+	// query-depth pprof label; maintained only when labels are on.
+	var depth map[query.ID]int
+	if in.labels {
+		depth = map[query.ID]int{root.ID: 0}
+	}
+	in.m.Inc(obs.QueriesSpawned)
+	if in.tr != nil {
+		in.emit(obs.Event{Type: obs.EvSpawn, Query: root.ID, Parent: query.NoParent, Proc: root.Q.Proc})
+	}
+
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
 		if ctx0.Err() != nil {
 			res.setStop(StopCancelled)
@@ -274,14 +302,35 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 		}
 
 		// MAP: run PUNCH on the selected queries in parallel. The summary
-		// database is the only shared state (§3.3).
+		// database is the only shared state (§3.3). Worker slot i is the
+		// event track; the depth map is read-only while the batch runs.
 		results := make([]punch.Result, len(sel))
 		var wg sync.WaitGroup
 		for i := range sel {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i] = e.opts.Punch.Step(ctx, sel[i])
+				q := sel[i]
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvPunchStart, Query: q.ID, Proc: q.Q.Proc, Worker: i, VTime: vtime})
+				}
+				var t0 time.Time
+				if in.m != nil {
+					t0 = time.Now()
+				}
+				if in.labels {
+					obs.DoPunch(ctx0, "barrier", q.Q.Proc, depth[q.ID], func() {
+						results[i] = e.opts.Punch.Step(ctx, q)
+					})
+				} else {
+					results[i] = e.opts.Punch.Step(ctx, q)
+				}
+				if in.m != nil {
+					in.m.ObservePunch(i, results[i].Cost, time.Since(t0))
+				}
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvPunchEnd, Query: q.ID, Proc: q.Q.Proc, Worker: i, VTime: vtime, Cost: results[i].Cost})
+				}
 			}(i)
 		}
 		wg.Wait()
@@ -310,8 +359,31 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				}
 			}
 			tree.Replace(r.Self)
+			in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 			for _, c := range r.Children {
 				tree.Add(c)
+				if in.labels {
+					depth[c.ID] = depth[r.Self.ID] + 1
+				}
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime})
+				}
+			}
+			switch r.Self.State {
+			case query.Done:
+				in.m.Inc(obs.QueriesDone)
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvDone, Query: r.Self.ID, Proc: r.Self.Q.Proc, VTime: vtime})
+				}
+			case query.Blocked:
+				in.m.Inc(obs.QueriesBlocked)
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvBlock, Query: r.Self.ID, Proc: r.Self.Q.Proc, VTime: vtime})
+				}
+			case query.Ready:
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvReady, Query: r.Self.ID, Proc: r.Self.Q.Proc, VTime: vtime})
+				}
 			}
 		}
 
@@ -354,10 +426,18 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 			if self.Parent != query.NoParent {
 				if p := tree.Get(self.Parent); p != nil && p.State == query.Blocked {
 					tree.SetState(p.ID, query.Ready)
+					in.m.Inc(obs.Wakes)
+					if in.tr != nil {
+						in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, VTime: vtime})
+					}
 				}
 			}
 			if !e.opts.DisableGC {
-				tree.RemoveSubtree(self.ID)
+				removed := tree.RemoveSubtree(self.ID)
+				in.m.Add(obs.QueriesGCd, int64(removed))
+				if in.tr != nil {
+					in.emit(obs.Event{Type: obs.EvGC, Query: self.ID, Proc: self.Q.Proc, VTime: vtime, N: int64(removed)})
+				}
 			}
 		}
 		if tree.Len() > res.PeakLive {
@@ -377,6 +457,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
+	res.Metrics = in.finish(vtime, res.SumDB)
 	return res
 }
 

@@ -12,6 +12,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/summary"
 )
 
 // StopReason explains why a run terminated. Exactly one reason is
@@ -99,6 +103,70 @@ type Faults struct {
 
 // NoFaultNode marks a Faults plan with no kill.
 const NoFaultNode = -1
+
+// instr bundles one run's observability hooks — the event tracer, the
+// metrics registry, the wall-clock epoch, and the pprof-label switch —
+// shared by the three engines. The zero instr is fully disabled. The
+// hot-path contract: every event emission is guarded by `if in.tr !=
+// nil` at the call site (one branch, no Event constructed behind it)
+// and every metrics update goes through obs's nil-receiver-safe
+// methods (one branch each).
+type instr struct {
+	tr     obs.Tracer
+	m      *obs.Metrics
+	epoch  time.Time
+	labels bool
+}
+
+// newInstr builds the hooks for a run with the given worker-slot count.
+func newInstr(tr obs.Tracer, m *obs.Metrics, workers int, epoch time.Time, labels bool) instr {
+	m.EnsureWorkers(workers)
+	return instr{tr: tr, m: m, epoch: epoch, labels: labels}
+}
+
+// emit stamps ev with the run-relative wall clock and hands it to the
+// tracer. Callers guard with `if in.tr != nil`.
+func (in *instr) emit(ev obs.Event) {
+	ev.Wall = time.Since(in.epoch)
+	in.tr.Event(ev)
+}
+
+// deliver records one summary delivery between nodes of the distributed
+// simulation: the gossip counters plus a send/receive event pair keyed
+// by the endpoints.
+func (in *instr) deliver(from, to int, proc string, bytes int, vtime int64) {
+	in.m.Inc(obs.GossipDeliveries)
+	in.m.Add(obs.GossipBytes, int64(bytes))
+	if in.tr != nil {
+		in.emit(obs.Event{Type: obs.EvGossipSend, Proc: proc, Node: from, VTime: vtime, N: int64(bytes)})
+		in.emit(obs.Event{Type: obs.EvGossipRecv, Proc: proc, Node: to, VTime: vtime, N: int64(bytes)})
+	}
+}
+
+// finish snapshots the registry (nil when metrics were off), stamping
+// the run's makespan and folding in the summary-database traffic under
+// sumdb_* counter keys (aggregate plus per lock stripe).
+func (in *instr) finish(makespan int64, st summary.Stats) *obs.Snapshot {
+	snap := in.m.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	snap.MakespanTicks = makespan
+	c := snap.Counters
+	c["sumdb_added"] = st.Added
+	c["sumdb_yes_hits"] = st.YesHits
+	c["sumdb_no_hits"] = st.NoHits
+	c["sumdb_misses"] = st.Misses
+	c["sumdb_memo_hits"] = st.MemoHits
+	c["sumdb_dupes_skipped"] = st.DupesSkip
+	for _, sh := range st.PerShard {
+		base := fmt.Sprintf("sumdb_shard%02d_", sh.Shard)
+		c[base+"hits"] = sh.YesHits + sh.NoHits
+		c[base+"misses"] = sh.Misses
+		c[base+"summaries"] = int64(sh.Summaries)
+	}
+	return snap
+}
 
 // ParseFaults parses a command-line fault spec of the form
 //

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drivers"
+	"repro/internal/obs"
 	"repro/internal/punch"
 	"repro/internal/punch/maymust"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// cancellation returns with StopReason core.StopCancelled. Nil means
 	// no external cancellation.
 	Ctx context.Context
+	// Metrics attaches a fresh obs.Metrics registry to every run and its
+	// snapshot to CheckResult.Metrics.
+	Metrics bool
+	// Tracer, when set, receives every run's query-lifecycle events.
+	Tracer obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -73,12 +79,18 @@ type CheckResult struct {
 	TimedOut   bool
 	Deadlocked bool
 	CostByProc map[string]int64
+	// Metrics is the run's metrics snapshot (nil unless Options.Metrics).
+	Metrics *obs.Snapshot
 }
 
 // RunCheck verifies one driver-property pair with the given thread count.
 func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 	opts = opts.withDefaults()
 	prog := drivers.Generate(check.Config)
+	var m *obs.Metrics
+	if opts.Metrics {
+		m = obs.NewMetrics()
+	}
 	eng := core.New(prog, core.Options{
 		Punch:           opts.NewPunch(),
 		MaxThreads:      threads,
@@ -87,6 +99,8 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		RealTimeout:     opts.WallBudget,
 		MaxIterations:   1 << 19,
 		Async:           opts.Async,
+		Tracer:          opts.Tracer,
+		Metrics:         m,
 	})
 	ctx := opts.Ctx
 	if ctx == nil {
@@ -106,6 +120,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		TimedOut:   res.TimedOut,
 		Deadlocked: res.Deadlocked,
 		CostByProc: res.CostByProc,
+		Metrics:    res.Metrics,
 	}
 }
 

@@ -1,0 +1,98 @@
+// Streaming-engine performance snapshots: a machine-readable record of
+// the work-stealing engine's makespan and speedup over the sequential
+// baseline, with the metrics registry's summary attached. boltbench
+// -snapshot writes one to BENCH_streaming.json so perf regressions show
+// up in review as a diff, not an anecdote.
+
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/drivers"
+)
+
+// StreamingBench is one perf snapshot of the streaming engine across a
+// check set.
+type StreamingBench struct {
+	// Threads is the streaming pool size; Cores the virtual-clock core
+	// count the makespans are measured against.
+	Threads int `json:"threads"`
+	Cores   int `json:"cores"`
+	Checks  []StreamingCheckBench `json:"checks"`
+	// TotalSeqTicks and TotalParTicks are the cumulative 1-thread and
+	// streaming makespans; TotalSpeedup their ratio.
+	TotalSeqTicks int64   `json:"total_seq_ticks"`
+	TotalParTicks int64   `json:"total_par_ticks"`
+	TotalSpeedup  float64 `json:"total_speedup"`
+}
+
+// StreamingCheckBench is one check's entry in a StreamingBench.
+type StreamingCheckBench struct {
+	Check   string `json:"check"`
+	Verdict string `json:"verdict"`
+	// SeqTicks is the 1-thread makespan, ParTicks the streaming-engine
+	// makespan at the snapshot's thread count, Speedup their ratio.
+	SeqTicks int64   `json:"seq_ticks"`
+	ParTicks int64   `json:"par_ticks"`
+	Speedup  float64 `json:"speedup"`
+	Queries  int64   `json:"queries"`
+	WallNs   int64   `json:"wall_ns"`
+	// Metrics is the streaming run's flattened metrics summary (counters,
+	// sumdb traffic, punch-histogram aggregates, makespan).
+	Metrics map[string]int64 `json:"metrics"`
+	// WorkerUtilization is each worker's busy-tick share of the makespan,
+	// in worker order (the load-balance view).
+	WorkerUtilization []float64 `json:"worker_utilization,omitempty"`
+}
+
+// CollectStreaming measures the streaming engine at the given thread
+// count against the 1-thread baseline on each check, with metrics
+// enabled on the streaming runs.
+func CollectStreaming(opts Options, threads int, checks []drivers.Check) StreamingBench {
+	opts = opts.withDefaults()
+	bench := StreamingBench{Threads: threads, Cores: opts.Cores}
+	seqOpts := opts
+	seqOpts.Async = false
+	seqOpts.Metrics = false
+	parOpts := opts
+	parOpts.Async = true
+	parOpts.Metrics = true
+	for _, check := range checks {
+		seq := RunCheck(check, 1, seqOpts)
+		par := RunCheck(check, threads, parOpts)
+		entry := StreamingCheckBench{
+			Check:    check.ID(),
+			Verdict:  par.Verdict.String(),
+			SeqTicks: seq.Ticks,
+			ParTicks: par.Ticks,
+			Queries:  par.Queries,
+			WallNs:   int64(par.Wall),
+			Metrics:  par.Metrics.Flatten(),
+		}
+		if par.Ticks > 0 {
+			entry.Speedup = float64(seq.Ticks) / float64(par.Ticks)
+		}
+		if par.Metrics != nil && par.Metrics.MakespanTicks > 0 {
+			for _, ws := range par.Metrics.Workers {
+				entry.WorkerUtilization = append(entry.WorkerUtilization,
+					float64(ws.BusyTicks)/float64(par.Metrics.MakespanTicks))
+			}
+		}
+		bench.Checks = append(bench.Checks, entry)
+		bench.TotalSeqTicks += seq.Ticks
+		bench.TotalParTicks += par.Ticks
+	}
+	if bench.TotalParTicks > 0 {
+		bench.TotalSpeedup = float64(bench.TotalSeqTicks) / float64(bench.TotalParTicks)
+	}
+	return bench
+}
+
+// WriteStreamingBench serializes the snapshot as indented JSON.
+func WriteStreamingBench(w io.Writer, b StreamingBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: a nil registry and a nil tracer must be inert — every
+// method is a no-op rather than a panic, since the engines call them
+// unconditionally behind one branch.
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Inc(QueriesSpawned)
+	m.Add(QueriesDone, 7)
+	m.EnsureWorkers(8)
+	m.ObservePunch(3, 100, time.Millisecond)
+	m.ObserveSteal(2)
+	if got := m.Get(QueriesSpawned); got != 0 {
+		t.Errorf("nil registry Get = %d, want 0", got)
+	}
+	if m.Snapshot() != nil {
+		t.Error("nil registry Snapshot != nil")
+	}
+	var s *Snapshot
+	if s.Flatten() != nil {
+		t.Error("nil snapshot Flatten != nil")
+	}
+}
+
+func TestCountersAndWorkers(t *testing.T) {
+	m := NewMetrics()
+	m.EnsureWorkers(4)
+	m.Inc(QueriesSpawned)
+	m.Add(QueriesSpawned, 2)
+	m.Inc(StealsSucceeded)
+	m.ObservePunch(1, 50, 2*time.Microsecond)
+	m.ObservePunch(1, 70, 3*time.Microsecond)
+	m.ObservePunch(3, 10, time.Microsecond)
+	m.ObserveSteal(3)
+	// Out-of-range workers are dropped, not panicked on.
+	m.ObservePunch(99, 1, 0)
+	m.ObserveSteal(-1)
+
+	snap := m.Snapshot()
+	if got := snap.Counters["queries_spawned"]; got != 3 {
+		t.Errorf("queries_spawned = %d, want 3", got)
+	}
+	if got := snap.Counters["punch_invocations"]; got != 4 {
+		t.Errorf("punch_invocations = %d, want 4", got)
+	}
+	if len(snap.Workers) != 4 {
+		t.Fatalf("workers = %d, want 4", len(snap.Workers))
+	}
+	w1 := snap.Workers[1]
+	if w1.Punches != 2 || w1.BusyTicks != 120 {
+		t.Errorf("worker 1 = %+v, want 2 punches / 120 busy ticks", w1)
+	}
+	if snap.Workers[3].Steals != 1 {
+		t.Errorf("worker 3 steals = %d, want 1", snap.Workers[3].Steals)
+	}
+	flat := snap.Flatten()
+	if flat["punch_cost_sum"] != 131 {
+		t.Errorf("punch_cost_sum = %d, want 131", flat["punch_cost_sum"])
+	}
+	if flat["workers"] != 4 {
+		t.Errorf("workers = %d, want 4", flat["workers"])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1006 {
+		t.Errorf("sum = %d, want 1006", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Errorf("max = %d, want 1000", s.Max)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != 6 {
+		t.Errorf("bucket total = %d, want 6", bucketTotal)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.count.Load(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	if got := h.max.Load(); got != 999 {
+		t.Errorf("max = %d, want 999", got)
+	}
+}
+
+// TestChromeTracerSpans: punch-start/punch-end pairs become complete
+// spans, everything else becomes instants, and the serialized document
+// validates.
+func TestChromeTracerSpans(t *testing.T) {
+	c := NewChromeTracer()
+	c.Event(Event{Type: EvSpawn, Query: 1, Proc: "main", Wall: 0})
+	c.Event(Event{Type: EvPunchStart, Query: 1, Proc: "main", Worker: 0, Wall: 10 * time.Microsecond})
+	c.Event(Event{Type: EvPunchEnd, Query: 1, Proc: "main", Worker: 0, Cost: 5, Wall: 30 * time.Microsecond})
+	c.Event(Event{Type: EvPunchStart, Query: 2, Proc: "helper", Worker: 1, Node: 1, Wall: 12 * time.Microsecond})
+	c.Event(Event{Type: EvPunchEnd, Query: 2, Proc: "helper", Worker: 1, Node: 1, Cost: 3, Wall: 22 * time.Microsecond})
+	c.Event(Event{Type: EvDone, Query: 1, Proc: "main", Wall: 31 * time.Microsecond})
+	if c.Spans() != 2 {
+		t.Errorf("spans = %d, want 2", c.Spans())
+	}
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("validated spans = %d, want 2", n)
+	}
+	out := buf.String()
+	for _, want := range []string{`"process_name"`, `"thread_name"`, `"ph":"X"`, `"done"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %s", want)
+		}
+	}
+	// The document must be a plain JSON array.
+	var generic []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+}
+
+// TestChromeTracerLoneEnd: an end without a start synthesizes a
+// zero-length span instead of corrupting the document.
+func TestChromeTracerLoneEnd(t *testing.T) {
+	c := NewChromeTracer()
+	c.Event(Event{Type: EvPunchEnd, Query: 9, Proc: "p", Wall: 5 * time.Microsecond})
+	if c.Spans() != 1 {
+		t.Errorf("spans = %d, want 1", c.Spans())
+	}
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestValidateRejectsOverlap: partially overlapping spans on one track
+// are a malformed trace and must be rejected.
+func TestValidateRejectsOverlap(t *testing.T) {
+	doc := `[
+		{"name":"a","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},
+		{"name":"b","ph":"X","ts":5,"dur":10,"pid":0,"tid":0}
+	]`
+	if _, err := ValidateChromeTrace([]byte(doc)); err == nil {
+		t.Error("overlapping spans validated, want error")
+	}
+	// The same spans on different tracks are fine.
+	doc2 := `[
+		{"name":"a","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},
+		{"name":"b","ph":"X","ts":5,"dur":10,"pid":0,"tid":1}
+	]`
+	if _, err := ValidateChromeTrace([]byte(doc2)); err != nil {
+		t.Errorf("disjoint tracks rejected: %v", err)
+	}
+	if _, err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Error("garbage validated, want error")
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		if s := ty.String(); s == "" || strings.HasPrefix(s, "EventType(") {
+			t.Errorf("event type %d has no name", ty)
+		}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if s := c.String(); s == "" || s == "counter_unknown" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+}
+
+func TestRecording(t *testing.T) {
+	var r Recording
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Event(Event{Type: EvSpawn, Worker: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 400 {
+		t.Errorf("len = %d, want 400", r.Len())
+	}
+	evs := r.Events()
+	evs[0].Worker = 99 // the returned slice is a copy
+	if r.Events()[0].Worker == 99 {
+		t.Error("Events returned the internal slice, not a copy")
+	}
+}

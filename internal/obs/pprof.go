@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime/pprof"
+	"strconv"
+)
+
+// DoPunch runs f under runtime/pprof labels identifying the PUNCH
+// invocation: engine ("barrier", "async", "dist"), proc (the procedure
+// under analysis) and query-depth (root = 0). CPU samples taken while f
+// runs are attributed to these labels, so `go tool pprof -tags` breaks
+// analysis time down by engine, procedure, and tree depth.
+func DoPunch(ctx context.Context, engine, proc string, depth int, f func()) {
+	pprof.Do(ctx, pprof.Labels(
+		"engine", engine,
+		"proc", proc,
+		"query-depth", strconv.Itoa(depth),
+	), func(context.Context) { f() })
+}
+
+// StartPprofServer serves the standard /debug/pprof endpoints on addr
+// in a background goroutine and returns the bound address (useful with
+// ":0"). The listener lives for the remainder of the process — the CLIs
+// use it for the duration of a run.
+func StartPprofServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,33 @@
+package obs
+
+import "sync"
+
+// Recording is a Tracer that appends every event to an in-memory log,
+// for tests asserting ordering invariants. Safe for concurrent use.
+type Recording struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event implements Tracer.
+func (r *Recording) Event(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the log in arrival order.
+func (r *Recording) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recording) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,111 @@
+package obs_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+)
+
+// TestTraceRoundTrip drives a corpus program through all three engines
+// with a ChromeTracer attached and validates the serialized document:
+// parseable Chrome trace-event JSON, well-nested spans per track, and at
+// least one PUNCH span per completed query. This is the `make
+// trace-smoke` CI gate.
+func TestTraceRoundTrip(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/corpus/*.bolt")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	src, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []struct {
+		name  string
+		async bool
+	}{{"barrier", false}, {"async", true}}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			tr := obs.NewChromeTracer()
+			m := obs.NewMetrics()
+			res := core.New(prog, core.Options{
+				Punch:         maymust.New(),
+				MaxThreads:    8,
+				MaxIterations: 60000,
+				Async:         eng.async,
+				Tracer:        tr,
+				Metrics:       m,
+			}).Run(core.AssertionQuestion(prog))
+			if res.Verdict == core.Unknown {
+				t.Fatalf("verdict Unknown (stop %v)", res.StopReason)
+			}
+			var buf bytes.Buffer
+			if err := tr.Export(&buf); err != nil {
+				t.Fatal(err)
+			}
+			spans, err := obs.ValidateChromeTrace(buf.Bytes())
+			if err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if res.DoneQueries < 1 {
+				t.Fatalf("no completed queries")
+			}
+			if int64(spans) < res.DoneQueries {
+				t.Errorf("spans = %d < completed queries = %d", spans, res.DoneQueries)
+			}
+			if res.Metrics == nil {
+				t.Fatal("Result.Metrics is nil with a registry attached")
+			}
+			if got := res.Metrics.Counters["punch_invocations"]; int64(spans) != got {
+				t.Errorf("spans = %d, punch_invocations = %d", spans, got)
+			}
+			if res.Metrics.Counters["queries_done"] != res.DoneQueries {
+				t.Errorf("queries_done = %d, want %d",
+					res.Metrics.Counters["queries_done"], res.DoneQueries)
+			}
+		})
+	}
+
+	t.Run("dist", func(t *testing.T) {
+		tr := obs.NewChromeTracer()
+		m := obs.NewMetrics()
+		res := core.NewDistributed(prog, core.DistOptions{
+			Punch:          maymust.New(),
+			Nodes:          3,
+			ThreadsPerNode: 4,
+			Tracer:         tr,
+			Metrics:        m,
+		}).Run(core.AssertionQuestion(prog))
+		if res.Verdict == core.Unknown {
+			t.Fatalf("verdict Unknown (stop %v)", res.StopReason)
+		}
+		var buf bytes.Buffer
+		if err := tr.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		spans, err := obs.ValidateChromeTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		if spans < 1 {
+			t.Error("no punch spans recorded")
+		}
+		if res.Metrics == nil {
+			t.Fatal("DistResult.Metrics is nil with a registry attached")
+		}
+		if res.Metrics.Counters["queries_spawned"] < 1 {
+			t.Error("no spawns counted")
+		}
+	})
+}

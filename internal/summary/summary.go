@@ -76,6 +76,21 @@ type Stats struct {
 	// MemoHits counts answers served from the bounded question memo
 	// without re-running any solver check.
 	MemoHits int64
+	// PerShard breaks the answering traffic down by lock stripe (only
+	// shards with any traffic or content appear) — the load-balance
+	// view the striping exists for.
+	PerShard []ShardTraffic
+}
+
+// ShardTraffic is one lock stripe's answering traffic and content.
+type ShardTraffic struct {
+	Shard     int
+	Procs     int
+	Summaries int
+	YesHits   int64
+	NoHits    int64
+	Misses    int64
+	MemoHits  int64
 }
 
 // numShards stripes the procedure map so concurrent PUNCH instances
@@ -162,6 +177,12 @@ type shard struct {
 	procs map[string]*procShard
 }
 
+// shardCounters are one stripe's read-path counters (atomics: the
+// answer paths hold no exclusive lock).
+type shardCounters struct {
+	yes, no, miss, memo int64
+}
+
 // DB is the concurrent summary database SUMDB, sharded by procedure. All
 // methods are safe for concurrent use; per the paper it is the only
 // resource shared by the parallel instances of PUNCH.
@@ -171,11 +192,13 @@ type DB struct {
 	enabled bool
 	// Global read-path counters (atomics: the read paths hold no
 	// exclusive lock). Added/DupesSkip live per procShard under its
-	// write lock and are summed by StatsSnapshot.
+	// write lock and are summed by StatsSnapshot. traffic carries the
+	// same read-path counts broken down by lock stripe.
 	yesHits  int64
 	noHits   int64
 	misses   int64
 	memoHits int64
+	traffic  [numShards]shardCounters
 }
 
 // New returns an empty database using solver for the answering checks.
@@ -204,11 +227,39 @@ func shardIndex(proc string) int {
 // lookup returns proc's shard entry, or nil when the procedure has no
 // summaries yet.
 func (db *DB) lookup(proc string) *procShard {
-	sh := &db.shards[shardIndex(proc)]
+	return db.lookupAt(shardIndex(proc), proc)
+}
+
+// lookupAt is lookup with the stripe index already computed (the answer
+// paths reuse it for the per-shard traffic counters).
+func (db *DB) lookupAt(si int, proc string) *procShard {
+	sh := &db.shards[si]
 	sh.mu.RLock()
 	ps := sh.procs[proc]
 	sh.mu.RUnlock()
 	return ps
+}
+
+// countMiss, countMemo, countYes and countNo bump a global read-path
+// counter together with its stripe-local twin.
+func (db *DB) countMiss(si int) {
+	atomic.AddInt64(&db.misses, 1)
+	atomic.AddInt64(&db.traffic[si].miss, 1)
+}
+
+func (db *DB) countMemo(si int) {
+	atomic.AddInt64(&db.memoHits, 1)
+	atomic.AddInt64(&db.traffic[si].memo, 1)
+}
+
+func (db *DB) countYes(si int) {
+	atomic.AddInt64(&db.yesHits, 1)
+	atomic.AddInt64(&db.traffic[si].yes, 1)
+}
+
+func (db *DB) countNo(si int) {
+	atomic.AddInt64(&db.noHits, 1)
+	atomic.AddInt64(&db.traffic[si].no, 1)
 }
 
 // entry returns proc's shard entry, creating it on first use.
@@ -261,20 +312,21 @@ func (db *DB) AnswerYes(q Question) (Summary, bool) {
 	if !db.enabled {
 		return Summary{}, false
 	}
-	ps := db.lookup(q.Proc)
+	si := shardIndex(q.Proc)
+	ps := db.lookupAt(si, q.Proc)
 	if ps == nil {
-		atomic.AddInt64(&db.misses, 1)
+		db.countMiss(si)
 		return Summary{}, false
 	}
 	version := ps.currentVersion()
 	key := questionKey('Y', q)
 	if e, hit := ps.memoGet(key, version); hit {
-		atomic.AddInt64(&db.memoHits, 1)
+		db.countMemo(si)
 		if e.ok {
-			atomic.AddInt64(&db.yesHits, 1)
+			db.countYes(si)
 			return e.sum, true
 		}
-		atomic.AddInt64(&db.misses, 1)
+		db.countMiss(si)
 		return Summary{}, false
 	}
 	for _, s := range ps.view() {
@@ -286,12 +338,12 @@ func (db *DB) AnswerYes(q Question) (Summary, bool) {
 		}
 		inter := db.solver.Sat(logic.Conj(q.Post, s.Post))
 		if inter.Known && inter.Sat {
-			atomic.AddInt64(&db.yesHits, 1)
+			db.countYes(si)
 			ps.memoPut(key, memoEntry{sum: s, ok: true})
 			return s, true
 		}
 	}
-	atomic.AddInt64(&db.misses, 1)
+	db.countMiss(si)
 	ps.memoPut(key, memoEntry{version: version})
 	return Summary{}, false
 }
@@ -302,20 +354,21 @@ func (db *DB) AnswerNo(q Question) (Summary, bool) {
 	if !db.enabled {
 		return Summary{}, false
 	}
-	ps := db.lookup(q.Proc)
+	si := shardIndex(q.Proc)
+	ps := db.lookupAt(si, q.Proc)
 	if ps == nil {
-		atomic.AddInt64(&db.misses, 1)
+		db.countMiss(si)
 		return Summary{}, false
 	}
 	version := ps.currentVersion()
 	key := questionKey('N', q)
 	if e, hit := ps.memoGet(key, version); hit {
-		atomic.AddInt64(&db.memoHits, 1)
+		db.countMemo(si)
 		if e.ok {
-			atomic.AddInt64(&db.noHits, 1)
+			db.countNo(si)
 			return e.sum, true
 		}
-		atomic.AddInt64(&db.misses, 1)
+		db.countMiss(si)
 		return Summary{}, false
 	}
 	for _, s := range ps.view() {
@@ -323,12 +376,12 @@ func (db *DB) AnswerNo(q Question) (Summary, bool) {
 			continue
 		}
 		if db.solver.Implies(q.Pre, s.Pre) && db.solver.Implies(q.Post, s.Post) {
-			atomic.AddInt64(&db.noHits, 1)
+			db.countNo(si)
 			ps.memoPut(key, memoEntry{sum: s, ok: true})
 			return s, true
 		}
 	}
-	atomic.AddInt64(&db.misses, 1)
+	db.countMiss(si)
 	ps.memoPut(key, memoEntry{version: version})
 	return Summary{}, false
 }
@@ -408,14 +461,26 @@ func (db *DB) StatsSnapshot() Stats {
 	}
 	for i := range db.shards {
 		sh := &db.shards[i]
+		tr := ShardTraffic{
+			Shard:    i,
+			YesHits:  atomic.LoadInt64(&db.traffic[i].yes),
+			NoHits:   atomic.LoadInt64(&db.traffic[i].no),
+			Misses:   atomic.LoadInt64(&db.traffic[i].miss),
+			MemoHits: atomic.LoadInt64(&db.traffic[i].memo),
+		}
 		sh.mu.RLock()
 		for _, ps := range sh.procs {
 			ps.mu.RLock()
 			st.Added += ps.added
 			st.DupesSkip += ps.dupes
+			tr.Procs++
+			tr.Summaries += len(ps.sums)
 			ps.mu.RUnlock()
 		}
 		sh.mu.RUnlock()
+		if tr.Procs > 0 || tr.YesHits+tr.NoHits+tr.Misses+tr.MemoHits > 0 {
+			st.PerShard = append(st.PerShard, tr)
+		}
 	}
 	return st
 }

@@ -238,3 +238,50 @@ func TestStringFormats(t *testing.T) {
 		t.Fatal("kind strings wrong")
 	}
 }
+
+// TestPerShardTraffic: the stats snapshot breaks answering traffic down
+// by lock stripe, and the per-shard rows sum to the global counters.
+func TestPerShardTraffic(t *testing.T) {
+	db := New(smt.New())
+	procs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, p := range procs {
+		db.Add(Summary{Kind: Must, Proc: p, Pre: eqv("g", 5), Post: logic.LEq(k(6), v("g"))})
+	}
+	for _, p := range procs {
+		q := Question{Proc: p, Pre: logic.LEq(k(0), v("g")), Post: logic.LEq(k(10), v("g"))}
+		if _, ok := db.AnswerYes(q); !ok {
+			t.Fatalf("proc %s: expected a yes answer", p)
+		}
+		// A query for an unknown procedure is a miss on that stripe.
+		miss := Question{Proc: p + "_unknown", Pre: eqv("g", 1), Post: eqv("g", 2)}
+		if _, ok := db.AnswerYes(miss); ok {
+			t.Fatalf("proc %s_unknown: unexpected answer", p)
+		}
+	}
+	st := db.StatsSnapshot()
+	if len(st.PerShard) == 0 {
+		t.Fatal("no per-shard rows")
+	}
+	var yes, no, misses, memo int64
+	var summaries int
+	for _, sh := range st.PerShard {
+		if sh.Shard < 0 || sh.Shard >= numShards {
+			t.Fatalf("shard index %d out of range", sh.Shard)
+		}
+		yes += sh.YesHits
+		no += sh.NoHits
+		misses += sh.Misses
+		memo += sh.MemoHits
+		summaries += sh.Summaries
+	}
+	if yes != st.YesHits || no != st.NoHits || misses != st.Misses || memo != st.MemoHits {
+		t.Errorf("per-shard traffic (yes %d no %d miss %d memo %d) does not sum to globals (%d %d %d %d)",
+			yes, no, misses, memo, st.YesHits, st.NoHits, st.Misses, st.MemoHits)
+	}
+	if summaries != db.Count() {
+		t.Errorf("per-shard summaries %d, want %d", summaries, db.Count())
+	}
+	if st.Misses == 0 {
+		t.Error("expected at least one miss")
+	}
+}
