@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build cross test race trace-smoke bench
+.PHONY: ci vet build cross test race trace-smoke prof-selftest bench-gate bench
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: vet build cross test race trace-smoke
+ci: vet build cross test race trace-smoke prof-selftest bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,18 @@ race:
 # the Chrome tracer attached and validates the serialized document.
 trace-smoke:
 	$(GO) test -run TestTraceRoundTrip -count=1 ./internal/obs
+
+# prof-selftest replays the corpus through all three engines, pipes each
+# event stream through the JSONL encoding, and checks the trace
+# analyzer's invariants (span <= work, critical path sums to span, ...).
+prof-selftest:
+	$(GO) run ./cmd/boltprof -selftest
+
+# bench-gate is the perf regression gate: collect a fresh streaming
+# snapshot and diff it against the committed baseline. Fails when the
+# total speedup drops more than 10% or any check's verdict changes.
+bench-gate:
+	$(GO) run ./cmd/boltbench -compare BENCH_streaming.json
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

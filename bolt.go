@@ -182,6 +182,17 @@ type Options struct {
 	// ui.perfetto.dev or chrome://tracing. Result.TraceSpans and
 	// Result.TraceErr report the outcome.
 	TraceTo io.Writer
+	// TraceJSONLTo, when set, streams the same events here as JSON Lines
+	// (one event object per line) while the run executes — the format
+	// internal/obs/analyze and cmd/boltprof consume. Both trace sinks may
+	// be set at once. Result.TraceEvents counts the lines written;
+	// flush errors surface in Result.TraceErr.
+	TraceJSONLTo io.Writer
+	// MetricsInto, when non-nil, is the live registry the run accumulates
+	// into (implying CollectMetrics): the CLIs pass the same registry to
+	// obs.StartPprofServer so /metrics scrapes observe the run in flight.
+	// Nil means a private registry is used when CollectMetrics is set.
+	MetricsInto *obs.Metrics
 	// CollectMetrics enables the engine metrics registry; the snapshot is
 	// attached to Result.Metrics and Result.WorkerMetrics. Off by default:
 	// disabled instrumentation costs one branch per would-be observation.
@@ -218,9 +229,12 @@ type Result struct {
 	// utilization is BusyTicks / Metrics["makespan_ticks"].
 	WorkerMetrics []WorkerMetric
 	// TraceSpans is the number of completed PUNCH spans recorded when
-	// Options.TraceTo was set; TraceErr reports the write, if any failed.
-	TraceSpans int
-	TraceErr   error
+	// Options.TraceTo was set; TraceEvents the JSONL lines written when
+	// Options.TraceJSONLTo was set; TraceErr reports the first failed
+	// trace write, if any.
+	TraceSpans  int
+	TraceEvents int64
+	TraceErr    error
 }
 
 // WorkerMetric is one worker's accounting for a run with
@@ -269,26 +283,31 @@ func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics) *core.
 	})
 }
 
-// hooks builds the run's tracer and registry from the options. The
+// hooks builds the run's tracers and registry from the options. The
 // Tracer return is a nil interface (not a typed nil) when tracing is
 // off, so the engines' single `!= nil` guard stays correct.
-func (o Options) hooks() (*obs.ChromeTracer, obs.Tracer, *obs.Metrics) {
+func (o Options) hooks() (*obs.ChromeTracer, *obs.JSONLTracer, obs.Tracer, *obs.Metrics) {
 	var ct *obs.ChromeTracer
 	var tr obs.Tracer
 	if o.TraceTo != nil {
 		ct = obs.NewChromeTracer()
 		tr = ct
 	}
-	var m *obs.Metrics
-	if o.CollectMetrics {
+	var jt *obs.JSONLTracer
+	if o.TraceJSONLTo != nil {
+		jt = obs.NewJSONLTracer(o.TraceJSONLTo)
+		tr = obs.Tee(tr, jt)
+	}
+	m := o.MetricsInto
+	if m == nil && o.CollectMetrics {
 		m = obs.NewMetrics()
 	}
-	return ct, tr, m
+	return ct, jt, tr, m
 }
 
 // attachObs folds the run's observability outputs into the public result:
-// the flattened metrics snapshot and the serialized Chrome trace.
-func attachObs(res *Result, snap *obs.Snapshot, ct *obs.ChromeTracer, w io.Writer) {
+// the flattened metrics snapshot and the serialized traces.
+func attachObs(res *Result, snap *obs.Snapshot, ct *obs.ChromeTracer, jt *obs.JSONLTracer, w io.Writer) {
 	res.Metrics = snap.Flatten()
 	if snap != nil {
 		for _, ws := range snap.Workers {
@@ -304,6 +323,12 @@ func attachObs(res *Result, snap *obs.Snapshot, ct *obs.ChromeTracer, w io.Write
 	if ct != nil {
 		res.TraceSpans = ct.Spans()
 		res.TraceErr = ct.Export(w)
+	}
+	if jt != nil {
+		if err := jt.Flush(); err != nil && res.TraceErr == nil {
+			res.TraceErr = err
+		}
+		res.TraceEvents = jt.Events()
 	}
 }
 
@@ -337,10 +362,10 @@ func (p *Program) Check(opts Options) Result {
 // the run at the next scheduling boundary with StopReason StopCancelled
 // and all workers joined.
 func (p *Program) CheckContext(ctx context.Context, opts Options) Result {
-	ct, tr, m := opts.hooks()
+	ct, jt, tr, m := opts.hooks()
 	r := opts.engine(p.prog, tr, m).RunContext(ctx, core.AssertionQuestion(p.prog))
 	res := toResult(r)
-	attachObs(&res, r.Metrics, ct, opts.TraceTo)
+	attachObs(&res, r.Metrics, ct, jt, opts.TraceTo)
 	if res.Verdict == ErrorReachable && opts.FindWitness {
 		if tr, ok := witness.Find(p.prog, witness.Options{}); ok {
 			res.Witness = &Witness{Inputs: tr.Havocs, Text: tr.Format()}
@@ -371,10 +396,10 @@ func (p *Program) CheckReachContext(ctx context.Context, proc, pre, post string,
 		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
 	}
 	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
-	ct, tr, m := opts.hooks()
+	ct, jt, tr, m := opts.hooks()
 	r := opts.engine(p.prog, tr, m).RunContext(ctx, q)
 	res := toResult(r)
-	attachObs(&res, r.Metrics, ct, opts.TraceTo)
+	attachObs(&res, r.Metrics, ct, jt, opts.TraceTo)
 	return res, nil
 }
 
@@ -399,11 +424,14 @@ type DistOptions struct {
 	// clause is optional and an empty spec injects nothing. See
 	// core.ParseFaults for the grammar.
 	Faults string
-	// TraceTo, CollectMetrics and PprofLabels mirror Options: Chrome
-	// trace-event output (one process per node, one track per node-local
-	// worker slot), the metrics registry, and pprof labels around PUNCH.
+	// TraceTo, TraceJSONLTo, CollectMetrics, MetricsInto and PprofLabels
+	// mirror Options: Chrome trace-event output (one process per node,
+	// one track per node-local worker slot), the streaming JSONL event
+	// sink, the metrics registry, and pprof labels around PUNCH.
 	TraceTo        io.Writer
+	TraceJSONLTo   io.Writer
 	CollectMetrics bool
+	MetricsInto    *obs.Metrics
 	PprofLabels    bool
 }
 
@@ -427,11 +455,12 @@ type DistResult struct {
 	ReroutedQueries    int
 	RecoveredSummaries int
 	DroppedDeliveries  int
-	// Metrics, WorkerMetrics, TraceSpans and TraceErr mirror Result;
-	// worker slot w of node n appears as worker n*ThreadsPerNode+w.
+	// Metrics, WorkerMetrics, TraceSpans, TraceEvents and TraceErr mirror
+	// Result; worker slot w of node n appears as worker n*ThreadsPerNode+w.
 	Metrics       map[string]int64
 	WorkerMetrics []WorkerMetric
 	TraceSpans    int
+	TraceEvents   int64
 	TraceErr      error
 }
 
@@ -444,8 +473,13 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	if err != nil {
 		return DistResult{}, fmt.Errorf("bolt: %w", err)
 	}
-	hooks := Options{TraceTo: opts.TraceTo, CollectMetrics: opts.CollectMetrics}
-	ct, tr, m := hooks.hooks()
+	hooks := Options{
+		TraceTo:        opts.TraceTo,
+		TraceJSONLTo:   opts.TraceJSONLTo,
+		CollectMetrics: opts.CollectMetrics,
+		MetricsInto:    opts.MetricsInto,
+	}
+	ct, jt, tr, m := hooks.hooks()
 	eng := core.NewDistributed(p.prog, core.DistOptions{
 		Punch:          newPunch(opts.Analysis),
 		Nodes:          opts.Nodes,
@@ -489,6 +523,12 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	if ct != nil {
 		out.TraceSpans = ct.Spans()
 		out.TraceErr = ct.Export(opts.TraceTo)
+	}
+	if jt != nil {
+		if err := jt.Flush(); err != nil && out.TraceErr == nil {
+			out.TraceErr = err
+		}
+		out.TraceEvents = jt.Events()
 	}
 	switch r.Verdict {
 	case core.Safe:

@@ -33,11 +33,12 @@ func main() {
 		async     = flag.Bool("async", false, "run every check with the streaming work-stealing engine")
 		snapshot  = flag.String("snapshot", "", "write a streaming-engine perf snapshot (makespan, speedup, metrics) to this JSON file, e.g. BENCH_streaming.json")
 		snapTh    = flag.Int("snapshot-threads", 32, "streaming pool size for -snapshot")
+		compare   = flag.String("compare", "", "collect a fresh streaming snapshot and diff it against this committed baseline; exit 1 on regression (the bench gate)")
 		pprofA    = flag.String("pprof", "", "serve /debug/pprof on this address for the bench's duration")
 	)
 	flag.Parse()
 	if *pprofA != "" {
-		addr, err := obs.StartPprofServer(*pprofA)
+		addr, err := obs.StartPprofServer(*pprofA, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -121,6 +122,27 @@ func main() {
 			fmt.Printf("%-45s %10d -> %-10d %6.2fx  steals %d\n",
 				c.Check, c.SeqTicks, c.ParTicks, c.Speedup, c.Metrics["steals_succeeded"])
 		}
+		did = true
+	}
+	if *compare != "" {
+		old, err := harness.ReadStreamingBench(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		gateOpts := opts
+		gateOpts.Cores = old.Cores
+		fresh := harness.CollectStreaming(gateOpts, old.Threads, harness.Table1Checks())
+		harness.WriteStreamingDiff(os.Stdout, old, fresh)
+		regs := harness.CompareStreamingBench(old, fresh)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "bench-gate: REGRESSION: "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate: PASS (total speedup %.2fx vs baseline %.2fx, tolerance %.0f%%)\n",
+			fresh.TotalSpeedup, old.TotalSpeedup, harness.SpeedupRegressionTolerance*100)
 		did = true
 	}
 	if !did {

@@ -38,8 +38,9 @@ func main() {
 		wit      = flag.Bool("witness", false, "on Error Reachable, print a concrete counterexample")
 		dot      = flag.Bool("dot", false, "print the control-flow graphs in Graphviz DOT format and exit")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open at ui.perfetto.dev)")
+		traceJL  = flag.String("trace-jsonl", "", "stream the run's events to this file as JSON Lines (analyze with boltprof)")
 		metrics  = flag.Bool("metrics", false, "collect and print the engine metrics registry")
-		pprofA   = flag.String("pprof", "", "serve /debug/pprof on this address for the run's duration (also enables pprof labels)")
+		pprofA   = flag.String("pprof", "", "serve /debug/pprof and Prometheus /metrics on this address for the run's duration (also enables pprof labels)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,13 +66,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boltcheck: -faults requires -dist")
 		os.Exit(3)
 	}
+	// With -pprof, the run accumulates into a registry the HTTP server
+	// also renders at /metrics, so Prometheus scrapes see the live run.
+	var liveReg *obs.Metrics
 	if *pprofA != "" {
-		addr, err := obs.StartPprofServer(*pprofA)
+		liveReg = obs.NewMetrics()
+		addr, err := obs.StartPprofServer(*pprofA, liveReg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(3)
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof and /metrics on http://%s\n", addr)
 	}
 	var traceOut *os.File
 	if *trace != "" {
@@ -82,8 +87,17 @@ func main() {
 		}
 		defer traceOut.Close()
 	}
+	var traceJLOut *os.File
+	if *traceJL != "" {
+		traceJLOut, err = os.Create(*traceJL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(3)
+		}
+		defer traceJLOut.Close()
+	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, *metrics, *pprofA != "")
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg)
 		return
 	}
 	opts := bolt.Options{
@@ -93,10 +107,14 @@ func main() {
 		Async:           *async,
 		FindWitness:     *wit,
 		CollectMetrics:  *metrics,
+		MetricsInto:     liveReg,
 		PprofLabels:     *pprofA != "",
 	}
 	if traceOut != nil {
 		opts.TraceTo = traceOut
+	}
+	if traceJLOut != nil {
+		opts.TraceJSONLTo = traceJLOut
 	}
 	switch *analysis {
 	case "maymust":
@@ -138,7 +156,7 @@ func main() {
 	if *metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
-	reportTrace(*trace, res.TraceSpans, res.TraceErr)
+	reportTrace(*trace, *traceJL, res.TraceSpans, res.TraceEvents, res.TraceErr)
 	exitVerdict(res.Verdict)
 }
 
@@ -165,33 +183,45 @@ func printMetrics(m map[string]int64, workers []bolt.WorkerMetric) {
 	}
 }
 
-// reportTrace confirms (or fails loudly on) the -trace output.
-func reportTrace(path string, spans int, err error) {
-	if path == "" {
+// reportTrace confirms (or fails loudly on) the -trace / -trace-jsonl
+// outputs.
+func reportTrace(chromePath, jsonlPath string, spans int, events int64, err error) {
+	if chromePath == "" && jsonlPath == "" {
 		return
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "boltcheck: writing trace %s: %v\n", path, err)
+		fmt.Fprintf(os.Stderr, "boltcheck: writing trace: %v\n", err)
 		os.Exit(3)
 	}
-	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d punch spans); open at https://ui.perfetto.dev\n", path, spans)
+	if chromePath != "" {
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d punch spans); open at https://ui.perfetto.dev\n", chromePath, spans)
+	}
+	if jsonlPath != "" {
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events); analyze with boltprof -input %s\n", jsonlPath, events, jsonlPath)
+	}
 }
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut *os.File, metrics, labels bool) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics) {
 	opts := bolt.DistOptions{
 		Nodes:          nodes,
 		ThreadsPerNode: threads,
 		Timeout:        timeout,
 		Faults:         faults,
 		CollectMetrics: metrics,
-		PprofLabels:    labels,
+		MetricsInto:    liveReg,
+		PprofLabels:    liveReg != nil,
 	}
 	tracePath := ""
 	if traceOut != nil {
 		opts.TraceTo = traceOut
 		tracePath = traceOut.Name()
+	}
+	traceJLPath := ""
+	if traceJLOut != nil {
+		opts.TraceJSONLTo = traceJLOut
+		traceJLPath = traceJLOut.Name()
 	}
 	switch analysis {
 	case "maymust":
@@ -226,7 +256,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 	if metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
-	reportTrace(tracePath, res.TraceSpans, res.TraceErr)
+	reportTrace(tracePath, traceJLPath, res.TraceSpans, res.TraceEvents, res.TraceErr)
 	exitVerdict(res.Verdict)
 }
 

@@ -1,0 +1,179 @@
+// Command boltprof analyzes a recorded run of the BOLT engine: it
+// rebuilds the query-causality DAG from a JSON Lines event trace and
+// reports the critical path, work/span bounds, a what-if scalability
+// model, and blocking/straggler attribution.
+//
+// Usage:
+//
+//	boltcheck -async -trace-jsonl trace.jsonl program.bolt
+//	boltprof -input trace.jsonl -report text
+//	boltprof -selftest
+//
+// -selftest replays the testdata corpus through all three engines
+// (bulk-synchronous, streaming, distributed), piping each run's event
+// stream through the JSONL encoding and asserting the analyzer's
+// invariants on the result. Exit status: 0 ok, 1 invariant violation,
+// 2 usage/IO error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	bolt "repro"
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "JSON Lines event trace to analyze (from boltcheck -trace-jsonl)")
+		report   = flag.String("report", "text", "report format: text|json")
+		selftest = flag.Bool("selftest", false, "replay the corpus through all three engines and validate analyzer invariants")
+		corpus   = flag.String("corpus", "testdata/corpus", "corpus directory for -selftest")
+	)
+	flag.Parse()
+
+	if *selftest {
+		os.Exit(runSelftest(*corpus))
+	}
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "usage: boltprof -input trace.jsonl [-report text|json], or boltprof -selftest")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	events, err := analyze.LoadJSONLFile(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := analyze.Analyze(events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *report {
+	case "text":
+		err = rep.WriteText(os.Stdout)
+	case "json":
+		err = rep.WriteJSON(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "boltprof: unknown report format %q (want text or json)\n", *report)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// runSelftest replays every corpus program through the three engines,
+// round-trips each event stream through the JSONL encoding, and checks
+// the analyzer's structural invariants. Returns the process exit code.
+func runSelftest(corpusDir string) int {
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.bolt"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "boltprof: no corpus programs in %s\n", corpusDir)
+		return 2
+	}
+	engines := []struct {
+		name string
+		run  func(*bolt.Program, *bytes.Buffer) error
+	}{
+		{"barrier", func(p *bolt.Program, buf *bytes.Buffer) error {
+			res := p.Check(bolt.Options{Threads: 8, Timeout: 30 * time.Second, TraceJSONLTo: buf})
+			return res.TraceErr
+		}},
+		{"streaming", func(p *bolt.Program, buf *bytes.Buffer) error {
+			res := p.Check(bolt.Options{Threads: 8, Async: true, Timeout: 30 * time.Second, TraceJSONLTo: buf})
+			return res.TraceErr
+		}},
+		{"dist", func(p *bolt.Program, buf *bytes.Buffer) error {
+			res, err := p.CheckDistributed(context.Background(), bolt.DistOptions{
+				Nodes: 3, ThreadsPerNode: 4, Timeout: 30 * time.Second, TraceJSONLTo: buf,
+			})
+			if err != nil {
+				return err
+			}
+			return res.TraceErr
+		}},
+	}
+	runs, failures := 0, 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		prog, err := bolt.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boltprof: parsing %s: %v\n", path, err)
+			return 2
+		}
+		for _, eng := range engines {
+			runs++
+			var buf bytes.Buffer
+			if err := eng.run(prog, &buf); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s [%s]: run: %v\n", filepath.Base(path), eng.name, err)
+				failures++
+				continue
+			}
+			if err := validateTrace(&buf); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s [%s]: %v\n", filepath.Base(path), eng.name, err)
+				failures++
+				continue
+			}
+			fmt.Printf("ok   %s [%s]\n", filepath.Base(path), eng.name)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "boltprof selftest: %d/%d runs FAILED\n", failures, runs)
+		return 1
+	}
+	fmt.Printf("boltprof selftest: %d runs ok (%d programs x %d engines)\n", runs, len(paths), len(engines))
+	return 0
+}
+
+// validateTrace loads one run's JSONL stream and asserts the analyzer's
+// structural invariants on the resulting report.
+func validateTrace(buf *bytes.Buffer) error {
+	events, err := analyze.LoadJSONL(buf)
+	if err != nil {
+		return err
+	}
+	rep, err := analyze.Analyze(events)
+	if err != nil {
+		return err
+	}
+	if rep.Spans == 0 || rep.WorkTicks <= 0 {
+		return fmt.Errorf("no punch work in trace (%d spans, work %d)", rep.Spans, rep.WorkTicks)
+	}
+	if rep.SpanTicks <= 0 || rep.SpanTicks > rep.WorkTicks {
+		return fmt.Errorf("span %d outside (0, work=%d]", rep.SpanTicks, rep.WorkTicks)
+	}
+	if rep.CriticalPathTicks != rep.SpanTicks {
+		return fmt.Errorf("critical path %d != span %d", rep.CriticalPathTicks, rep.SpanTicks)
+	}
+	var pathCost int64
+	for _, st := range rep.CriticalPath {
+		pathCost += st.Cost
+	}
+	if pathCost != rep.SpanTicks {
+		return fmt.Errorf("critical path steps sum to %d, span is %d", pathCost, rep.SpanTicks)
+	}
+	for _, row := range rep.WhatIf {
+		if row.LowerTicks > row.UpperTicks {
+			return fmt.Errorf("what-if at %d workers: lower %d > upper %d",
+				row.Workers, row.LowerTicks, row.UpperTicks)
+		}
+		if row.LowerTicks < rep.SpanTicks {
+			return fmt.Errorf("what-if at %d workers: lower %d below span %d",
+				row.Workers, row.LowerTicks, rep.SpanTicks)
+		}
+	}
+	return nil
+}

@@ -1,16 +1,22 @@
 // Streaming-engine performance snapshots: a machine-readable record of
 // the work-stealing engine's makespan and speedup over the sequential
-// baseline, with the metrics registry's summary attached. boltbench
-// -snapshot writes one to BENCH_streaming.json so perf regressions show
-// up in review as a diff, not an anecdote.
+// baseline, with the metrics registry's summary and the trace-derived
+// work/span profile attached. boltbench -snapshot writes one to
+// BENCH_streaming.json so perf regressions show up in review as a diff,
+// not an anecdote; boltbench -compare turns the committed snapshot into
+// a regression gate (`make bench-gate`).
 
 package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/drivers"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 // StreamingBench is one perf snapshot of the streaming engine across a
@@ -32,6 +38,9 @@ type StreamingBench struct {
 type StreamingCheckBench struct {
 	Check   string `json:"check"`
 	Verdict string `json:"verdict"`
+	// StopReason says why the streaming run ended, so a timeout and a
+	// real verdict are distinguishable in bench diffs.
+	StopReason string `json:"stop_reason"`
 	// SeqTicks is the 1-thread makespan, ParTicks the streaming-engine
 	// makespan at the snapshot's thread count, Speedup their ratio.
 	SeqTicks int64   `json:"seq_ticks"`
@@ -39,6 +48,15 @@ type StreamingCheckBench struct {
 	Speedup  float64 `json:"speedup"`
 	Queries  int64   `json:"queries"`
 	WallNs   int64   `json:"wall_ns"`
+	// CriticalPathTicks and SpanTicks are the trace-derived critical
+	// path of the streaming run (the two names are the same quantity:
+	// the causality DAG's cost-weighted longest chain — see
+	// internal/obs/analyze); ParallelEfficiency is the run's work
+	// divided by makespan x simulated cores (1.0 = every core busy the
+	// whole run).
+	CriticalPathTicks  int64   `json:"critical_path_ticks"`
+	SpanTicks          int64   `json:"span_ticks"`
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 	// Metrics is the streaming run's flattened metrics summary (counters,
 	// sumdb traffic, punch-histogram aggregates, makespan).
 	Metrics map[string]int64 `json:"metrics"`
@@ -48,31 +66,48 @@ type StreamingCheckBench struct {
 }
 
 // CollectStreaming measures the streaming engine at the given thread
-// count against the 1-thread baseline on each check, with metrics
-// enabled on the streaming runs.
+// count against the 1-thread baseline on each check, with metrics and
+// an event trace enabled on the streaming runs; the trace is analyzed
+// into the entry's critical-path and efficiency fields.
 func CollectStreaming(opts Options, threads int, checks []drivers.Check) StreamingBench {
 	opts = opts.withDefaults()
 	bench := StreamingBench{Threads: threads, Cores: opts.Cores}
 	seqOpts := opts
 	seqOpts.Async = false
 	seqOpts.Metrics = false
+	seqOpts.Tracer = nil
 	parOpts := opts
 	parOpts.Async = true
 	parOpts.Metrics = true
+	cores := opts.Cores
+	if cores > threads {
+		cores = threads
+	}
 	for _, check := range checks {
 		seq := RunCheck(check, 1, seqOpts)
+		rec := &obs.Recording{}
+		parOpts.Tracer = rec
 		par := RunCheck(check, threads, parOpts)
 		entry := StreamingCheckBench{
-			Check:    check.ID(),
-			Verdict:  par.Verdict.String(),
-			SeqTicks: seq.Ticks,
-			ParTicks: par.Ticks,
-			Queries:  par.Queries,
-			WallNs:   int64(par.Wall),
-			Metrics:  par.Metrics.Flatten(),
+			Check:      check.ID(),
+			Verdict:    par.Verdict.String(),
+			StopReason: par.StopReason.String(),
+			SeqTicks:   seq.Ticks,
+			ParTicks:   par.Ticks,
+			Queries:    par.Queries,
+			WallNs:     int64(par.Wall),
+			Metrics:    par.Metrics.Flatten(),
 		}
 		if par.Ticks > 0 {
 			entry.Speedup = float64(seq.Ticks) / float64(par.Ticks)
+		}
+		if rep, err := analyze.Analyze(rec.Events()); err == nil {
+			entry.CriticalPathTicks = rep.CriticalPathTicks
+			entry.SpanTicks = rep.SpanTicks
+			if par.Ticks > 0 && cores > 0 {
+				entry.ParallelEfficiency = float64(rep.WorkTicks) /
+					(float64(par.Ticks) * float64(cores))
+			}
 		}
 		if par.Metrics != nil && par.Metrics.MakespanTicks > 0 {
 			for _, ws := range par.Metrics.Workers {
@@ -95,4 +130,79 @@ func WriteStreamingBench(w io.Writer, b StreamingBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// ReadStreamingBench loads a snapshot written by WriteStreamingBench.
+func ReadStreamingBench(path string) (StreamingBench, error) {
+	var b StreamingBench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("harness: parsing snapshot %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// SpeedupRegressionTolerance is the fraction of total speedup a fresh
+// snapshot may lose against the committed one before the bench gate
+// fails (absorbs work-stealing scheduling noise).
+const SpeedupRegressionTolerance = 0.10
+
+// CompareStreamingBench diffs a fresh snapshot against a committed
+// baseline and returns the regressions: a dropped check, a changed
+// verdict or stop reason, or a total-speedup drop beyond the
+// tolerance. An empty slice means the gate passes.
+func CompareStreamingBench(old, fresh StreamingBench) []string {
+	var regs []string
+	freshBy := map[string]StreamingCheckBench{}
+	for _, c := range fresh.Checks {
+		freshBy[c.Check] = c
+	}
+	for _, oc := range old.Checks {
+		fc, ok := freshBy[oc.Check]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("check %s missing from fresh snapshot", oc.Check))
+			continue
+		}
+		if fc.Verdict != oc.Verdict {
+			regs = append(regs, fmt.Sprintf(
+				"check %s verdict changed: %q (stop %s) -> %q (stop %s)",
+				oc.Check, oc.Verdict, oc.StopReason, fc.Verdict, fc.StopReason))
+		}
+	}
+	if old.TotalSpeedup > 0 {
+		floor := old.TotalSpeedup * (1 - SpeedupRegressionTolerance)
+		if fresh.TotalSpeedup < floor {
+			regs = append(regs, fmt.Sprintf(
+				"total speedup regressed: %.2fx -> %.2fx (floor %.2fx at %.0f%% tolerance)",
+				old.TotalSpeedup, fresh.TotalSpeedup, floor, SpeedupRegressionTolerance*100))
+		}
+	}
+	return regs
+}
+
+// WriteStreamingDiff renders the per-check old-vs-fresh comparison as a
+// table (informational; the pass/fail decision is CompareStreamingBench's).
+func WriteStreamingDiff(w io.Writer, old, fresh StreamingBench) {
+	freshBy := map[string]StreamingCheckBench{}
+	for _, c := range fresh.Checks {
+		freshBy[c.Check] = c
+	}
+	fmt.Fprintf(w, "%-45s %10s %10s %8s %8s  %s\n",
+		"check", "old par", "new par", "old spd", "new spd", "verdict (stop)")
+	for _, oc := range old.Checks {
+		fc, ok := freshBy[oc.Check]
+		if !ok {
+			fmt.Fprintf(w, "%-45s %10d %10s %8.2f %8s  MISSING\n",
+				oc.Check, oc.ParTicks, "-", oc.Speedup, "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-45s %10d %10d %8.2f %8.2f  %s (%s)\n",
+			oc.Check, oc.ParTicks, fc.ParTicks, oc.Speedup, fc.Speedup,
+			fc.Verdict, fc.StopReason)
+	}
+	fmt.Fprintf(w, "%-45s %10d %10d %8.2f %8.2f\n",
+		"TOTAL", old.TotalParTicks, fresh.TotalParTicks, old.TotalSpeedup, fresh.TotalSpeedup)
 }

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/punch"
+	"repro/internal/query"
+	"repro/internal/summary"
+)
+
+// benchPunch scripts a fan-out analysis for fast deterministic
+// snapshots: the root spawns width independent children (one expensive
+// slice each) and finishes after the last answer. One instance serves
+// one run (Options.NewPunch hands out a fresh one per run).
+type benchPunch struct {
+	mu       sync.Mutex
+	calls    map[query.ID]int
+	width    int
+	doneKids int
+}
+
+func (p *benchPunch) Name() string { return "bench-script" }
+
+func (p *benchPunch) Step(ctx *punch.Context, qr *query.Query) punch.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls[qr.ID]++
+	if qr.Parent == query.NoParent {
+		switch {
+		case p.calls[qr.ID] == 1:
+			kids := make([]*query.Query, p.width)
+			for i := range kids {
+				kids[i] = ctx.Alloc.New(qr.ID, summary.Question{Proc: fmt.Sprintf("leaf%d", i)})
+			}
+			qr.State = query.Blocked
+			return punch.Result{Self: qr, Children: kids, Cost: 1}
+		case p.doneKids < p.width:
+			// Woken by an early child; the root only resolves once every
+			// leaf has answered (free re-block, to keep the work total
+			// exact).
+			qr.State = query.Blocked
+			return punch.Result{Self: qr, Cost: 0}
+		default:
+			qr.State, qr.Outcome = query.Done, query.Unreachable
+			return punch.Result{Self: qr, Cost: 1}
+		}
+	}
+	qr.State, qr.Outcome = query.Done, query.Unreachable
+	p.doneKids++
+	return punch.Result{Self: qr, Cost: 500}
+}
+
+func scriptedOptions(width int) Options {
+	return Options{
+		Cores:    4,
+		NewPunch: func() punch.Punch { return &benchPunch{calls: map[query.ID]int{}, width: width} },
+	}
+}
+
+// TestCollectStreamingScripted: the snapshot's arithmetic and derived
+// trace fields hold on a deterministic scripted workload.
+func TestCollectStreamingScripted(t *testing.T) {
+	checks := []drivers.Check{drivers.NamedCheck("toastmon", "PendedCompletedRequest", false)}
+	bench := CollectStreaming(scriptedOptions(8), 4, checks)
+
+	if bench.Threads != 4 {
+		t.Errorf("Threads = %d, want 4", bench.Threads)
+	}
+	if len(bench.Checks) != 1 {
+		t.Fatalf("%d check entries, want 1", len(bench.Checks))
+	}
+	c := bench.Checks[0]
+	if c.Check != checks[0].ID() {
+		t.Errorf("Check = %q, want %q", c.Check, checks[0].ID())
+	}
+	if c.StopReason != "root-answered" {
+		t.Errorf("StopReason = %q, want root-answered", c.StopReason)
+	}
+	// Fan-out of 8 x 500 over 4 cores: sequential 4002, parallel 1002.
+	if c.SeqTicks != 4002 {
+		t.Errorf("SeqTicks = %d, want 4002", c.SeqTicks)
+	}
+	if c.ParTicks <= 0 || c.ParTicks >= c.SeqTicks {
+		t.Errorf("ParTicks = %d, want in (0, %d)", c.ParTicks, c.SeqTicks)
+	}
+	wantSpeedup := float64(c.SeqTicks) / float64(c.ParTicks)
+	if c.Speedup != wantSpeedup {
+		t.Errorf("Speedup = %v, want SeqTicks/ParTicks = %v", c.Speedup, wantSpeedup)
+	}
+	if bench.TotalSeqTicks != c.SeqTicks || bench.TotalParTicks != c.ParTicks {
+		t.Errorf("totals (%d, %d) don't match the single entry (%d, %d)",
+			bench.TotalSeqTicks, bench.TotalParTicks, c.SeqTicks, c.ParTicks)
+	}
+	if bench.TotalSpeedup != wantSpeedup {
+		t.Errorf("TotalSpeedup = %v, want %v", bench.TotalSpeedup, wantSpeedup)
+	}
+
+	// Trace-derived fields: the fan-out's span is 1 + 500 + 1, and the
+	// critical path is the span under its other name.
+	if c.SpanTicks != 502 {
+		t.Errorf("SpanTicks = %d, want 502", c.SpanTicks)
+	}
+	if c.CriticalPathTicks != c.SpanTicks {
+		t.Errorf("CriticalPathTicks = %d != SpanTicks = %d", c.CriticalPathTicks, c.SpanTicks)
+	}
+	if c.ParallelEfficiency <= 0 || c.ParallelEfficiency > 1.01 {
+		t.Errorf("ParallelEfficiency = %v, want in (0, 1]", c.ParallelEfficiency)
+	}
+
+	// Metrics flattening: the snapshot keys the gate and the CLIs rely on.
+	for _, key := range []string{"punch_invocations", "queries_spawned", "queries_done", "makespan_ticks", "punch_cost_sum"} {
+		if _, ok := c.Metrics[key]; !ok {
+			t.Errorf("Metrics missing key %q", key)
+		}
+	}
+	if got := c.Metrics["punch_invocations"]; got < 10 {
+		t.Errorf("punch_invocations = %d, want >= 10 (root twice + 8 leaves + wake slices)", got)
+	}
+	if got := c.Metrics["punch_cost_sum"]; got != 4002 {
+		t.Errorf("punch_cost_sum = %d, want the total work 4002", got)
+	}
+
+	// Worker utilization shares are fractions of the makespan; their sum
+	// cannot exceed the thread count (and on this workload not the core
+	// count either).
+	var sum float64
+	for _, u := range c.WorkerUtilization {
+		if u < 0 {
+			t.Errorf("negative worker utilization %v", u)
+		}
+		sum += u
+	}
+	if sum > float64(bench.Threads) {
+		t.Errorf("utilization shares sum to %v, above the %d threads", sum, bench.Threads)
+	}
+}
+
+func fakeBench() StreamingBench {
+	return StreamingBench{
+		Threads: 4, Cores: 4,
+		Checks: []StreamingCheckBench{
+			{Check: "a/p1", Verdict: "Safe", StopReason: "root-answered", SeqTicks: 4000, ParTicks: 1000, Speedup: 4},
+			{Check: "b/p2", Verdict: "Error Reachable", StopReason: "root-answered", SeqTicks: 6000, ParTicks: 2000, Speedup: 3},
+		},
+		TotalSeqTicks: 10000, TotalParTicks: 3000, TotalSpeedup: 10000.0 / 3000,
+	}
+}
+
+func TestCompareStreamingBench(t *testing.T) {
+	old := fakeBench()
+
+	if regs := CompareStreamingBench(old, fakeBench()); len(regs) != 0 {
+		t.Errorf("identical snapshots flagged: %v", regs)
+	}
+
+	// A drop inside the tolerance passes.
+	slow := fakeBench()
+	slow.TotalSpeedup = old.TotalSpeedup * 0.95
+	if regs := CompareStreamingBench(old, slow); len(regs) != 0 {
+		t.Errorf("5%% drop flagged within 10%% tolerance: %v", regs)
+	}
+
+	// A 2x makespan regression (half the speedup) fails.
+	bad := fakeBench()
+	bad.TotalParTicks *= 2
+	bad.TotalSpeedup = float64(bad.TotalSeqTicks) / float64(bad.TotalParTicks)
+	regs := CompareStreamingBench(old, bad)
+	if len(regs) != 1 || !strings.Contains(regs[0], "total speedup regressed") {
+		t.Errorf("2x makespan regression not flagged correctly: %v", regs)
+	}
+
+	// A verdict flip fails even with the speedup intact.
+	flip := fakeBench()
+	flip.Checks[1].Verdict = "Safe"
+	regs = CompareStreamingBench(old, flip)
+	if len(regs) != 1 || !strings.Contains(regs[0], "verdict changed") {
+		t.Errorf("verdict change not flagged correctly: %v", regs)
+	}
+
+	// A dropped check fails.
+	missing := fakeBench()
+	missing.Checks = missing.Checks[:1]
+	missing.TotalSeqTicks, missing.TotalParTicks = 4000, 1000
+	missing.TotalSpeedup = 4
+	regs = CompareStreamingBench(old, missing)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Errorf("dropped check not flagged correctly: %v", regs)
+	}
+}
+
+// TestCommittedSnapshotLoads: the baseline the bench gate diffs against
+// must stay parseable and structurally sound.
+func TestCommittedSnapshotLoads(t *testing.T) {
+	b, err := ReadStreamingBench("../../BENCH_streaming.json")
+	if err != nil {
+		t.Fatalf("committed snapshot unreadable: %v", err)
+	}
+	if b.Threads <= 0 || len(b.Checks) == 0 || b.TotalSpeedup <= 0 {
+		t.Fatalf("committed snapshot implausible: threads=%d checks=%d speedup=%v",
+			b.Threads, len(b.Checks), b.TotalSpeedup)
+	}
+	for _, c := range b.Checks {
+		if c.Check == "" || c.Verdict == "" || c.StopReason == "" {
+			t.Errorf("entry %+v missing identity fields", c)
+		}
+		if c.SpanTicks <= 0 || c.CriticalPathTicks != c.SpanTicks {
+			t.Errorf("%s: span/critical-path fields unset or inconsistent (span %d, critical %d)",
+				c.Check, c.SpanTicks, c.CriticalPathTicks)
+		}
+	}
+	// Comparing the snapshot against itself is always clean.
+	if regs := CompareStreamingBench(b, b); len(regs) != 0 {
+		t.Errorf("self-comparison flagged: %v", regs)
+	}
+}

@@ -1,0 +1,47 @@
+package analyze
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// LoadJSONL reads an event stream written by obs.JSONLTracer: one JSON
+// event per line, blank lines skipped. The whole stream is returned in
+// file order (which is the tracer's arrival order).
+func LoadJSONL(r io.Reader) ([]obs.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var events []obs.Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := obs.UnmarshalEventJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analyze: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// LoadJSONLFile is LoadJSONL over a file path.
+func LoadJSONLFile(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadJSONL(f)
+}

@@ -1,0 +1,226 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// PathStep is one PUNCH span on the critical path, in causal order.
+type PathStep struct {
+	Query      query.ID `json:"query"`
+	Proc       string   `json:"proc"`
+	Slice      int      `json:"slice"`
+	Cost       int64    `json:"cost"`
+	Node       int      `json:"node"`
+	Worker     int      `json:"worker"`
+	StartVTime int64    `json:"start_vtime"`
+	EndVTime   int64    `json:"end_vtime"`
+}
+
+// ProcShare attributes critical-path ticks to one procedure.
+type ProcShare struct {
+	Proc  string  `json:"proc"`
+	Ticks int64   `json:"ticks"`
+	Share float64 `json:"share"`
+}
+
+// WhatIfRow is one entry of the scalability model: the predicted
+// makespan window at a worker count (0 = infinitely many workers).
+type WhatIfRow struct {
+	Workers int `json:"workers"`
+	// LowerTicks is max(span, work/p) — no schedule beats it; UpperTicks
+	// is span + (work-span)/p — greedy scheduling never exceeds it.
+	LowerTicks int64 `json:"lower_ticks"`
+	UpperTicks int64 `json:"upper_ticks"`
+}
+
+// BlockedQuery is one query's total Blocked time.
+type BlockedQuery struct {
+	Query        query.ID `json:"query"`
+	Proc         string   `json:"proc"`
+	BlockedTicks int64    `json:"blocked_ticks"`
+}
+
+// WorkerProfile is one (node, worker) track's straggler view.
+type WorkerProfile struct {
+	Node        int     `json:"node"`
+	Worker      int     `json:"worker"`
+	Punches     int64   `json:"punches"`
+	BusyTicks   int64   `json:"busy_ticks"`
+	Steals      int64   `json:"steals"`
+	Utilization float64 `json:"utilization"`
+	// FirstStart/LastEnd bound the track's active window in virtual
+	// time; IdleGapTicks is the total virtual time between consecutive
+	// spans on the track and MaxIdleGap the largest single gap.
+	FirstStart   int64 `json:"first_start"`
+	LastEnd      int64 `json:"last_end"`
+	IdleGapTicks int64 `json:"idle_gap_ticks"`
+	MaxIdleGap   int64 `json:"max_idle_gap"`
+
+	lastEnd int64
+}
+
+// NodeProfile is one simulated node's skew and gossip view (single-node
+// engines report exactly one).
+type NodeProfile struct {
+	Node        int   `json:"node"`
+	Punches     int64 `json:"punches"`
+	BusyTicks   int64 `json:"busy_ticks"`
+	GossipSends int64 `json:"gossip_sends"`
+	GossipRecvs int64 `json:"gossip_recvs"`
+	GossipBytes int64 `json:"gossip_bytes"`
+	Killed      bool  `json:"killed,omitempty"`
+}
+
+// Report is the full derived view of one run's trace.
+type Report struct {
+	Events int `json:"events"`
+	Spans  int `json:"spans"`
+	Spawns int64 `json:"spawns"`
+	Dones  int64 `json:"dones"`
+	GCd    int64 `json:"gcd"`
+	Steals int64 `json:"steals"`
+
+	// MakespanTicks is the observed virtual makespan (the stream's
+	// maximum timestamp); WorkTicks the total PUNCH cost; SpanTicks the
+	// causality DAG's longest cost-weighted chain. CriticalPathTicks is
+	// SpanTicks under its profiler name: the two are the same quantity
+	// seen as a bound (span) and as a chain to optimize (critical path).
+	MakespanTicks     int64 `json:"makespan_ticks"`
+	WorkTicks         int64 `json:"work_ticks"`
+	SpanTicks         int64 `json:"span_ticks"`
+	CriticalPathTicks int64 `json:"critical_path_ticks"`
+
+	// MaxSpeedup is work/span — the speedup no thread count can exceed.
+	MaxSpeedup float64 `json:"max_speedup"`
+	// ObservedParallelism is work/makespan — the average number of busy
+	// simulated cores; ParallelEfficiency divides it by the worker
+	// tracks that did any work.
+	ObservedParallelism float64 `json:"observed_parallelism"`
+	ParallelEfficiency  float64 `json:"parallel_efficiency"`
+	MeasuredWorkers     int     `json:"measured_workers"`
+
+	CriticalPath                []PathStep  `json:"critical_path"`
+	CriticalPathByProc          []ProcShare `json:"critical_path_by_proc"`
+	CriticalPathShareOfMakespan float64     `json:"critical_path_share_of_makespan"`
+
+	WhatIf []WhatIfRow `json:"what_if"`
+
+	TotalBlockedTicks int64            `json:"total_blocked_ticks"`
+	BlockedTimes      obs.HistSnapshot `json:"blocked_times"`
+	TopBlocked        []BlockedQuery   `json:"top_blocked,omitempty"`
+
+	Workers []WorkerProfile `json:"workers"`
+	Nodes   []NodeProfile   `json:"nodes"`
+	// NodeSkew is max/avg per-node busy ticks (1.0 = perfectly even;
+	// meaningful only for multi-node traces).
+	NodeSkew float64 `json:"node_skew,omitempty"`
+}
+
+// PredictMakespan is the what-if lower bound at p workers:
+// max(span, work/p). No schedule on p workers can finish faster.
+func (r *Report) PredictMakespan(p int) int64 {
+	if p <= 0 {
+		return r.SpanTicks
+	}
+	perWorker := (r.WorkTicks + int64(p) - 1) / int64(p)
+	if perWorker < r.SpanTicks {
+		return r.SpanTicks
+	}
+	return perWorker
+}
+
+// predictUpper is the greedy-scheduling (Brent) upper bound at p
+// workers: span + (work-span)/p.
+func (r *Report) predictUpper(p int) int64 {
+	if p <= 0 {
+		return r.SpanTicks
+	}
+	rest := r.WorkTicks - r.SpanTicks
+	if rest < 0 {
+		rest = 0
+	}
+	return r.SpanTicks + (rest+int64(p)-1)/int64(p)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report as a human-readable profile.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("trace analysis: %d events, %d punch spans, %d spawns, %d done, %d gc'd, %d steals\n",
+		r.Events, r.Spans, r.Spawns, r.Dones, r.GCd, r.Steals)
+	p("\nwork/span\n")
+	p("  makespan (observed)   %12d ticks\n", r.MakespanTicks)
+	p("  work  (total cost)    %12d ticks\n", r.WorkTicks)
+	p("  span  (critical path) %12d ticks\n", r.SpanTicks)
+	p("  max theoretical speedup  %9.2fx (work/span)\n", r.MaxSpeedup)
+	p("  observed parallelism     %9.2fx (work/makespan)\n", r.ObservedParallelism)
+	p("  parallel efficiency      %9.1f%% over %d worker tracks\n",
+		r.ParallelEfficiency*100, r.MeasuredWorkers)
+
+	p("\nwhat-if makespan (lower = balance bound, upper = greedy bound)\n")
+	for _, row := range r.WhatIf {
+		label := fmt.Sprintf("%d workers", row.Workers)
+		if row.Workers == 0 {
+			label = "infinite"
+		}
+		p("  %-12s %12d .. %-12d ticks\n", label, row.LowerTicks, row.UpperTicks)
+	}
+
+	p("\ncritical path: %d ticks, %.1f%% of makespan, %d spans\n",
+		r.CriticalPathTicks, r.CriticalPathShareOfMakespan*100, len(r.CriticalPath))
+	for _, ps := range r.CriticalPathByProc {
+		p("  %-30s %12d ticks  %5.1f%%\n", ps.Proc, ps.Ticks, ps.Share*100)
+	}
+	n := len(r.CriticalPath)
+	show := n
+	if show > 12 {
+		show = 12
+	}
+	for i := 0; i < show; i++ {
+		st := r.CriticalPath[i]
+		p("  #%-3d query %-6d slice %-3d %-28s cost %d\n", i, st.Query, st.Slice, st.Proc, st.Cost)
+	}
+	if n > show {
+		p("  ... %d more spans\n", n-show)
+	}
+
+	p("\nblocking: %d ticks total blocked time across %d queries\n",
+		r.TotalBlockedTicks, r.BlockedTimes.Count)
+	for _, b := range r.BlockedTimes.Buckets {
+		p("  blocked <= %-10d %6d queries\n", b.Le, b.Count)
+	}
+	for _, tb := range r.TopBlocked {
+		p("  top blocked: query %-6d %-28s %12d ticks\n", tb.Query, tb.Proc, tb.BlockedTicks)
+	}
+
+	p("\nworkers (%d tracks)\n", len(r.Workers))
+	for _, wp := range r.Workers {
+		p("  node %-2d worker %-3d punches %-6d busy %-10d util %5.1f%% steals %-5d idle-gaps %-10d max-gap %d\n",
+			wp.Node, wp.Worker, wp.Punches, wp.BusyTicks, wp.Utilization*100,
+			wp.Steals, wp.IdleGapTicks, wp.MaxIdleGap)
+	}
+
+	if len(r.Nodes) > 1 {
+		p("\nnodes (%d), skew %.2fx (max/avg busy)\n", len(r.Nodes), r.NodeSkew)
+		for _, np := range r.Nodes {
+			killed := ""
+			if np.Killed {
+				killed = "  KILLED"
+			}
+			p("  node %-2d punches %-6d busy %-10d gossip %d sent / %d recv / %d bytes%s\n",
+				np.Node, np.Punches, np.BusyTicks, np.GossipSends, np.GossipRecvs, np.GossipBytes, killed)
+		}
+	}
+	return nil
+}

@@ -111,6 +111,9 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot { return h.snapshot() }
+
 func (h *Histogram) snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
 	for b := 0; b < histBuckets; b++ {

@@ -23,16 +23,19 @@ func DoPunch(ctx context.Context, engine, proc string, depth int, f func()) {
 	), func(context.Context) { f() })
 }
 
-// StartPprofServer serves the standard /debug/pprof endpoints on addr
-// in a background goroutine and returns the bound address (useful with
-// ":0"). The listener lives for the remainder of the process — the CLIs
-// use it for the duration of a run.
-func StartPprofServer(addr string) (string, error) {
+// StartPprofServer serves the standard /debug/pprof endpoints — plus a
+// Prometheus text-format /metrics exposition of the given registry — on
+// addr in a background goroutine and returns the bound address (useful
+// with ":0"). A nil registry serves an empty /metrics. The listener
+// lives for the remainder of the process — the CLIs use it for the
+// duration of a run.
+func StartPprofServer(addr string, m *Metrics) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(m))
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
