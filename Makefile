@@ -21,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # race re-runs the concurrency-heavy packages under the race detector:
-# the streaming engine and the sharded summary database.
+# the streaming engine, the sharded summary database, the solver's
+# entailment cache, and the query tree's coalescing machinery.
 race:
-	$(GO) test -race ./internal/core/... ./internal/summary/...
+	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/query
 
 # trace-smoke round-trips a corpus program through all three engines with
 # the Chrome tracer attached and validates the serialized document.

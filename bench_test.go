@@ -2,6 +2,7 @@ package bolt_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -198,6 +199,84 @@ func BenchmarkAsyncVsBarrier(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCoalesceDiamond: the cross-query redundancy ablation on a
+// diamond-shaped program — four branch arms each calling the same three
+// shared helpers, so concurrently-live arms keep asking questions that
+// are already in flight. "on" must answer duplicate spawns from the
+// in-flight twin (fewer PUNCH completions at an unchanged verdict);
+// "off" materializes every duplicate subtree and must not touch the
+// coalescing or entailment-cache machinery at all (the
+// zero-overhead-when-disabled contract).
+func BenchmarkCoalesceDiamond(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("globals g1, g2;\n")
+	for s := 0; s < 3; s++ {
+		fmt.Fprintf(&src, "proc shared%d { locals t; havoc t; assume(t >= 0 && t <= 2); g1 = g1 + t; }\n", s)
+	}
+	for a := 0; a < 4; a++ {
+		fmt.Fprintf(&src, "proc arm%d { locals t; shared0(); shared1(); shared2(); g2 = g2 + %d; }\n", a, a)
+	}
+	src.WriteString(`proc main { locals x; g1 = 0; g2 = 0; havoc x;
+  if (x > 3) { arm0(); } else { if (x > 2) { arm1(); } else { if (x > 1) { arm2(); } else { arm3(); } } }
+  assert(g1 >= 0); }
+`)
+	prog := parser.MustParse(src.String())
+	want := core.New(prog, core.Options{Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8, MaxIterations: 1 << 18}).
+		Run(core.AssertionQuestion(prog)).Verdict
+	for _, mode := range []string{"on", "off"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.New(prog, core.Options{
+					Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8, MaxIterations: 1 << 18,
+					DisableCoalesce:        mode == "off",
+					DisableEntailmentCache: mode == "off",
+				}).Run(core.AssertionQuestion(prog))
+				if r.Verdict != want {
+					b.Fatalf("verdict = %v, baseline said %v", r.Verdict, want)
+				}
+				if mode == "off" && (r.CoalesceHits != 0 ||
+					r.Solver.EntailCacheHits+r.Solver.EntailCacheMisses+r.Solver.EntailSynHits != 0) {
+					b.Fatalf("disabled run engaged the machinery: coalesce=%d cache=%+v",
+						r.CoalesceHits, r.Solver)
+				}
+				b.ReportMetric(float64(r.DoneQueries), "punchdone")
+				b.ReportMetric(float64(r.VirtualTicks), "vticks")
+				b.ReportMetric(float64(r.CoalesceHits), "coalesced")
+			}
+		})
+	}
+}
+
+// BenchmarkEntailmentCache: the striped entailment memo on the solver's
+// Implies path, uncached vs cached, over a pool of conjunctive formulas
+// large enough to exercise multiple shards but small enough to re-ask.
+func BenchmarkEntailmentCache(b *testing.B) {
+	x, y := logic.LinVar(lang.Var("x")), logic.LinVar(lang.Var("y"))
+	var pool []logic.Formula
+	for i := int64(0); i < 16; i++ {
+		pool = append(pool,
+			logic.Conj(logic.LEq(x, logic.LinConst(i)), logic.LEq(logic.LinConst(-i), y)))
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			s := smt.New()
+			if mode == "on" {
+				s.EnableEntailmentCache()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Implies(pool[i%len(pool)], pool[(i+7)%len(pool)])
+			}
+			if mode == "on" {
+				st := s.StatsSnapshot()
+				if total := st.EntailCacheHits + st.EntailCacheMisses; total > 0 {
+					b.ReportMetric(float64(st.EntailCacheHits)/float64(total), "hitrate")
+				}
+			}
+		})
 	}
 }
 

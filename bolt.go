@@ -172,6 +172,16 @@ type Options struct {
 	// DisableGC and DisableSumDB are the ablation switches.
 	DisableGC    bool
 	DisableSumDB bool
+	// DisableCoalesce turns off in-flight query coalescing: every spawned
+	// child grows its own subtree even when an identical question is
+	// already live. On by default because coalescing only drops provably
+	// duplicate work; disabling it reproduces the pre-coalescing engine
+	// byte for byte (the zero-overhead-when-disabled contract).
+	DisableCoalesce bool
+	// DisableEntailmentCache turns off the solver's sharded entailment
+	// memo (Implies/Valid results shared across concurrent PUNCH
+	// instances). Disabled runs never touch the cache.
+	DisableEntailmentCache bool
 	// FindWitness, on an ErrorReachable verdict from Check, searches for a
 	// concrete counterexample (inputs + trace) and attaches it to the
 	// result.
@@ -216,6 +226,10 @@ type Result struct {
 	WallTime     time.Duration
 	TimedOut     bool
 	Deadlocked   bool
+	// CoalesceHits counts spawned children answered by an in-flight twin
+	// query instead of growing a duplicate subtree (0 when
+	// Options.DisableCoalesce is set).
+	CoalesceHits int64
 	// Witness is a concrete counterexample (present only when the verdict
 	// is ErrorReachable and Options.FindWitness was set, and the directed
 	// search succeeded).
@@ -268,18 +282,20 @@ func newPunch(a Analysis) punch.Punch {
 
 func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics) *core.Engine {
 	return core.New(prog, core.Options{
-		Punch:           newPunch(o.Analysis),
-		MaxThreads:      max(1, o.Threads),
-		VirtualCores:    o.VirtualCores,
-		MaxVirtualTicks: o.MaxVirtualTicks,
-		RealTimeout:     o.Timeout,
-		Speculate:       o.Speculate,
-		Async:           o.Async,
-		DisableGC:       o.DisableGC,
-		DisableSumDB:    o.DisableSumDB,
-		Tracer:          tr,
-		Metrics:         m,
-		PprofLabels:     o.PprofLabels,
+		Punch:                  newPunch(o.Analysis),
+		MaxThreads:             max(1, o.Threads),
+		VirtualCores:           o.VirtualCores,
+		MaxVirtualTicks:        o.MaxVirtualTicks,
+		RealTimeout:            o.Timeout,
+		Speculate:              o.Speculate,
+		Async:                  o.Async,
+		DisableGC:              o.DisableGC,
+		DisableSumDB:           o.DisableSumDB,
+		DisableCoalesce:        o.DisableCoalesce,
+		DisableEntailmentCache: o.DisableEntailmentCache,
+		Tracer:                 tr,
+		Metrics:                m,
+		PprofLabels:            o.PprofLabels,
 	})
 }
 
@@ -342,6 +358,7 @@ func toResult(r core.Result) Result {
 		WallTime:     r.WallTime,
 		TimedOut:     r.TimedOut,
 		Deadlocked:   r.Deadlocked,
+		CoalesceHits: r.CoalesceHits,
 	}
 	switch r.Verdict {
 	case core.Safe:
@@ -424,6 +441,10 @@ type DistOptions struct {
 	// clause is optional and an empty spec injects nothing. See
 	// core.ParseFaults for the grammar.
 	Faults string
+	// DisableCoalesce and DisableEntailmentCache are the redundancy-
+	// elimination ablation switches; see Options.
+	DisableCoalesce        bool
+	DisableEntailmentCache bool
 	// TraceTo, TraceJSONLTo, CollectMetrics, MetricsInto and PprofLabels
 	// mirror Options: Chrome trace-event output (one process per node,
 	// one track per node-local worker slot), the streaming JSONL event
@@ -455,6 +476,9 @@ type DistResult struct {
 	ReroutedQueries    int
 	RecoveredSummaries int
 	DroppedDeliveries  int
+	// CoalesceHits counts spawned children coalesced onto an in-flight
+	// twin, cluster-wide.
+	CoalesceHits int64
 	// Metrics, WorkerMetrics, TraceSpans, TraceEvents and TraceErr mirror
 	// Result; worker slot w of node n appears as worker n*ThreadsPerNode+w.
 	Metrics       map[string]int64
@@ -492,6 +516,9 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		Tracer:         tr,
 		Metrics:        m,
 		PprofLabels:    opts.PprofLabels,
+
+		DisableCoalesce:        opts.DisableCoalesce,
+		DisableEntailmentCache: opts.DisableEntailmentCache,
 	})
 	r := eng.RunContext(ctx, core.AssertionQuestion(p.prog))
 	out := DistResult{
@@ -507,6 +534,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		ReroutedQueries:    r.ReroutedQueries,
 		RecoveredSummaries: r.RecoveredSummaries,
 		DroppedDeliveries:  r.DroppedDeliveries,
+		CoalesceHits:       r.CoalesceHits,
 	}
 	out.Metrics = r.Metrics.Flatten()
 	if r.Metrics != nil {

@@ -31,6 +31,8 @@ func main() {
 		wall      = flag.Duration("wall", 120*time.Second, "wall-clock safety budget per run")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; expiry cancels in-flight checks (0 = none)")
 		async     = flag.Bool("async", false, "run every check with the streaming work-stealing engine")
+		coalesce  = flag.Bool("coalesce", true, "coalesce spawns onto identical in-flight queries (ablation: -coalesce=false)")
+		entCache  = flag.Bool("entailcache", true, "cache solver entailment checks across queries (ablation: -entailcache=false)")
 		snapshot  = flag.String("snapshot", "", "write a streaming-engine perf snapshot (makespan, speedup, metrics) to this JSON file, e.g. BENCH_streaming.json")
 		snapTh    = flag.Int("snapshot-threads", 32, "streaming pool size for -snapshot")
 		compare   = flag.String("compare", "", "collect a fresh streaming snapshot and diff it against this committed baseline; exit 1 on regression (the bench gate)")
@@ -51,7 +53,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := harness.Options{WallBudget: *wall, Async: *async, Ctx: ctx}
+	opts := harness.Options{
+		WallBudget:             *wall,
+		Async:                  *async,
+		Ctx:                    ctx,
+		DisableCoalesce:        !*coalesce,
+		DisableEntailmentCache: !*entCache,
+	}
 
 	did := false
 	run := func(n int, f func()) {

@@ -31,6 +31,8 @@ func main() {
 		ticks    = flag.Int64("ticks", 0, "virtual-time budget (0 = none)")
 		dist     = flag.Int("dist", 0, "run on a simulated cluster with this many nodes (0 = single-machine engine)")
 		faults   = flag.String("faults", "", "fault plan for -dist: kill=N@R,drop=P,seed=S (all clauses optional)")
+		coalesce = flag.Bool("coalesce", true, "coalesce spawns onto identical in-flight queries (ablation: -coalesce=false)")
+		entCache = flag.Bool("entailcache", true, "cache solver entailment checks across queries (ablation: -entailcache=false)")
 		proc     = flag.String("proc", "", "procedure for a custom reachability question")
 		pre      = flag.String("pre", "true", "precondition over globals (with -proc)")
 		post     = flag.String("post", "", "postcondition over globals (with -proc)")
@@ -97,18 +99,20 @@ func main() {
 		defer traceJLOut.Close()
 	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg, !*coalesce, !*entCache)
 		return
 	}
 	opts := bolt.Options{
-		Threads:         *threads,
-		Timeout:         *timeout,
-		MaxVirtualTicks: *ticks,
-		Async:           *async,
-		FindWitness:     *wit,
-		CollectMetrics:  *metrics,
-		MetricsInto:     liveReg,
-		PprofLabels:     *pprofA != "",
+		Threads:                *threads,
+		Timeout:                *timeout,
+		MaxVirtualTicks:        *ticks,
+		Async:                  *async,
+		FindWitness:            *wit,
+		CollectMetrics:         *metrics,
+		MetricsInto:            liveReg,
+		PprofLabels:            *pprofA != "",
+		DisableCoalesce:        !*coalesce,
+		DisableEntailmentCache: !*entCache,
 	}
 	if traceOut != nil {
 		opts.TraceTo = traceOut
@@ -152,6 +156,7 @@ func main() {
 		fmt.Printf("iterations:   %d\n", res.Iterations)
 		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
 		fmt.Printf("wall time:    %v\n", res.WallTime)
+		fmt.Printf("coalesced:    %d\n", res.CoalesceHits)
 	}
 	if *metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
@@ -203,15 +208,17 @@ func reportTrace(chromePath, jsonlPath string, spans int, events int64, err erro
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics, noCoalesce, noEntCache bool) {
 	opts := bolt.DistOptions{
-		Nodes:          nodes,
-		ThreadsPerNode: threads,
-		Timeout:        timeout,
-		Faults:         faults,
-		CollectMetrics: metrics,
-		MetricsInto:    liveReg,
-		PprofLabels:    liveReg != nil,
+		Nodes:                  nodes,
+		ThreadsPerNode:         threads,
+		Timeout:                timeout,
+		Faults:                 faults,
+		CollectMetrics:         metrics,
+		MetricsInto:            liveReg,
+		PprofLabels:            liveReg != nil,
+		DisableCoalesce:        noCoalesce,
+		DisableEntailmentCache: noEntCache,
 	}
 	tracePath := ""
 	if traceOut != nil {
@@ -248,6 +255,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 		fmt.Printf("wall time:    %v\n", res.WallTime)
 		fmt.Printf("gossip:       %d exchanges, %d deliveries dropped\n", res.SyncExchanges, res.DroppedDeliveries)
 		fmt.Printf("peak live:    %v per node\n", res.PerNodePeakLive)
+		fmt.Printf("coalesced:    %d\n", res.CoalesceHits)
 		if len(res.KilledNodes) > 0 {
 			fmt.Printf("faults:       killed nodes %v, %d queries re-routed, %d summaries recovered\n",
 				res.KilledNodes, res.ReroutedQueries, res.RecoveredSummaries)

@@ -87,7 +87,7 @@ type asyncState struct {
 	stopped   bool
 	reason    StopReason // first stop condition to fire; set by halt
 	busy      int        // workers inside PUNCH
-	events    int64 // completion events processed
+	events    int64      // completion events processed
 	maxEvents int64
 	doneCount int64
 	clock     *coreClock
@@ -109,6 +109,9 @@ type asyncState struct {
 func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	start := time.Now()
 	solver := smt.New()
+	if !e.opts.DisableEntailmentCache {
+		solver.EnableEntailmentCache()
+	}
 	var db *summary.DB
 	if e.opts.DisableSumDB {
 		db = summary.NewDisabled(solver)
@@ -118,6 +121,9 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	alloc := &query.Allocator{}
 	ctx := &punch.Context{Prog: e.prog, DB: db, Alloc: alloc, ModRef: e.prog.ModRef()}
 	tree := query.NewTree()
+	if !e.opts.DisableCoalesce {
+		tree.TrackInflight()
+	}
 	root := alloc.New(query.NoParent, q0)
 	tree.Add(root)
 
@@ -192,7 +198,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
-	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB)
+	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB, res.Solver)
 	return res
 }
 
@@ -370,12 +376,22 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 	}
 	s.tree.Replace(r.Self)
 	newQ := 0
+	// wakeSelf marks that a spawn coalesced onto an already-Done twin:
+	// the answering summary is in SUMDB now, so if this query comes back
+	// Blocked it must re-run immediately (same shape as the rewake flag).
+	wakeSelf := false
+	coalesce := !s.e.opts.DisableCoalesce
 	if r.Self.State != query.Done {
-		s.in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 		for _, c := range r.Children {
+			if coalesce {
+				if twinID, ok := s.tree.Inflight(c.Q.Key()); ok && s.tryCoalesce(id, r.Self, c, twinID, &wakeSelf) {
+					continue
+				}
+			}
 			s.tree.Add(c)
 			s.push(id, c)
 			newQ++
+			s.in.m.Inc(obs.QueriesSpawned)
 			if s.in.labels {
 				s.depth[c.ID] = s.depth[r.Self.ID] + 1
 			}
@@ -410,21 +426,15 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 			return
 		}
 		if r.Self.Parent != query.NoParent {
-			if p := s.tree.Get(r.Self.Parent); p != nil {
-				if s.running[p.ID] {
-					// The parent is inside PUNCH right now; poke it to
-					// re-run if it comes back Blocked.
-					s.rewake[p.ID] = true
-				} else if p.State == query.Blocked {
-					s.tree.SetState(p.ID, query.Ready)
-					s.push(id, p)
-					s.in.m.Inc(obs.Wakes)
-					if s.in.tr != nil {
-						s.in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, Worker: id, VTime: s.clock.vtime})
-					}
-				}
-			}
+			s.wake(id, r.Self.Parent)
 		}
+		// Fan the wake out to every coalesced waiter — the one summary
+		// just published answers them all — then clear the edges so the
+		// GC condition ("no waiters remain") holds for RemoveSubtree.
+		for _, w := range s.tree.Waiters(r.Self.ID) {
+			s.wake(id, w)
+		}
+		s.tree.ClearWaiters(r.Self.ID)
 		if !s.e.opts.DisableGC {
 			removed := s.tree.RemoveSubtree(r.Self.ID)
 			s.in.m.Add(obs.QueriesGCd, int64(removed))
@@ -443,9 +453,10 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 		if s.in.tr != nil {
 			s.in.emit(obs.Event{Type: obs.EvBlock, Query: r.Self.ID, Proc: q.Q.Proc, Worker: id, VTime: s.clock.vtime})
 		}
-		if wasRewake {
-			// A child completed while this query ran; its answer may be
-			// exactly what unblocks it.
+		if wasRewake || wakeSelf {
+			// A child completed while this query ran (or a spawn coalesced
+			// onto an already-Done twin); its answer may be exactly what
+			// unblocks it.
 			s.tree.SetState(r.Self.ID, query.Ready)
 			s.push(id, r.Self)
 			s.in.m.Inc(obs.Rewakes)
@@ -455,6 +466,63 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 		}
 	}
 	s.sample(vtimeBefore, r.Cost, newQ)
+}
+
+// wake makes target Ready and enqueues it (or arms its rewake flag when
+// it is inside PUNCH right now) after a summary that may answer it
+// landed. Called with mu held.
+func (s *asyncState) wake(id int, target query.ID) {
+	p := s.tree.Get(target)
+	if p == nil {
+		return
+	}
+	if s.running[target] {
+		// The target is inside PUNCH right now; poke it to re-run if it
+		// comes back Blocked.
+		s.rewake[target] = true
+		return
+	}
+	if p.State == query.Blocked {
+		s.tree.SetState(p.ID, query.Ready)
+		s.push(id, p)
+		s.in.m.Inc(obs.Wakes)
+		if s.in.tr != nil {
+			s.in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, Worker: id, VTime: s.clock.vtime})
+		}
+	}
+}
+
+// tryCoalesce attempts to answer child c of parent with the live
+// in-flight twin instead of adding a duplicate subtree. Reports whether
+// c was coalesced. Called with mu held; the twin's State may only be
+// read when the twin is not inside PUNCH (running queries mutate State
+// in place outside the lock).
+func (s *asyncState) tryCoalesce(id int, parent, c *query.Query, twinID query.ID, wakeSelf *bool) bool {
+	twin := s.tree.Get(twinID)
+	if twin == nil {
+		return false
+	}
+	if !s.running[twinID] && twin.State == query.Done {
+		// The twin's summary is already in SUMDB: drop the duplicate and
+		// re-run the parent immediately if it comes back Blocked.
+		*wakeSelf = true
+		s.hitCoalesce(id, parent, c, twinID)
+		return true
+	}
+	if query.WouldCycle([]*query.Tree{s.tree}, twinID, parent.ID) {
+		return false
+	}
+	s.tree.AddWaiter(twinID, parent.ID)
+	s.hitCoalesce(id, parent, c, twinID)
+	return true
+}
+
+func (s *asyncState) hitCoalesce(id int, parent, c *query.Query, twinID query.ID) {
+	s.res.CoalesceHits++
+	s.in.m.Inc(obs.CoalesceHits)
+	if s.in.tr != nil {
+		s.in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: parent.ID, Proc: c.Q.Proc, Worker: id, VTime: s.clock.vtime, N: int64(twinID)})
+	}
 }
 
 // sample records one completion event in the instrumentation trace and

@@ -64,6 +64,12 @@ type DistOptions struct {
 	RealTimeout time.Duration
 	// Faults is the injected fault plan (nil = fault-free run).
 	Faults *Faults
+	// DisableCoalesce turns off in-flight query coalescing (ablation);
+	// see Options.DisableCoalesce.
+	DisableCoalesce bool
+	// DisableEntailmentCache turns off the solver's entailment memo
+	// (ablation); see Options.DisableEntailmentCache.
+	DisableEntailmentCache bool
 	// Tracer receives the run's query-lifecycle event stream (nil = off).
 	Tracer obs.Tracer
 	// Metrics is the registry the run updates (nil = off).
@@ -104,6 +110,9 @@ type DistResult struct {
 	// DroppedDeliveries counts gossip deliveries deferred by injected
 	// loss (each is retried at a later exchange).
 	DroppedDeliveries int
+	// CoalesceHits counts spawned children answered by a live in-flight
+	// twin instead of growing a duplicate subtree (cluster-wide).
+	CoalesceHits int64
 	// Metrics is the run's metrics snapshot (nil when DistOptions.Metrics
 	// was nil), with summary-database traffic aggregated across nodes.
 	Metrics *obs.Snapshot
@@ -192,10 +201,15 @@ func (e *DistEngine) Run(q0 summary.Question) DistResult {
 func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistResult {
 	start := time.Now()
 	solver := smt.New()
+	if !e.opts.DisableEntailmentCache {
+		solver.EnableEntailmentCache()
+	}
 	alloc := &query.Allocator{}
 	modref := e.prog.ModRef()
 
+	coalesce := !e.opts.DisableCoalesce
 	nodes := make([]*distNode, e.opts.Nodes)
+	forest := make([]*query.Tree, e.opts.Nodes)
 	for i := range nodes {
 		nodes[i] = &distNode{
 			id:    i,
@@ -203,6 +217,10 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			tree:  query.NewTree(),
 			known: map[string]bool{},
 		}
+		if coalesce {
+			nodes[i].tree.TrackInflight()
+		}
+		forest[i] = nodes[i].tree
 	}
 	root := alloc.New(query.NoParent, q0)
 	nodes[e.nodeOf(q0.Proc)].tree.Add(root)
@@ -357,10 +375,43 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 					in.emit(obs.Event{Type: obs.EvPunchEnd, Query: r.Self.ID, Proc: r.Self.Q.Proc, Node: ni, Worker: i, VTime: vtime, Cost: r.Cost})
 				}
 				n.tree.Replace(r.Self)
-				in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 				for _, c := range r.Children {
 					dst := e.owner(nodes, c.Q.Proc)
+					// In-flight coalescing: procedure routing is
+					// deterministic, so a live twin asking the same question
+					// must live in dst's tree. Done twin ⟹ its summary is in
+					// dst's database (PUNCH contract), so the parent can wake
+					// immediately and find the answer via gossip; a live twin
+					// adopts the parent as an extra waiter unless that would
+					// close a waits-for cycle.
+					if coalesce {
+						if twinID, ok := dst.tree.Inflight(c.Q.Key()); ok {
+							if twin := dst.tree.Get(twinID); twin != nil {
+								if twin.State == query.Done {
+									res.CoalesceHits++
+									in.m.Inc(obs.CoalesceHits)
+									if in.tr != nil {
+										in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime, N: int64(twinID)})
+									}
+									if r.Self.State == query.Blocked {
+										n.tree.SetState(r.Self.ID, query.Ready)
+									}
+									continue
+								}
+								if !query.WouldCycle(forest, twinID, r.Self.ID) {
+									dst.tree.AddWaiter(twinID, r.Self.ID)
+									res.CoalesceHits++
+									in.m.Inc(obs.CoalesceHits)
+									if in.tr != nil {
+										in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime, N: int64(twinID)})
+									}
+									continue
+								}
+							}
+						}
+					}
 					dst.tree.Add(c)
+					in.m.Inc(obs.QueriesSpawned)
 					if in.labels {
 						depth[c.ID] = depth[r.Self.ID] + 1
 					}
@@ -412,6 +463,24 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 						}
 					}
 				}
+				// One summary answers every coalesced waiter: fan the wake
+				// out to all registered waiters (which may live on other
+				// nodes) before collecting the subtree.
+				for _, w := range n.tree.Waiters(self.ID) {
+					for _, other := range nodes {
+						if p := other.tree.Get(w); p != nil {
+							if p.State == query.Blocked {
+								other.tree.SetState(p.ID, query.Ready)
+								in.m.Inc(obs.Wakes)
+								if in.tr != nil {
+									in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, Node: other.id, VTime: vtime})
+								}
+							}
+							break
+						}
+					}
+				}
+				n.tree.ClearWaiters(self.ID)
 				removed := n.tree.RemoveSubtree(self.ID)
 				in.m.Add(obs.QueriesGCd, int64(removed))
 				if in.tr != nil {
@@ -470,7 +539,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 	res.TotalQueries = alloc.Count()
 	res.VirtualTicks = vtime
 	res.WallTime = time.Since(start)
-	res.Metrics = in.finish(vtime, aggregateStats(nodes))
+	res.Metrics = in.finish(vtime, aggregateStats(nodes), solver.StatsSnapshot())
 	return res
 }
 

@@ -93,6 +93,16 @@ type Options struct {
 	// DisableSumDB makes the summary database store and answer nothing
 	// (ablation). Note PUNCH then never terminates queries via reuse.
 	DisableSumDB bool
+	// DisableCoalesce turns off in-flight query coalescing (ablation):
+	// every spawned child grows its own subtree even when a live query is
+	// already computing the same canonical question. Coalescing is on by
+	// default; disabling it restores the exact pre-coalescing behavior
+	// with no key computation on the spawn path.
+	DisableCoalesce bool
+	// DisableEntailmentCache turns off the solver's sharded Implies/Valid
+	// memo and its syntactic subsumption pre-check (ablation). The cache
+	// is on by default.
+	DisableEntailmentCache bool
 	// Select orders Ready queries for the MAP stage.
 	Select SelectPolicy
 	// CheckContract validates the §3.2 PUNCH postcondition on every
@@ -163,7 +173,11 @@ type Result struct {
 	// are zero for the barrier engine.
 	Steals    int64
 	IdleWaits int64
-	Trace     []IterSample
+	// CoalesceHits counts spawned children answered by a live in-flight
+	// twin instead of growing a duplicate subtree (zero when coalescing
+	// is disabled).
+	CoalesceHits int64
+	Trace        []IterSample
 	SumDB        summary.Stats
 	Solver       smt.Stats
 	// CostByProc aggregates PUNCH cost per analyzed procedure, a profile
@@ -227,6 +241,9 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	}
 	start := time.Now()
 	solver := smt.New()
+	if !e.opts.DisableEntailmentCache {
+		solver.EnableEntailmentCache()
+	}
 	var db *summary.DB
 	if e.opts.DisableSumDB {
 		db = summary.NewDisabled(solver)
@@ -236,6 +253,11 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	alloc := &query.Allocator{}
 	ctx := &punch.Context{Prog: e.prog, DB: db, Alloc: alloc, ModRef: e.prog.ModRef()}
 	tree := query.NewTree()
+	coalesce := !e.opts.DisableCoalesce
+	if coalesce {
+		tree.TrackInflight()
+	}
+	forest := []*query.Tree{tree}
 	root := alloc.New(query.NoParent, q0)
 	tree.Add(root)
 
@@ -359,9 +381,40 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				}
 			}
 			tree.Replace(r.Self)
-			in.m.Add(obs.QueriesSpawned, int64(len(r.Children)))
 			for _, c := range r.Children {
+				// Coalescing: a spawn matching a live in-flight query
+				// registers the parent as a waiter on the twin instead of
+				// growing a duplicate subtree; a spawn matching an
+				// already-Done twin is answered by the summary that twin
+				// has published, so the parent is woken immediately.
+				if coalesce {
+					if twinID, ok := tree.Inflight(c.Q.Key()); ok {
+						if twin := tree.Get(twinID); twin != nil {
+							if twin.State == query.Done {
+								res.CoalesceHits++
+								in.m.Inc(obs.CoalesceHits)
+								if in.tr != nil {
+									in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime, N: int64(twinID)})
+								}
+								if r.Self.State == query.Blocked {
+									tree.SetState(r.Self.ID, query.Ready)
+								}
+								continue
+							}
+							if !query.WouldCycle(forest, twinID, r.Self.ID) {
+								tree.AddWaiter(twinID, r.Self.ID)
+								res.CoalesceHits++
+								in.m.Inc(obs.CoalesceHits)
+								if in.tr != nil {
+									in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime, N: int64(twinID)})
+								}
+								continue
+							}
+						}
+					}
+				}
 				tree.Add(c)
+				in.m.Inc(obs.QueriesSpawned)
 				if in.labels {
 					depth[c.ID] = depth[r.Self.ID] + 1
 				}
@@ -432,6 +485,19 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 					}
 				}
 			}
+			// Fan the wake out to every coalesced waiter: the one summary
+			// this query published answers them all. Clearing the edges
+			// afterwards restores the GC condition.
+			for _, w := range tree.Waiters(self.ID) {
+				if p := tree.Get(w); p != nil && p.State == query.Blocked {
+					tree.SetState(p.ID, query.Ready)
+					in.m.Inc(obs.Wakes)
+					if in.tr != nil {
+						in.emit(obs.Event{Type: obs.EvWake, Query: p.ID, Proc: p.Q.Proc, VTime: vtime})
+					}
+				}
+			}
+			tree.ClearWaiters(self.ID)
 			if !e.opts.DisableGC {
 				removed := tree.RemoveSubtree(self.ID)
 				in.m.Add(obs.QueriesGCd, int64(removed))
@@ -457,7 +523,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
-	res.Metrics = in.finish(vtime, res.SumDB)
+	res.Metrics = in.finish(vtime, res.SumDB, res.Solver)
 	return res
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/smt"
 	"repro/internal/summary"
 )
 
@@ -145,8 +146,11 @@ func (in *instr) deliver(from, to int, proc string, bytes int, vtime int64) {
 
 // finish snapshots the registry (nil when metrics were off), stamping
 // the run's makespan and folding in the summary-database traffic under
-// sumdb_* counter keys (aggregate plus per lock stripe).
-func (in *instr) finish(makespan int64, st summary.Stats) *obs.Snapshot {
+// sumdb_* counter keys (aggregate plus per lock stripe) and the solver's
+// entailment-cache traffic under entailment_cache_* keys. The solver
+// counters live as atomics in smt.Stats (smt cannot import obs), so this
+// fold is what routes them into the Prometheus rendering.
+func (in *instr) finish(makespan int64, st summary.Stats, sv smt.Stats) *obs.Snapshot {
 	snap := in.m.Snapshot()
 	if snap == nil {
 		return nil
@@ -165,6 +169,9 @@ func (in *instr) finish(makespan int64, st summary.Stats) *obs.Snapshot {
 		c[base+"misses"] = sh.Misses
 		c[base+"summaries"] = int64(sh.Summaries)
 	}
+	c["entailment_cache_hits"] = sv.EntailCacheHits
+	c["entailment_cache_misses"] = sv.EntailCacheMisses
+	c["entailment_cache_syn_hits"] = sv.EntailSynHits
 	return snap
 }
 

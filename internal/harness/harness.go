@@ -46,6 +46,11 @@ type Options struct {
 	Metrics bool
 	// Tracer, when set, receives every run's query-lifecycle events.
 	Tracer obs.Tracer
+	// DisableCoalesce and DisableEntailmentCache are the
+	// redundancy-elimination ablation switches (both features are on by
+	// default); see core.Options.
+	DisableCoalesce        bool
+	DisableEntailmentCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +84,8 @@ type CheckResult struct {
 	TimedOut   bool
 	Deadlocked bool
 	CostByProc map[string]int64
+	// CoalesceHits counts spawns answered by an in-flight twin.
+	CoalesceHits int64
 	// Metrics is the run's metrics snapshot (nil unless Options.Metrics).
 	Metrics *obs.Snapshot
 }
@@ -101,6 +108,9 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Async:           opts.Async,
 		Tracer:          opts.Tracer,
 		Metrics:         m,
+
+		DisableCoalesce:        opts.DisableCoalesce,
+		DisableEntailmentCache: opts.DisableEntailmentCache,
 	})
 	ctx := opts.Ctx
 	if ctx == nil {
@@ -108,19 +118,20 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 	}
 	res := eng.RunContext(ctx, core.AssertionQuestion(prog))
 	return CheckResult{
-		Check:      check,
-		Threads:    threads,
-		Verdict:    res.Verdict,
-		Ticks:      res.VirtualTicks,
-		Wall:       res.WallTime,
-		Queries:    res.TotalQueries,
-		Peak:       res.PeakReady,
-		Trace:      res.Trace,
-		StopReason: res.StopReason,
-		TimedOut:   res.TimedOut,
-		Deadlocked: res.Deadlocked,
-		CostByProc: res.CostByProc,
-		Metrics:    res.Metrics,
+		Check:        check,
+		Threads:      threads,
+		Verdict:      res.Verdict,
+		Ticks:        res.VirtualTicks,
+		Wall:         res.WallTime,
+		Queries:      res.TotalQueries,
+		Peak:         res.PeakReady,
+		Trace:        res.Trace,
+		StopReason:   res.StopReason,
+		TimedOut:     res.TimedOut,
+		Deadlocked:   res.Deadlocked,
+		CostByProc:   res.CostByProc,
+		CoalesceHits: res.CoalesceHits,
+		Metrics:      res.Metrics,
 	}
 }
 

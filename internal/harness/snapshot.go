@@ -24,8 +24,8 @@ import (
 type StreamingBench struct {
 	// Threads is the streaming pool size; Cores the virtual-clock core
 	// count the makespans are measured against.
-	Threads int `json:"threads"`
-	Cores   int `json:"cores"`
+	Threads int                   `json:"threads"`
+	Cores   int                   `json:"cores"`
 	Checks  []StreamingCheckBench `json:"checks"`
 	// TotalSeqTicks and TotalParTicks are the cumulative 1-thread and
 	// streaming makespans; TotalSpeedup their ratio.
@@ -57,6 +57,13 @@ type StreamingCheckBench struct {
 	CriticalPathTicks  int64   `json:"critical_path_ticks"`
 	SpanTicks          int64   `json:"span_ticks"`
 	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	// CoalesceHits counts spawns answered by an in-flight twin during the
+	// streaming run; EntailCacheHits/EntailCacheMisses are the solver's
+	// entailment-memo traffic (the cross-query redundancy the run
+	// eliminated and the cold lookups that primed it).
+	CoalesceHits      int64 `json:"coalesce_hits"`
+	EntailCacheHits   int64 `json:"entail_cache_hits"`
+	EntailCacheMisses int64 `json:"entail_cache_misses"`
 	// Metrics is the streaming run's flattened metrics summary (counters,
 	// sumdb traffic, punch-histogram aggregates, makespan).
 	Metrics map[string]int64 `json:"metrics"`
@@ -89,14 +96,19 @@ func CollectStreaming(opts Options, threads int, checks []drivers.Check) Streami
 		parOpts.Tracer = rec
 		par := RunCheck(check, threads, parOpts)
 		entry := StreamingCheckBench{
-			Check:      check.ID(),
-			Verdict:    par.Verdict.String(),
-			StopReason: par.StopReason.String(),
-			SeqTicks:   seq.Ticks,
-			ParTicks:   par.Ticks,
-			Queries:    par.Queries,
-			WallNs:     int64(par.Wall),
-			Metrics:    par.Metrics.Flatten(),
+			Check:        check.ID(),
+			Verdict:      par.Verdict.String(),
+			StopReason:   par.StopReason.String(),
+			SeqTicks:     seq.Ticks,
+			ParTicks:     par.Ticks,
+			Queries:      par.Queries,
+			WallNs:       int64(par.Wall),
+			CoalesceHits: par.CoalesceHits,
+			Metrics:      par.Metrics.Flatten(),
+		}
+		if m := entry.Metrics; m != nil {
+			entry.EntailCacheHits = m["entailment_cache_hits"]
+			entry.EntailCacheMisses = m["entailment_cache_misses"]
 		}
 		if par.Ticks > 0 {
 			entry.Speedup = float64(seq.Ticks) / float64(par.Ticks)

@@ -76,6 +76,7 @@ func Analyze(events []obs.Event) (*Report, error) {
 		blockAt:       map[query.ID]int64{},
 		blockedTotal:  map[query.ID]int64{},
 		blockedProc:   map[query.ID]string{},
+		costByQuery:   map[query.ID]int64{},
 		workers:       map[[2]int]*WorkerProfile{},
 		nodes:         map[int]*NodeProfile{},
 	}
@@ -105,12 +106,19 @@ type builder struct {
 	blockedTotal map[query.ID]int64
 	blockedProc  map[query.ID]string
 
+	// costByQuery accumulates each query's total PUNCH cost; coalesce
+	// events consult it at report time to attribute the duplicate
+	// subtree work that coalescing avoided (the twin's total cost is a
+	// lower bound on what the dropped duplicate would have re-spent).
+	costByQuery   map[query.ID]int64
+	coalesceTwins []query.ID
+
 	workers map[[2]int]*WorkerProfile
 	nodes   map[int]*NodeProfile
 
-	spawns, dones, gcd, steals int64
-	maxVTime                   int64
-	critical                   int // span index with the max finish (-1 until set)
+	spawns, dones, gcd, steals, coalesces int64
+	maxVTime                              int64
+	critical                              int // span index with the max finish (-1 until set)
 }
 
 func (b *builder) node(n int) *NodeProfile {
@@ -173,6 +181,9 @@ func (b *builder) feed(ev obs.Event) {
 		}
 	case obs.EvGC:
 		b.gcd += ev.N
+	case obs.EvCoalesce:
+		b.coalesces++
+		b.coalesceTwins = append(b.coalesceTwins, query.ID(ev.N))
 	case obs.EvGossipSend:
 		np := b.node(ev.Node)
 		np.GossipSends++
@@ -202,6 +213,7 @@ func (b *builder) addSpan(start, end obs.Event) {
 		bestDep:    -1,
 	}
 	b.slices[end.Query]++
+	b.costByQuery[end.Query] += sp.Cost
 
 	consider := func(dep int) {
 		if dep < 0 || dep >= idx {
@@ -268,7 +280,11 @@ func (b *builder) report(events int) (*Report, error) {
 		Dones:         b.dones,
 		GCd:           b.gcd,
 		Steals:        b.steals,
+		Coalesces:     b.coalesces,
 		MakespanTicks: b.maxVTime,
+	}
+	for _, tw := range b.coalesceTwins {
+		r.CoalescedSavedTicks += b.costByQuery[tw]
 	}
 	for i := range b.spans {
 		r.WorkTicks += b.spans[i].Cost

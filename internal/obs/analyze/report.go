@@ -78,12 +78,19 @@ type NodeProfile struct {
 
 // Report is the full derived view of one run's trace.
 type Report struct {
-	Events int `json:"events"`
-	Spans  int `json:"spans"`
+	Events int   `json:"events"`
+	Spans  int   `json:"spans"`
 	Spawns int64 `json:"spawns"`
 	Dones  int64 `json:"dones"`
 	GCd    int64 `json:"gcd"`
 	Steals int64 `json:"steals"`
+
+	// Coalesces counts spawns answered by a live in-flight twin instead
+	// of a duplicate subtree; CoalescedSavedTicks estimates the PUNCH
+	// work those duplicates would have re-spent (sum of each twin's
+	// total observed cost, a per-coalesce lower bound).
+	Coalesces           int64 `json:"coalesces"`
+	CoalescedSavedTicks int64 `json:"coalesced_saved_ticks"`
 
 	// MakespanTicks is the observed virtual makespan (the stream's
 	// maximum timestamp); WorkTicks the total PUNCH cost; SpanTicks the
@@ -159,6 +166,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 	p("trace analysis: %d events, %d punch spans, %d spawns, %d done, %d gc'd, %d steals\n",
 		r.Events, r.Spans, r.Spawns, r.Dones, r.GCd, r.Steals)
+	if r.Coalesces > 0 {
+		p("coalescing: %d duplicate spawns coalesced, ~%d ticks of punch work saved\n",
+			r.Coalesces, r.CoalescedSavedTicks)
+	}
 	p("\nwork/span\n")
 	p("  makespan (observed)   %12d ticks\n", r.MakespanTicks)
 	p("  work  (total cost)    %12d ticks\n", r.WorkTicks)

@@ -45,6 +45,9 @@ const (
 	GossipBytes
 	// NodeKills counts nodes removed by fault injection.
 	NodeKills
+	// CoalesceHits counts spawned children coalesced onto a live
+	// in-flight twin instead of growing a duplicate subtree.
+	CoalesceHits
 
 	numCounters
 )
@@ -54,6 +57,7 @@ var counterNames = [numCounters]string{
 	"wakes", "rewakes", "steals_attempted", "steals_succeeded",
 	"idle_parks", "punch_invocations", "gossip_rounds",
 	"gossip_deliveries", "gossip_bytes", "node_kills",
+	"coalesce_hits",
 }
 
 func (c Counter) String() string {

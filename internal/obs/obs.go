@@ -55,6 +55,11 @@ const (
 	EvGossipRecv
 	// EvNodeKill: fault injection removed a node from the cluster.
 	EvNodeKill
+	// EvCoalesce: a freshly spawned child matched a live in-flight query
+	// and was coalesced onto it instead of growing a duplicate subtree;
+	// Query is the duplicate child that was dropped, Parent the spawning
+	// parent registered as a waiter, N the twin query answering for both.
+	EvCoalesce
 
 	numEventTypes
 )
@@ -62,6 +67,7 @@ const (
 var eventNames = [numEventTypes]string{
 	"spawn", "ready", "punch-start", "punch-end", "block", "wake",
 	"steal", "done", "gc", "gossip-send", "gossip-recv", "node-kill",
+	"coalesce",
 }
 
 func (t EventType) String() string {

@@ -1,0 +1,153 @@
+// In-flight query coalescing support: the multi-waiter edge set and the
+// canonical-question index the engines use to answer a freshly spawned
+// question with an already-live twin query instead of growing a duplicate
+// subtree. One summary answers every waiter because a Done query's only
+// observable effect is the SUMDB entry answering its question (§3.2), and
+// woken waiters always re-examine SUMDB rather than the twin itself.
+package query
+
+// TrackInflight enables the in-flight index keyed by canonical question
+// key. Engines call it once, before the root is added, when coalescing is
+// on; while disabled, Add does no key computation at all.
+func (t *Tree) TrackInflight() {
+	if t.inflight == nil {
+		t.inflight = map[string]ID{}
+		t.inflightKey = map[ID]string{}
+	}
+}
+
+// Inflight returns the live query registered for the canonical question
+// key, if any. Registration is first-wins: later twins (e.g. spawns that
+// skipped coalescing because of a cycle) never displace the entry.
+func (t *Tree) Inflight(key string) (ID, bool) {
+	id, ok := t.inflight[key]
+	return id, ok
+}
+
+// AddWaiter registers w as an additional parent waiting on id's summary.
+// Duplicate registrations are ignored. The edge persists across id's
+// Ready/Blocked transitions; engines fan the wake out (and then
+// ClearWaiters) only when id goes Done.
+func (t *Tree) AddWaiter(id, w ID) {
+	if containsID(t.waiters[id], w) {
+		return
+	}
+	t.waiters[id] = append(t.waiters[id], w)
+	t.waitingOn[w] = append(t.waitingOn[w], id)
+}
+
+// Waiters returns the waiters registered on id (nil when none). The
+// returned slice is the tree's own bookkeeping; callers must not mutate
+// it.
+func (t *Tree) Waiters(id ID) []ID { return t.waiters[id] }
+
+// WaitingOn returns the queries w is registered as waiting on.
+func (t *Tree) WaitingOn(w ID) []ID { return t.waitingOn[w] }
+
+// ClearWaiters drops every waiter edge of id. Engines call it after the
+// Done fan-out wake, restoring the "no waiters remain" GC condition
+// before RemoveSubtree.
+func (t *Tree) ClearWaiters(id ID) {
+	for _, w := range t.waiters[id] {
+		t.waitingOn[w] = dropID(t.waitingOn[w], id)
+		if len(t.waitingOn[w]) == 0 {
+			delete(t.waitingOn, w)
+		}
+	}
+	delete(t.waiters, id)
+}
+
+// unlink severs all waiter edges touching id and its in-flight index
+// entry; called by Remove so dead waiters cannot pin their twins and a
+// dead twin's key becomes available again.
+func (t *Tree) unlink(id ID) {
+	if wo := t.waitingOn[id]; len(wo) > 0 {
+		for _, tw := range wo {
+			t.waiters[tw] = dropID(t.waiters[tw], id)
+			if len(t.waiters[tw]) == 0 {
+				delete(t.waiters, tw)
+			}
+		}
+		delete(t.waitingOn, id)
+	}
+	if ws := t.waiters[id]; len(ws) > 0 {
+		for _, w := range ws {
+			t.waitingOn[w] = dropID(t.waitingOn[w], id)
+			if len(t.waitingOn[w]) == 0 {
+				delete(t.waitingOn, w)
+			}
+		}
+		delete(t.waiters, id)
+	}
+	if t.inflightKey != nil {
+		if k, ok := t.inflightKey[id]; ok {
+			delete(t.inflightKey, id)
+			if t.inflight[k] == id {
+				delete(t.inflight, k)
+			}
+		}
+	}
+}
+
+// hasWaiterOutside reports whether id has a waiter not in the dying set.
+func (t *Tree) hasWaiterOutside(id ID, dying map[ID]bool) bool {
+	for _, w := range t.waiters[id] {
+		if !dying[w] {
+			return true
+		}
+	}
+	return false
+}
+
+func dropID(ids []ID, id ID) []ID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// WouldCycle reports whether registering spawner as a waiter on twin
+// would close a waits-for cycle: true when twin's completion already
+// (transitively) depends on spawner through child edges or existing
+// waiter registrations. Coalescing must skip such spawns — a recursive
+// program's infinite regress (bounded by budgets) would otherwise become
+// a genuine deadlock and change the verdict. trees is the forest the
+// edges are scattered across: a single element for the single-machine
+// engines, one tree per node for the distributed engine (a child edge is
+// recorded in the child's owning tree, so the walk consults all of them).
+// Conservative in the right direction — a spurious cycle only costs one
+// missed coalescing opportunity.
+func WouldCycle(trees []*Tree, twin, spawner ID) bool {
+	if twin == spawner {
+		return true
+	}
+	visited := map[ID]bool{twin: true}
+	stack := []ID{twin}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range trees {
+			for _, next := range t.children[cur] {
+				if next == spawner {
+					return true
+				}
+				if !visited[next] {
+					visited[next] = true
+					stack = append(stack, next)
+				}
+			}
+			for _, next := range t.waitingOn[cur] {
+				if next == spawner {
+					return true
+				}
+				if !visited[next] {
+					visited[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+	}
+	return false
+}

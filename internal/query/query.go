@@ -117,11 +117,28 @@ type Tree struct {
 	queries  map[ID]*Query
 	children map[ID][]ID
 	ready    map[ID]*Query // queries Ready at last accounting (lazy superset)
+	// waiters maps a query to the additional parents coalesced onto it:
+	// queries whose own duplicate child was never allocated and that must
+	// be woken when this query's summary lands. waitingOn is the reverse
+	// relation, kept in the same tree as the forward edge so Remove can
+	// sever both sides. See coalesce.go.
+	waiters   map[ID][]ID
+	waitingOn map[ID][]ID
+	// inflight indexes live queries by canonical question key; nil until
+	// TrackInflight so the non-coalescing path pays no key computation.
+	inflight    map[string]ID
+	inflightKey map[ID]string
 }
 
 // NewTree returns an empty tree.
 func NewTree() *Tree {
-	return &Tree{queries: map[ID]*Query{}, children: map[ID][]ID{}, ready: map[ID]*Query{}}
+	return &Tree{
+		queries:   map[ID]*Query{},
+		children:  map[ID][]ID{},
+		ready:     map[ID]*Query{},
+		waiters:   map[ID][]ID{},
+		waitingOn: map[ID][]ID{},
+	}
 }
 
 // Add inserts a query.
@@ -129,6 +146,13 @@ func (t *Tree) Add(q *Query) {
 	t.queries[q.ID] = q
 	if q.Parent != NoParent {
 		t.children[q.Parent] = append(t.children[q.Parent], q.ID)
+	}
+	if t.inflight != nil {
+		k := q.Q.Key()
+		if _, taken := t.inflight[k]; !taken {
+			t.inflight[k] = q.ID
+			t.inflightKey[q.ID] = k
+		}
 	}
 	t.index(q)
 }
@@ -196,23 +220,30 @@ func (t *Tree) Descendants(id ID) []ID {
 }
 
 // Remove deletes a query (its children entries are cleaned lazily by
-// Descendants' liveness check).
+// Descendants' liveness check). Waiter edges and the in-flight index
+// entry of the removed query are severed eagerly.
 func (t *Tree) Remove(id ID) {
+	t.unlink(id)
 	delete(t.queries, id)
 	delete(t.children, id)
 	delete(t.ready, id)
 }
 
-// MoveTo transfers a live query — with its child-edge bookkeeping — from
-// t to dst, preserving ID, parent and state. The distributed engine's
-// failover uses it to re-route a dead node's queries to their new owning
-// shard. Reports whether the query was present in t.
+// MoveTo transfers a live query — with its child-edge, waiter-edge and
+// in-flight-index bookkeeping — from t to dst, preserving ID, parent and
+// state. The distributed engine's failover uses it to re-route a dead
+// node's queries to their new owning shard; carrying the waiter edges is
+// what re-registers waiters orphaned by the failure. Reports whether the
+// query was present in t.
 func (t *Tree) MoveTo(dst *Tree, id ID) bool {
 	q, ok := t.queries[id]
 	if !ok {
 		return false
 	}
 	kids := t.children[id]
+	ws := append([]ID(nil), t.waiters[id]...)
+	wo := append([]ID(nil), t.waitingOn[id]...)
+	_, hadInflight := t.inflightKey[id]
 	t.Remove(id)
 	dst.queries[q.ID] = q
 	// When a parent and its child move to the same destination, the edge
@@ -224,6 +255,19 @@ func (t *Tree) MoveTo(dst *Tree, id ID) bool {
 	for _, k := range kids {
 		if !containsID(dst.children[id], k) {
 			dst.children[id] = append(dst.children[id], k)
+		}
+	}
+	for _, w := range ws {
+		dst.AddWaiter(id, w)
+	}
+	for _, tw := range wo {
+		dst.AddWaiter(tw, id)
+	}
+	if hadInflight && dst.inflight != nil {
+		k := q.Q.Key()
+		if _, taken := dst.inflight[k]; !taken {
+			dst.inflight[k] = id
+			dst.inflightKey[id] = k
 		}
 	}
 	dst.index(q)
@@ -240,13 +284,46 @@ func containsID(ids []ID, id ID) bool {
 }
 
 // RemoveSubtree removes q and all its live descendants, returning how many
-// queries were removed.
+// queries were removed. A descendant with a waiter outside the dying set
+// is retained together with its whole subtree: the external waiter still
+// needs the summary that branch will produce, so collecting it would
+// strand the waiter Blocked forever (the coalescing GC condition).
 func (t *Tree) RemoveSubtree(id ID) int {
 	ids := t.Descendants(id)
-	for _, d := range ids {
-		t.Remove(d)
+	if len(t.waiters) == 0 {
+		for _, d := range ids {
+			t.Remove(d)
+		}
+		return len(ids)
 	}
-	return len(ids)
+	dying := make(map[ID]bool, len(ids))
+	for _, d := range ids {
+		dying[d] = true
+	}
+	// Fixpoint: a retained node's own coalesce targets must survive too
+	// (it stays Blocked on them), so retention propagates until stable.
+	for changed := true; changed; {
+		changed = false
+		for d := range dying {
+			if !t.hasWaiterOutside(d, dying) {
+				continue
+			}
+			for _, k := range t.Descendants(d) {
+				if dying[k] {
+					delete(dying, k)
+					changed = true
+				}
+			}
+		}
+	}
+	removed := 0
+	for _, d := range ids {
+		if dying[d] {
+			t.Remove(d)
+			removed++
+		}
+	}
+	return removed
 }
 
 // InState returns the live queries in the given state, sorted by ID for

@@ -1,0 +1,141 @@
+// Sharded entailment cache: a striped-lock memo for Implies/Valid
+// verdicts, shared between concurrent PUNCH instances the same way SUMDB
+// is. Entailment over immutable formulas is a pure function of the two
+// keys, so a cached verdict never needs invalidation; SUMDB's
+// version-invalidated answer memo composes with it unchanged.
+package smt
+
+import (
+	"sync"
+
+	"repro/internal/logic"
+)
+
+const (
+	// entailShards stripes the memo so concurrent workers rarely contend
+	// on the same lock.
+	entailShards = 64
+	// maxEntailPerShard bounds each stripe; a full stripe is dropped
+	// wholesale rather than evicted entry-by-entry.
+	maxEntailPerShard = 1 << 10
+	// maxSynConjuncts bounds the quadratic conjunct-subsumption scan.
+	maxSynConjuncts = 16
+)
+
+type entailShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+type entailCache struct {
+	shards [entailShards]entailShard
+}
+
+func newEntailCache() *entailCache {
+	c := &entailCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]bool)
+	}
+	return c
+}
+
+// shardOf picks a stripe by FNV-1a over the key.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % entailShards
+}
+
+func (c *entailCache) get(key string) (bool, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (c *entailCache) put(key string, v bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if len(sh.m) >= maxEntailPerShard {
+		sh.m = make(map[string]bool)
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// len reports the total number of cached verdicts (test support).
+func (c *entailCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// syntacticImplies is the cheap literal-subsumption pre-check run before
+// DPLL: it proves a ⇒ b when every conjunct of b is entailed by some
+// conjunct of a, where "entailed" is structural equality or, for ≤-atoms,
+// a constant-offset comparison (L ≤ 0 entails L + c ≤ 0 for c ≤ 0).
+// A true answer is always sound; false means "fall through to the solver".
+func syntacticImplies(a, b logic.Formula) bool {
+	if bb, ok := b.(logic.Bool); ok {
+		return bool(bb)
+	}
+	if ab, ok := a.(logic.Bool); ok && !bool(ab) {
+		return true
+	}
+	ac, bc := conjunctsOf(a), conjunctsOf(b)
+	if len(ac) > maxSynConjuncts || len(bc) > maxSynConjuncts {
+		return false
+	}
+	keys := make(map[string]bool, len(ac))
+	for _, g := range ac {
+		keys[logic.Key(g)] = true
+	}
+	for _, g := range bc {
+		if !conjunctEntailed(ac, keys, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// conjunctsOf returns the top-level conjuncts of f (f itself when it is
+// not a conjunction). Conj flattens at construction, so one level is
+// enough.
+func conjunctsOf(f logic.Formula) []logic.Formula {
+	if and, ok := f.(logic.And); ok {
+		return and.Fs
+	}
+	return []logic.Formula{f}
+}
+
+// conjunctEntailed reports whether some conjunct of a entails g
+// syntactically.
+func conjunctEntailed(ac []logic.Formula, keys map[string]bool, g logic.Formula) bool {
+	if keys[logic.Key(g)] {
+		return true
+	}
+	ga, ok := g.(logic.Atom)
+	if !ok || ga.Eq {
+		return false
+	}
+	for _, h := range ac {
+		ha, ok := h.(logic.Atom)
+		if !ok || ha.Eq {
+			continue
+		}
+		// h: L ≤ 0 entails g: L + c ≤ 0 whenever c ≤ 0.
+		if d := ga.L.Sub(ha.L); d.IsConst() && d.K <= 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -44,6 +44,10 @@ type Stats struct {
 	TheoryChecks int64
 	Conflicts    int64
 	Ticks        int64 // abstract work units, the currency of virtual time
+	// Entailment-cache counters; all zero when the cache is disabled.
+	EntailCacheHits   int64
+	EntailCacheMisses int64
+	EntailSynHits     int64 // misses settled by the syntactic pre-check, no DPLL
 }
 
 // Solver decides QF_LIA formulas. The zero value is not usable; call New.
@@ -56,15 +60,32 @@ type Solver struct {
 	// cache memoizes Sat results by formula structure.
 	cache    sync.Map
 	cacheLen int64
+	// entail memoizes Implies/Valid verdicts by formula-key pair; nil
+	// until EnableEntailmentCache so the disabled path is untouched.
+	entail *entailCache
 }
 
 // maxCacheEntries bounds the Sat memoization table.
 const maxCacheEntries = 1 << 15
 
-// New returns a solver with default resource limits.
+// New returns a solver with default resource limits. The entailment
+// cache starts disabled; callers opt in with EnableEntailmentCache.
 func New() *Solver {
 	return &Solver{maxDNF: 256, maxConflicts: 1500}
 }
+
+// EnableEntailmentCache switches on the sharded Implies/Valid memo and
+// the syntactic subsumption pre-check. Must be called before the solver
+// is shared between goroutines. Returns the receiver for chaining.
+func (s *Solver) EnableEntailmentCache() *Solver {
+	if s.entail == nil {
+		s.entail = newEntailCache()
+	}
+	return s
+}
+
+// EntailmentCacheEnabled reports whether EnableEntailmentCache was called.
+func (s *Solver) EntailmentCacheEnabled() bool { return s.entail != nil }
 
 // Ticks returns the cumulative abstract work units spent so far.
 func (s *Solver) Ticks() int64 { return atomic.LoadInt64(&s.stats.Ticks) }
@@ -72,10 +93,13 @@ func (s *Solver) Ticks() int64 { return atomic.LoadInt64(&s.stats.Ticks) }
 // StatsSnapshot returns a copy of the operation counters.
 func (s *Solver) StatsSnapshot() Stats {
 	return Stats{
-		SatCalls:     atomic.LoadInt64(&s.stats.SatCalls),
-		TheoryChecks: atomic.LoadInt64(&s.stats.TheoryChecks),
-		Conflicts:    atomic.LoadInt64(&s.stats.Conflicts),
-		Ticks:        atomic.LoadInt64(&s.stats.Ticks),
+		SatCalls:          atomic.LoadInt64(&s.stats.SatCalls),
+		TheoryChecks:      atomic.LoadInt64(&s.stats.TheoryChecks),
+		Conflicts:         atomic.LoadInt64(&s.stats.Conflicts),
+		Ticks:             atomic.LoadInt64(&s.stats.Ticks),
+		EntailCacheHits:   atomic.LoadInt64(&s.stats.EntailCacheHits),
+		EntailCacheMisses: atomic.LoadInt64(&s.stats.EntailCacheMisses),
+		EntailSynHits:     atomic.LoadInt64(&s.stats.EntailSynHits),
 	}
 }
 
@@ -222,23 +246,65 @@ func (s *Solver) findIntModel(c logic.Cube, vars map[lang.Var]bool, depth int) m
 }
 
 // Valid reports whether f is valid (holds in all integer states). Only a
-// proven-valid formula yields true.
+// proven-valid formula yields true. Verdicts are memoized when the
+// entailment cache is enabled.
 func (s *Solver) Valid(f logic.Formula) bool {
+	if s.entail == nil {
+		return s.validUncached(f)
+	}
+	key := "V\x1f" + logic.Key(f)
+	if v, ok := s.entail.get(key); ok {
+		atomic.AddInt64(&s.stats.EntailCacheHits, 1)
+		return v
+	}
+	atomic.AddInt64(&s.stats.EntailCacheMisses, 1)
+	v := s.validUncached(f)
+	s.entail.put(key, v)
+	return v
+}
+
+func (s *Solver) validUncached(f logic.Formula) bool {
 	r := s.Sat(logic.Not(f))
 	return r.Known && !r.Sat
 }
 
 // Implies reports whether a ⇒ b is proven valid. Structurally identical
-// formulas short-circuit without a solver call.
+// formulas short-circuit without a solver call; with the entailment
+// cache enabled, verdicts are memoized by the (Key(a), Key(b)) pair and
+// a cheap syntactic subsumption pre-check runs before DPLL.
 func (s *Solver) Implies(a, b logic.Formula) bool {
+	ka, kb := logic.Key(a), logic.Key(b)
+	if ka == kb {
+		return true
+	}
+	if s.entail == nil {
+		return s.validUncached(logic.Disj(logic.Not(a), b))
+	}
+	key := ka + "\x1f" + kb
+	if v, ok := s.entail.get(key); ok {
+		atomic.AddInt64(&s.stats.EntailCacheHits, 1)
+		return v
+	}
+	atomic.AddInt64(&s.stats.EntailCacheMisses, 1)
+	var v bool
+	if syntacticImplies(a, b) {
+		atomic.AddInt64(&s.stats.EntailSynHits, 1)
+		s.tick(1)
+		v = true
+	} else {
+		v = s.validUncached(logic.Disj(logic.Not(a), b))
+	}
+	s.entail.put(key, v)
+	return v
+}
+
+// Equivalent reports whether a ⇔ b is proven valid. Structurally
+// identical formulas short-circuit; otherwise both directions go through
+// the (cached) Implies path.
+func (s *Solver) Equivalent(a, b logic.Formula) bool {
 	if logic.Key(a) == logic.Key(b) {
 		return true
 	}
-	return s.Valid(logic.Disj(logic.Not(a), b))
-}
-
-// Equivalent reports whether a ⇔ b is proven valid.
-func (s *Solver) Equivalent(a, b logic.Formula) bool {
 	return s.Implies(a, b) && s.Implies(b, a)
 }
 

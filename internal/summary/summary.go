@@ -66,6 +66,22 @@ func (q Question) String() string {
 	return fmt.Sprintf("(%s =?>_%s %s)", q.Pre, q.Proc, q.Post)
 }
 
+// Key is the canonical identity of a question: two questions with equal
+// keys ask the same thing and are answered by the same summaries. It is
+// the index key for the engines' in-flight query coalescing.
+func (q Question) Key() string {
+	return q.Proc + "|" + formulaKey(q.Pre) + "|" + formulaKey(q.Post)
+}
+
+// formulaKey is logic.Key made safe for the nil formulas scripted test
+// punches leave in their questions.
+func formulaKey(f logic.Formula) string {
+	if f == nil {
+		return ""
+	}
+	return logic.Key(f)
+}
+
 // Stats counts database traffic.
 type Stats struct {
 	Added     int64
