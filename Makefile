@@ -22,9 +22,11 @@ test:
 
 # race re-runs the concurrency-heavy packages under the race detector:
 # the streaming engine, the sharded summary database, the solver's
-# entailment cache, and the query tree's coalescing machinery.
+# entailment cache and fuzz seed corpus (shared interning table under
+# concurrent PUNCH), the hash-consing table itself, and the query tree's
+# coalescing machinery.
 race:
-	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/query
+	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query
 
 # trace-smoke round-trips a corpus program through all three engines with
 # the Chrome tracer attached and validates the serialized document.

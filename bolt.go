@@ -249,6 +249,24 @@ type Result struct {
 	TraceSpans  int
 	TraceEvents int64
 	TraceErr    error
+	// Solver is the run's QF_LIA solver accounting — always populated,
+	// independent of Options.CollectMetrics.
+	Solver SolverStats
+}
+
+// SolverStats surfaces the solver's hot-path counters: overall call
+// volume, the learning-DPLL loop (propositional conflicts, learned
+// clauses, watched-literal propagations), full theory checks, the
+// entailment memo, and hash-consing hits on formula construction.
+type SolverStats struct {
+	SatCalls          int64
+	TheoryChecks      int64
+	DPLLConflicts     int64
+	LearnedClauses    int64
+	Propagations      int64
+	EntailCacheHits   int64
+	EntailCacheMisses int64
+	HashConsHits      int64
 }
 
 // WorkerMetric is one worker's accounting for a run with
@@ -359,6 +377,16 @@ func toResult(r core.Result) Result {
 		TimedOut:     r.TimedOut,
 		Deadlocked:   r.Deadlocked,
 		CoalesceHits: r.CoalesceHits,
+		Solver: SolverStats{
+			SatCalls:          r.Solver.SatCalls,
+			TheoryChecks:      r.Solver.TheoryChecks,
+			DPLLConflicts:     r.Solver.DPLLConflicts,
+			LearnedClauses:    r.Solver.LearnedClauses,
+			Propagations:      r.Solver.Propagations,
+			EntailCacheHits:   r.Solver.EntailCacheHits,
+			EntailCacheMisses: r.Solver.EntailCacheMisses,
+			HashConsHits:      r.Solver.HashConsHits,
+		},
 	}
 	switch r.Verdict {
 	case core.Safe:

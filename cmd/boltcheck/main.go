@@ -157,12 +157,25 @@ func main() {
 		fmt.Printf("virtual time: %d ticks\n", res.VirtualTicks)
 		fmt.Printf("wall time:    %v\n", res.WallTime)
 		fmt.Printf("coalesced:    %d\n", res.CoalesceHits)
+		printSolverStats(res.Solver)
 	}
 	if *metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
 	reportTrace(*trace, *traceJL, res.TraceSpans, res.TraceEvents, res.TraceErr)
 	exitVerdict(res.Verdict)
+}
+
+// printSolverStats renders the solver's hot-path accounting: the
+// learning-DPLL loop, theory-check volume, and the two memo layers
+// (entailment cache and hash-consed construction).
+func printSolverStats(s bolt.SolverStats) {
+	fmt.Printf("sat calls:    %d\n", s.SatCalls)
+	fmt.Printf("theory checks: %d\n", s.TheoryChecks)
+	fmt.Printf("dpll conflicts: %d (learned %d, propagations %d)\n",
+		s.DPLLConflicts, s.LearnedClauses, s.Propagations)
+	fmt.Printf("entail cache: %d hits / %d misses\n", s.EntailCacheHits, s.EntailCacheMisses)
+	fmt.Printf("hashcons hits: %d\n", s.HashConsHits)
 }
 
 // printMetrics renders the flattened registry sorted by key, then the

@@ -172,6 +172,11 @@ func (in *instr) finish(makespan int64, st summary.Stats, sv smt.Stats) *obs.Sna
 	c["entailment_cache_hits"] = sv.EntailCacheHits
 	c["entailment_cache_misses"] = sv.EntailCacheMisses
 	c["entailment_cache_syn_hits"] = sv.EntailSynHits
+	c["dpll_conflicts"] = sv.DPLLConflicts
+	c["dpll_learned_clauses"] = sv.LearnedClauses
+	c["dpll_propagations"] = sv.Propagations
+	c["theory_checks"] = sv.TheoryChecks
+	c["hashcons_hits"] = sv.HashConsHits
 	return snap
 }
 

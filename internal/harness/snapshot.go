@@ -64,6 +64,14 @@ type StreamingCheckBench struct {
 	CoalesceHits      int64 `json:"coalesce_hits"`
 	EntailCacheHits   int64 `json:"entail_cache_hits"`
 	EntailCacheMisses int64 `json:"entail_cache_misses"`
+	// Solver hot-path accounting: learning-DPLL conflict/learn/propagate
+	// volume, full theory checks, and hash-consing hits — the counters
+	// the solver-optimisation work is benchmarked by.
+	DPLLConflicts  int64 `json:"dpll_conflicts"`
+	LearnedClauses int64 `json:"dpll_learned_clauses"`
+	Propagations   int64 `json:"dpll_propagations"`
+	TheoryChecks   int64 `json:"theory_checks"`
+	HashConsHits   int64 `json:"hashcons_hits"`
 	// Metrics is the streaming run's flattened metrics summary (counters,
 	// sumdb traffic, punch-histogram aggregates, makespan).
 	Metrics map[string]int64 `json:"metrics"`
@@ -109,6 +117,11 @@ func CollectStreaming(opts Options, threads int, checks []drivers.Check) Streami
 		if m := entry.Metrics; m != nil {
 			entry.EntailCacheHits = m["entailment_cache_hits"]
 			entry.EntailCacheMisses = m["entailment_cache_misses"]
+			entry.DPLLConflicts = m["dpll_conflicts"]
+			entry.LearnedClauses = m["dpll_learned_clauses"]
+			entry.Propagations = m["dpll_propagations"]
+			entry.TheoryChecks = m["theory_checks"]
+			entry.HashConsHits = m["hashcons_hits"]
 		}
 		if par.Ticks > 0 {
 			entry.Speedup = float64(seq.Ticks) / float64(par.Ticks)

@@ -21,16 +21,26 @@ type Formula interface {
 type Bool bool
 
 // Atom is the inequality L ≤ 0, or the equality L = 0 when Eq is set.
+// The unexported id is the hash-consed identity assigned by the package
+// constructors (0 for literal-built atoms, which are interned lazily by
+// KeyID).
 type Atom struct {
 	L  Lin
 	Eq bool
+	id ID
 }
 
 // And is the conjunction of Fs (true when empty).
-type And struct{ Fs []Formula }
+type And struct {
+	Fs []Formula
+	id ID
+}
 
 // Or is the disjunction of Fs (false when empty).
-type Or struct{ Fs []Formula }
+type Or struct {
+	Fs []Formula
+	id ID
+}
 
 func (Bool) isFormula() {}
 func (Atom) isFormula() {}
@@ -77,7 +87,7 @@ func LE(l Lin) Formula {
 	if l.IsConst() {
 		return Bool(l.K <= 0)
 	}
-	return Atom{L: l}
+	return Atom{L: l, id: internAtom(l, false)}
 }
 
 // EQ returns the atom l = 0 with constant folding.
@@ -85,7 +95,7 @@ func EQ(l Lin) Formula {
 	if l.IsConst() {
 		return Bool(l.K == 0)
 	}
-	return Atom{L: l, Eq: true}
+	return Atom{L: l, Eq: true, id: internAtom(l, true)}
 }
 
 // LEq returns the formula x ≤ y.
@@ -97,20 +107,56 @@ func Lt(x, y Lin) Formula { return LE(x.Sub(y).AddConst(1)) }
 // Eq returns the formula x = y.
 func Eq(x, y Lin) Formula { return EQ(x.Sub(y)) }
 
+// nodeBuilder accumulates the flattened, deduplicated children of a
+// Conj/Disj. Dedup is by interned id; the string map only exists when
+// some child overflowed the intern table.
+type nodeBuilder struct {
+	out     []Formula
+	ids     []ID
+	seen    map[ID]bool
+	seenStr map[string]bool
+	allIn   bool // every child has a non-zero id
+}
+
+func newNodeBuilder(n int) nodeBuilder {
+	return nodeBuilder{
+		out:   make([]Formula, 0, n),
+		ids:   make([]ID, 0, n),
+		seen:  make(map[ID]bool, n),
+		allIn: true,
+	}
+}
+
+func (b *nodeBuilder) add(g Formula) {
+	if id := KeyID(g); id != 0 {
+		if !b.seen[id] {
+			b.seen[id] = true
+			b.out = append(b.out, g)
+			b.ids = append(b.ids, id)
+		}
+		return
+	}
+	b.allIn = false
+	if b.seenStr == nil {
+		b.seenStr = map[string]bool{}
+	}
+	k := g.String()
+	if !b.seenStr[k] {
+		b.seenStr[k] = true
+		b.out = append(b.out, g)
+		b.ids = append(b.ids, 0)
+	}
+}
+
 // Conj returns the conjunction of fs, flattened, deduplicated and
 // constant-folded.
 func Conj(fs ...Formula) Formula {
-	out := make([]Formula, 0, len(fs))
-	seen := map[string]bool{}
+	b := newNodeBuilder(len(fs))
 	add := func(g Formula) bool {
-		if b, ok := g.(Bool); ok {
-			return bool(b) // false aborts
+		if c, ok := g.(Bool); ok {
+			return bool(c) // false aborts
 		}
-		k := g.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, g)
-		}
+		b.add(g)
 		return true
 	}
 	for _, f := range fs {
@@ -126,29 +172,28 @@ func Conj(fs ...Formula) Formula {
 			return False
 		}
 	}
-	if len(out) == 0 {
+	if len(b.out) == 0 {
 		return True
 	}
-	if len(out) == 1 {
-		return out[0]
+	if len(b.out) == 1 {
+		return b.out[0]
 	}
-	return And{Fs: out}
+	node := And{Fs: b.out}
+	if b.allIn {
+		node.id = internNode(tagAnd, b.ids)
+	}
+	return node
 }
 
 // Disj returns the disjunction of fs, flattened, deduplicated and
 // constant-folded.
 func Disj(fs ...Formula) Formula {
-	out := make([]Formula, 0, len(fs))
-	seen := map[string]bool{}
+	b := newNodeBuilder(len(fs))
 	add := func(g Formula) bool {
-		if b, ok := g.(Bool); ok {
-			return !bool(b) // true aborts
+		if c, ok := g.(Bool); ok {
+			return !bool(c) // true aborts
 		}
-		k := g.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, g)
-		}
+		b.add(g)
 		return true
 	}
 	for _, f := range fs {
@@ -164,13 +209,17 @@ func Disj(fs ...Formula) Formula {
 			return True
 		}
 	}
-	if len(out) == 0 {
+	if len(b.out) == 0 {
 		return False
 	}
-	if len(out) == 1 {
-		return out[0]
+	if len(b.out) == 1 {
+		return b.out[0]
 	}
-	return Or{Fs: out}
+	node := Or{Fs: b.out}
+	if b.allIn {
+		node.id = internNode(tagOr, b.ids)
+	}
+	return node
 }
 
 // Not returns the negation of f, pushed down to the atoms. Over the
@@ -306,6 +355,7 @@ func Rename(f Formula, ren map[lang.Var]lang.Var) Formula {
 	case Atom:
 		out := f
 		out.L = f.L.Rename(ren)
+		out.id = internAtom(out.L, out.Eq)
 		return out
 	case And:
 		out := make([]Formula, len(f.Fs))
@@ -438,8 +488,3 @@ func Size(f Formula) int {
 		panic(fmt.Sprintf("logic: unknown Formula %T", f))
 	}
 }
-
-// Key returns a canonical string for f, usable as a map key for
-// deduplication. Logically equal formulas may have different keys; the key
-// is only required to be injective on structure.
-func Key(f Formula) string { return f.String() }

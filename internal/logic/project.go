@@ -115,7 +115,8 @@ func cubesOf(f Formula, max int) ([]Cube, bool) {
 // constant folding alone.
 func simplifyCube(c Cube) (Cube, bool) {
 	out := make(Cube, 0, len(c))
-	seen := map[string]bool{}
+	seen := map[ID]bool{}
+	var seenStr map[string]bool // fallback for intern-table overflow
 	for _, a := range c {
 		l := a.L.normalizeLE()
 		if l.IsConst() {
@@ -124,11 +125,21 @@ func simplifyCube(c Cube) (Cube, bool) {
 			}
 			continue
 		}
-		k := l.String()
-		if seen[k] {
-			continue
+		if id := LinID(l); id != 0 {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+		} else {
+			if seenStr == nil {
+				seenStr = map[string]bool{}
+			}
+			k := l.String()
+			if seenStr[k] {
+				continue
+			}
+			seenStr[k] = true
 		}
-		seen[k] = true
 		out = append(out, Atom{L: l})
 	}
 	return out, true

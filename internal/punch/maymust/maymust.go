@@ -1017,7 +1017,10 @@ func (st *stepper) projectGlobals(f logic.Formula) logic.Formula {
 // it omits pass through freely). This is the condition under which
 // satisfiability-based application at call sites is sound.
 func (st *stepper) isPointPre(s summary.Summary) bool {
-	key := s.String()
+	// The verdict depends only on the precondition, so the memo keys on
+	// its interned identity — summaries sharing a Pre share the check,
+	// and the key is an id render, not a full structural print.
+	key := logic.Key(s.Pre)
 	if v, ok := st.o.pointPre[key]; ok {
 		return v > 0
 	}

@@ -14,6 +14,7 @@ package must
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/cfg"
 	"repro/internal/lang"
@@ -345,7 +346,7 @@ func (st *stepper) crossCall(s *symState, ei int, e cfg.Edge, callee string) {
 		prefs = append(prefs, logic.Eq(logic.LinVar(g), logic.LinConst(s.store[g].Eval(r.Model))))
 	}
 	question := summary.Question{Proc: callee, Pre: logic.Conj(prefs...), Post: logic.True}
-	key := question.String() + fmt.Sprintf("|edge%d", ei)
+	key := question.Key() + "|edge" + strconv.Itoa(ei)
 	if _, dup := st.o.pending[key]; !dup {
 		child := st.ctx.Alloc.New(st.q.ID, question)
 		st.children = append(st.children, child)

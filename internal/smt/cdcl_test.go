@@ -1,0 +1,138 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// dpllHardUnsat builds an unsatisfiable formula whose DNF blows past
+// maxDNF (2^n cubes), forcing the DPLL path: n sign-split disjunctions,
+// all lower bounds forced to ≥ 1, and a sum cap that is one short.
+func dpllHardUnsat(n int) logic.Formula {
+	var fs []logic.Formula
+	sum := logic.LinConst(0)
+	for i := 0; i < n; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		fs = append(fs, logic.Disj(
+			logic.LE(logic.LinVar(name).Add(logic.LinConst(1))), // v ≤ -1
+			logic.LE(logic.LinConst(1).Sub(logic.LinVar(name))), // v ≥ 1
+		))
+		fs = append(fs, logic.LE(logic.LinConst(1).Sub(logic.LinVar(name)))) // v ≥ 1
+		sum = sum.Add(logic.LinVar(name))
+	}
+	fs = append(fs, logic.LE(sum.Sub(logic.LinConst(int64(n-1))))) // Σv ≤ n-1
+	return logic.Conj(fs...)
+}
+
+// The learning solver must reach the same proven-UNSAT verdict as the
+// naive restart loop while spending strictly fewer full theory checks:
+// the backtrackable theory trail prunes partial assignments and learned
+// clauses keep refuted sub-spaces refuted, where the naive loop pays a
+// fresh satCube per restart.
+func TestDPLLLearningFewerTheoryChecks(t *testing.T) {
+	f := dpllHardUnsat(10)
+
+	cdcl := New()
+	rc := cdcl.satDPLL(f)
+	if rc.Sat || !rc.Known {
+		t.Fatalf("cdcl: expected proven unsat, got %+v", rc)
+	}
+	cs := cdcl.StatsSnapshot()
+
+	naive := New()
+	rn := naive.satDPLLNaive(f)
+	if rn.Sat || !rn.Known {
+		t.Fatalf("naive: expected proven unsat, got %+v", rn)
+	}
+	ns := naive.StatsSnapshot()
+
+	if cs.TheoryChecks >= ns.TheoryChecks {
+		t.Fatalf("cdcl theory checks = %d, naive = %d; learning should prune",
+			cs.TheoryChecks, ns.TheoryChecks)
+	}
+	if cs.Propagations == 0 {
+		t.Fatal("cdcl path reported zero propagations")
+	}
+	if cs.LearnedClauses == 0 {
+		t.Fatal("cdcl path reported zero learned clauses")
+	}
+	if ns.DPLLConflicts != 0 || ns.LearnedClauses != 0 || ns.Propagations != 0 {
+		t.Fatalf("naive path moved CDCL counters: %+v", ns)
+	}
+}
+
+// The CDCL solver on the satisfiable forcing workload must agree with
+// the naive loop and produce a verified model.
+func TestDPLLLearningSatAgreement(t *testing.T) {
+	var fs []logic.Formula
+	for i := 0; i < 10; i++ {
+		name := lang.Var(string(rune('a' + i)))
+		fs = append(fs, logic.Disj(
+			logic.LE(logic.LinVar(name).Add(logic.LinConst(1))),
+			logic.LE(logic.LinConst(1).Sub(logic.LinVar(name))),
+		))
+		fs = append(fs, logic.LE(logic.LinVar(name).Scale(-1))) // v ≥ 0 forces the ≥1 arm
+	}
+	f := logic.Conj(fs...)
+	s := New()
+	r := s.satDPLL(f)
+	if !r.Sat || !r.Known || r.Model == nil {
+		t.Fatalf("expected known sat with model, got %+v", r)
+	}
+	if !logic.Eval(f, r.Model) {
+		t.Fatalf("model %v does not satisfy the formula", r.Model)
+	}
+}
+
+// The warm entailment-cache path must be allocation-free: interned ids
+// in, struct key lookup, verdict out — no string building anywhere.
+func TestImpliesCachedPathAllocFree(t *testing.T) {
+	s := New()
+	s.EnableEntailmentCache()
+	x := logic.LinVar(lang.Var("x"))
+	a := logic.Conj(logic.LEq(x, logic.LinConst(3)), logic.LEq(logic.LinConst(0), x))
+	b := logic.LEq(x, logic.LinConst(5))
+	if !s.Implies(a, b) {
+		t.Fatal("0 ≤ x ≤ 3 should imply x ≤ 5")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Implies(a, b)
+	})
+	if allocs > 0 {
+		t.Fatalf("cached Implies allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkDPLLLearning pits the learning solver against the retained
+// naive restart loop on the forced-DPLL unsat workload. A fresh solver
+// per iteration charges each path its full cost (no memo carryover).
+func BenchmarkDPLLLearning(b *testing.B) {
+	f := dpllHardUnsat(10)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New()
+			if r := s.satDPLLNaive(f); r.Sat || !r.Known {
+				b.Fatalf("verdict flipped: %+v", r)
+			}
+		}
+		s := New()
+		s.satDPLLNaive(f)
+		b.ReportMetric(float64(s.StatsSnapshot().TheoryChecks), "theorychecks")
+	})
+	b.Run("cdcl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New()
+			if r := s.satDPLL(f); r.Sat || !r.Known {
+				b.Fatalf("verdict flipped: %+v", r)
+			}
+		}
+		s := New()
+		s.satDPLL(f)
+		st := s.StatsSnapshot()
+		b.ReportMetric(float64(st.TheoryChecks), "theorychecks")
+		b.ReportMetric(float64(st.DPLLConflicts), "conflicts")
+		b.ReportMetric(float64(st.LearnedClauses), "learned")
+	})
+}

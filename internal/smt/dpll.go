@@ -7,10 +7,12 @@ import (
 	"repro/internal/logic"
 )
 
-// satDPLL decides satisfiability of a formula whose DNF is too large to
-// enumerate: DPLL over a boolean abstraction of the ≤-atoms with lazy
-// theory conflicts (the classic lazy SMT loop).
-func (s *Solver) satDPLL(f logic.Formula) Result {
+// satDPLLNaive is the pre-learning lazy SMT loop: restart recursive
+// DPLL from scratch after every theory conflict, accumulating blocking
+// clauses. Retained verbatim as the differential-testing reference for
+// the CDCL solver (FuzzDPLLAgainstReference) — the production path is
+// satDPLL in cdcl.go.
+func (s *Solver) satDPLLNaive(f logic.Formula) Result {
 	sk := newSkeleton(f)
 	unknown := false
 	for i := 0; i < s.maxConflicts; i++ {
@@ -42,27 +44,46 @@ func (s *Solver) satDPLL(f logic.Formula) Result {
 type skeleton struct {
 	atoms    []logic.Atom
 	atomVars []int // boolean variable index of atoms[i]
-	index    map[string]int
-	clauses  [][]int // literals: +v+1 (positive), -(v+1) (negative)
+	index    map[logic.ID]int
+	indexStr map[string]int // fallback for intern-table overflow
+	clauses  [][]int        // literals: +v+1 (positive), -(v+1) (negative)
 	nvars    int
 }
 
 func newSkeleton(f logic.Formula) *skeleton {
-	sk := &skeleton{index: map[string]int{}}
+	sk := &skeleton{index: map[logic.ID]int{}}
 	root := sk.encode(f)
 	sk.clauses = append(sk.clauses, []int{root})
 	return sk
 }
 
-// atomVar interns the atom and returns its boolean variable index.
+// atomVar interns the atom and returns its boolean variable index. The
+// key is the hash-consed id of the atom's term — an integer map lookup
+// instead of the string render this used to pay per encode.
 func (sk *skeleton) atomVar(a logic.Atom) int {
-	key := a.L.String()
-	if i, ok := sk.index[key]; ok {
+	id := logic.LinID(a.L)
+	if id == 0 {
+		key := a.L.String()
+		if i, ok := sk.indexStr[key]; ok {
+			return i
+		}
+		if sk.indexStr == nil {
+			sk.indexStr = map[string]int{}
+		}
+		sk.indexStr[key] = sk.addAtom(a)
+		return sk.indexStr[key]
+	}
+	if i, ok := sk.index[id]; ok {
 		return i
 	}
+	i := sk.addAtom(a)
+	sk.index[id] = i
+	return i
+}
+
+func (sk *skeleton) addAtom(a logic.Atom) int {
 	i := sk.nvars
 	sk.nvars++
-	sk.index[key] = i
 	sk.atoms = append(sk.atoms, a)
 	sk.atomVars = append(sk.atomVars, i)
 	return i
@@ -233,8 +254,16 @@ func (sk *skeleton) theoryCube(assign []int8) logic.Cube {
 // conflict is a proven theory UNSAT, the clause is first minimized
 // greedily so it prunes more of the search space.
 func (sk *skeleton) block(s *Solver, assign []int8, cube logic.Cube, provenUnsat bool) {
-	// Literals over atom variables only; gate variables are functionally
-	// determined and must not appear in learned clauses.
+	sk.clauses = append(sk.clauses, sk.blockingLits(s, assign, provenUnsat))
+}
+
+// blockingLits computes the clause forbidding the atom part of the
+// current full assignment: literals over atom variables only, since gate
+// variables are functionally determined and must not appear in learned
+// clauses. When the conflict is a proven theory UNSAT the clause is
+// minimized greedily: drop literals whose removal keeps the remaining
+// constraint set unsatisfiable, so the clause prunes more of the space.
+func (sk *skeleton) blockingLits(s *Solver, assign []int8, provenUnsat bool) []int {
 	type litAtom struct {
 		lit  int
 		atom logic.Atom
@@ -250,8 +279,6 @@ func (sk *skeleton) block(s *Solver, assign []int8, cube logic.Cube, provenUnsat
 		}
 	}
 	if provenUnsat && len(lits) > 2 && len(lits) <= 64 {
-		// Greedy core minimization: drop literals whose removal keeps the
-		// remaining constraint set unsatisfiable.
 		kept := lits
 		for i := 0; i < len(kept) && len(kept) > 1; {
 			trial := make(logic.Cube, 0, len(kept)-1)
@@ -273,7 +300,7 @@ func (sk *skeleton) block(s *Solver, assign []int8, cube logic.Cube, provenUnsat
 	for i, la := range lits {
 		cl[i] = la.lit
 	}
-	sk.clauses = append(sk.clauses, cl)
+	return cl
 }
 
 func cubeAtom(a logic.Atom, positive bool) logic.Atom {

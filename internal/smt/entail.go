@@ -22,9 +22,21 @@ const (
 	maxSynConjuncts = 16
 )
 
+// entailKey identifies one memoized verdict by the hash-consed ids of
+// the operands: kind 'I' is Implies(a ⇒ b), kind 'V' is Valid(a). A
+// struct key over integers makes the cached path allocation-free — no
+// string build, no key concatenation.
+type entailKey struct {
+	kind byte
+	a, b logic.ID
+}
+
 type entailShard struct {
 	mu sync.RWMutex
-	m  map[string]bool
+	m  map[entailKey]bool
+	// ms is the fallback for formulas past the intern-table cap, which
+	// have no id and key by their structural print.
+	ms map[string]bool
 }
 
 type entailCache struct {
@@ -34,13 +46,20 @@ type entailCache struct {
 func newEntailCache() *entailCache {
 	c := &entailCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]bool)
+		c.shards[i].m = make(map[entailKey]bool)
 	}
 	return c
 }
 
-// shardOf picks a stripe by FNV-1a over the key.
-func shardOf(key string) uint32 {
+// shardOf picks a stripe by mixing the operand ids.
+func shardOf(key entailKey) uint32 {
+	h := (uint64(key.a)*0x9e3779b97f4a7c15 ^ uint64(key.b)) * 0x9e3779b97f4a7c15
+	h ^= uint64(key.kind)
+	return uint32(h>>33) % entailShards
+}
+
+// shardOfStr picks a stripe by FNV-1a over a fallback string key.
+func shardOfStr(key string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
@@ -49,7 +68,7 @@ func shardOf(key string) uint32 {
 	return h % entailShards
 }
 
-func (c *entailCache) get(key string) (bool, bool) {
+func (c *entailCache) get(key entailKey) (bool, bool) {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
@@ -57,13 +76,31 @@ func (c *entailCache) get(key string) (bool, bool) {
 	return v, ok
 }
 
-func (c *entailCache) put(key string, v bool) {
+func (c *entailCache) put(key entailKey, v bool) {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
 	if len(sh.m) >= maxEntailPerShard {
-		sh.m = make(map[string]bool)
+		sh.m = make(map[entailKey]bool)
 	}
 	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+func (c *entailCache) getStr(key string) (bool, bool) {
+	sh := &c.shards[shardOfStr(key)]
+	sh.mu.RLock()
+	v, ok := sh.ms[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (c *entailCache) putStr(key string, v bool) {
+	sh := &c.shards[shardOfStr(key)]
+	sh.mu.Lock()
+	if sh.ms == nil || len(sh.ms) >= maxEntailPerShard {
+		sh.ms = make(map[string]bool)
+	}
+	sh.ms[key] = v
 	sh.mu.Unlock()
 }
 
@@ -73,7 +110,7 @@ func (c *entailCache) len() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()
-		n += len(sh.m)
+		n += len(sh.m) + len(sh.ms)
 		sh.mu.RUnlock()
 	}
 	return n
@@ -95,9 +132,11 @@ func syntacticImplies(a, b logic.Formula) bool {
 	if len(ac) > maxSynConjuncts || len(bc) > maxSynConjuncts {
 		return false
 	}
-	keys := make(map[string]bool, len(ac))
+	keys := make(map[logic.ID]bool, len(ac))
 	for _, g := range ac {
-		keys[logic.Key(g)] = true
+		if id := logic.KeyID(g); id != 0 {
+			keys[id] = true
+		}
 	}
 	for _, g := range bc {
 		if !conjunctEntailed(ac, keys, g) {
@@ -119,8 +158,8 @@ func conjunctsOf(f logic.Formula) []logic.Formula {
 
 // conjunctEntailed reports whether some conjunct of a entails g
 // syntactically.
-func conjunctEntailed(ac []logic.Formula, keys map[string]bool, g logic.Formula) bool {
-	if keys[logic.Key(g)] {
+func conjunctEntailed(ac []logic.Formula, keys map[logic.ID]bool, g logic.Formula) bool {
+	if id := logic.KeyID(g); id != 0 && keys[id] {
 		return true
 	}
 	ga, ok := g.(logic.Atom)

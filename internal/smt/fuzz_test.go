@@ -1,0 +1,106 @@
+// Differential fuzzing of the CDCL solver against the retained naive
+// restart loop: both must reach identical Sat/Known verdicts on every
+// generated NNF formula, and any Known-sat model must evaluate true.
+// The naive loop is the executable specification — it restarts
+// recursive DPLL from scratch per theory conflict and shares the same
+// theory backend (satCube), so verdict divergence can only come from
+// the learning machinery: watched-literal bookkeeping, 1-UIP analysis,
+// backjumping, or the backtrackable theory trail.
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// fuzzSrc decodes a byte stream into bounded decisions; exhausted input
+// yields zeros, so every prefix decodes to a well-formed formula.
+type fuzzSrc struct {
+	data []byte
+	i    int
+}
+
+func (s *fuzzSrc) next() byte {
+	if s.i >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.i]
+	s.i++
+	return b
+}
+
+// genLin builds a small linear term over x, y, z with coefficients in
+// [-2, 2] and constant in [-4, 4] — the same envelope the brute-force
+// agreement test uses, so theory checks stay cheap.
+func genLin(s *fuzzSrc) logic.Lin {
+	l := logic.LinConst(int64(s.next()%9) - 4)
+	for _, name := range []lang.Var{"x", "y", "z"} {
+		if c := int64(s.next()%5) - 2; c != 0 {
+			l = l.Add(logic.LinVar(name).Scale(c))
+		}
+	}
+	return l
+}
+
+// genFormula decodes an NNF formula of bounded depth and fanout.
+func genFormula(s *fuzzSrc, depth int) logic.Formula {
+	if depth == 0 || s.next()%3 == 0 {
+		l := genLin(s)
+		if s.next()%4 == 0 {
+			return logic.EQ(l)
+		}
+		return logic.LE(l)
+	}
+	n := 2 + int(s.next()%2)
+	fs := make([]logic.Formula, n)
+	for i := range fs {
+		fs[i] = genFormula(s, depth-1)
+	}
+	if s.next()%2 == 0 {
+		return logic.Conj(fs...)
+	}
+	return logic.Disj(fs...)
+}
+
+func FuzzDPLLAgainstReference(f *testing.F) {
+	// Seeds cover the interesting shapes: trivial, conjunction-heavy,
+	// disjunction-heavy, equality-laden, and a long mixed stream.
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 247, 246})
+	f.Add([]byte{1, 4, 0, 3, 2, 4, 4, 1, 0, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{9, 1, 1, 1, 1, 9, 2, 2, 2, 2, 9, 3, 3, 3, 3, 9, 4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // depth is bounded; long inputs only slow the run
+		}
+		src := &fuzzSrc{data: data}
+		g := eliminateEq(genFormula(src, 2))
+		if _, ok := g.(logic.Bool); ok {
+			return
+		}
+		// Generous budgets: on formulas this small neither path should
+		// ever exhaust, so verdicts are exact, not budget artifacts.
+		learn := New()
+		learn.maxConflicts = 10000
+		naive := New()
+		naive.maxConflicts = 10000
+		got := learn.satDPLL(g)
+		want := naive.satDPLLNaive(g)
+		if got.Sat != want.Sat || got.Known != want.Known {
+			t.Fatalf("verdict divergence on %v:\n  cdcl  = {Sat:%v Known:%v}\n  naive = {Sat:%v Known:%v}",
+				g, got.Sat, got.Known, want.Sat, want.Known)
+		}
+		if got.Known && got.Sat {
+			if got.Model == nil {
+				t.Fatalf("cdcl known-sat without model on %v", g)
+			}
+			if !logic.Eval(g, got.Model) {
+				t.Fatalf("cdcl model %v does not satisfy %v", got.Model, g)
+			}
+		}
+	})
+}

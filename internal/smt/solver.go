@@ -42,12 +42,19 @@ type Result struct {
 type Stats struct {
 	SatCalls     int64
 	TheoryChecks int64
-	Conflicts    int64
+	Conflicts    int64 // theory conflicts (blocked lazy-SMT assignments)
 	Ticks        int64 // abstract work units, the currency of virtual time
 	// Entailment-cache counters; all zero when the cache is disabled.
 	EntailCacheHits   int64
 	EntailCacheMisses int64
 	EntailSynHits     int64 // misses settled by the syntactic pre-check, no DPLL
+	// Learning-solver counters (cdcl.go).
+	DPLLConflicts  int64 // propositional conflicts analyzed by the CDCL core
+	LearnedClauses int64 // clauses learned (1-UIP, theory-trail, blocking)
+	Propagations   int64 // literals propagated by the two-watched scheme
+	// HashConsHits is the process-global intern-table hit delta since
+	// this solver was created (snapshot-only; see StatsSnapshot).
+	HashConsHits int64
 }
 
 // Solver decides QF_LIA formulas. The zero value is not usable; call New.
@@ -60,18 +67,31 @@ type Solver struct {
 	// cache memoizes Sat results by formula structure.
 	cache    sync.Map
 	cacheLen int64
+	// cubeMemo memoizes satCube verdicts by the sorted interned ids of
+	// the cube's atoms: Fourier–Motzkin over a cube is a pure function
+	// of the atom set, so elimination work is shared across the
+	// near-identical assignments successive DPLL iterations produce.
+	cubeMemo    sync.Map
+	cubeMemoLen int64
 	// entail memoizes Implies/Valid verdicts by formula-key pair; nil
 	// until EnableEntailmentCache so the disabled path is untouched.
 	entail *entailCache
+	// internHitsBase is the global hash-cons hit counter at New time,
+	// so StatsSnapshot can report the per-solver-lifetime delta.
+	internHitsBase int64
 }
 
-// maxCacheEntries bounds the Sat memoization table.
-const maxCacheEntries = 1 << 15
+// Bounds on the Sat and satCube memoization tables.
+const (
+	maxCacheEntries = 1 << 15
+	maxCubeMemo     = 1 << 14
+)
 
 // New returns a solver with default resource limits. The entailment
 // cache starts disabled; callers opt in with EnableEntailmentCache.
 func New() *Solver {
-	return &Solver{maxDNF: 256, maxConflicts: 1500}
+	hits, _ := logic.InternStats()
+	return &Solver{maxDNF: 256, maxConflicts: 1500, internHitsBase: hits}
 }
 
 // EnableEntailmentCache switches on the sharded Implies/Valid memo and
@@ -90,8 +110,13 @@ func (s *Solver) EntailmentCacheEnabled() bool { return s.entail != nil }
 // Ticks returns the cumulative abstract work units spent so far.
 func (s *Solver) Ticks() int64 { return atomic.LoadInt64(&s.stats.Ticks) }
 
-// StatsSnapshot returns a copy of the operation counters.
+// StatsSnapshot returns a copy of the operation counters. HashConsHits
+// is the process-global intern-table hit delta since New — with one
+// solver per run this attributes the run's hash-consing traffic, with
+// concurrent runs in one process the windows overlap (metrics only;
+// never used for decisions).
 func (s *Solver) StatsSnapshot() Stats {
+	hits, _ := logic.InternStats()
 	return Stats{
 		SatCalls:          atomic.LoadInt64(&s.stats.SatCalls),
 		TheoryChecks:      atomic.LoadInt64(&s.stats.TheoryChecks),
@@ -100,17 +125,27 @@ func (s *Solver) StatsSnapshot() Stats {
 		EntailCacheHits:   atomic.LoadInt64(&s.stats.EntailCacheHits),
 		EntailCacheMisses: atomic.LoadInt64(&s.stats.EntailCacheMisses),
 		EntailSynHits:     atomic.LoadInt64(&s.stats.EntailSynHits),
+		DPLLConflicts:     atomic.LoadInt64(&s.stats.DPLLConflicts),
+		LearnedClauses:    atomic.LoadInt64(&s.stats.LearnedClauses),
+		Propagations:      atomic.LoadInt64(&s.stats.Propagations),
+		HashConsHits:      hits - s.internHitsBase,
 	}
 }
 
 func (s *Solver) tick(n int64) { atomic.AddInt64(&s.stats.Ticks, n) }
 
 // Sat decides satisfiability of f over the integers. Results are
-// memoized by formula structure.
+// memoized by formula structure: the hash-consed id when available,
+// falling back to the structural string past the intern-table cap.
 func (s *Solver) Sat(f logic.Formula) Result {
 	atomic.AddInt64(&s.stats.SatCalls, 1)
 	s.tick(1)
-	key := logic.Key(f)
+	var key any
+	if id := logic.KeyID(f); id != 0 {
+		key = id
+	} else {
+		key = logic.Key(f)
+	}
 	if v, ok := s.cache.Load(key); ok {
 		return v.(Result)
 	}
@@ -162,9 +197,27 @@ func (s *Solver) satUncached(f logic.Formula) Result {
 	return s.satDPLL(f)
 }
 
-// satCube decides a single conjunction of ≤-atoms.
+// satCube decides a single conjunction of ≤-atoms. Verdicts are
+// memoized by the cube's atom-set identity (sorted interned term ids):
+// a hit costs one tick instead of re-running elimination.
 func (s *Solver) satCube(c logic.Cube) Result {
 	atomic.AddInt64(&s.stats.TheoryChecks, 1)
+	key, keyed := cubeKey(c)
+	if keyed {
+		if v, ok := s.cubeMemo.Load(key); ok {
+			s.tick(1)
+			return v.(Result)
+		}
+	}
+	r := s.satCubeUncached(c)
+	if keyed && atomic.LoadInt64(&s.cubeMemoLen) < maxCubeMemo {
+		atomic.AddInt64(&s.cubeMemoLen, 1)
+		s.cubeMemo.Store(key, r)
+	}
+	return r
+}
+
+func (s *Solver) satCubeUncached(c logic.Cube) Result {
 	s.tick(int64(len(c)) + 1)
 	vars := cubeVars(c)
 	if !s.rationallySat(c, vars) {
@@ -184,6 +237,36 @@ func (s *Solver) satCube(c logic.Cube) Result {
 		return Result{Sat: true}
 	}
 	return Result{Sat: true, Model: model, Known: true}
+}
+
+// cubeKey canonicalizes a cube as the sorted interned ids of its atom
+// terms, packed into a string for map use. False when any term is not
+// internable (table cap) or the cube contains an equality.
+func cubeKey(c logic.Cube) (string, bool) {
+	ids := make([]uint64, len(c))
+	for i, a := range c {
+		if a.Eq {
+			return "", false
+		}
+		id := logic.LinID(a.L)
+		if id == 0 {
+			return "", false
+		}
+		ids[i] = uint64(id)
+	}
+	// Insertion sort: cubes are small and nearly sorted.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	buf := make([]byte, 0, 8*len(ids))
+	for _, id := range ids {
+		buf = append(buf,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	return string(buf), true
 }
 
 // rationallySat runs real-shadow FM elimination to refute the cube over
@@ -247,12 +330,25 @@ func (s *Solver) findIntModel(c logic.Cube, vars map[lang.Var]bool, depth int) m
 
 // Valid reports whether f is valid (holds in all integer states). Only a
 // proven-valid formula yields true. Verdicts are memoized when the
-// entailment cache is enabled.
+// entailment cache is enabled, keyed by the hash-consed id — the cached
+// path does no string building.
 func (s *Solver) Valid(f logic.Formula) bool {
 	if s.entail == nil {
 		return s.validUncached(f)
 	}
-	key := "V\x1f" + logic.Key(f)
+	id := logic.KeyID(f)
+	if id == 0 {
+		key := "V\x1f" + logic.Key(f)
+		if v, ok := s.entail.getStr(key); ok {
+			atomic.AddInt64(&s.stats.EntailCacheHits, 1)
+			return v
+		}
+		atomic.AddInt64(&s.stats.EntailCacheMisses, 1)
+		v := s.validUncached(f)
+		s.entail.putStr(key, v)
+		return v
+	}
+	key := entailKey{kind: 'V', a: id}
 	if v, ok := s.entail.get(key); ok {
 		atomic.AddInt64(&s.stats.EntailCacheHits, 1)
 		return v
@@ -269,10 +365,35 @@ func (s *Solver) validUncached(f logic.Formula) bool {
 }
 
 // Implies reports whether a ⇒ b is proven valid. Structurally identical
-// formulas short-circuit without a solver call; with the entailment
-// cache enabled, verdicts are memoized by the (Key(a), Key(b)) pair and
-// a cheap syntactic subsumption pre-check runs before DPLL.
+// formulas short-circuit without a solver call — an integer comparison
+// of interned ids; with the entailment cache enabled, verdicts are
+// memoized by the id pair and a cheap syntactic subsumption pre-check
+// runs before DPLL.
 func (s *Solver) Implies(a, b logic.Formula) bool {
+	ida, idb := logic.KeyID(a), logic.KeyID(b)
+	if ida != 0 && ida == idb {
+		return true
+	}
+	if ida == 0 || idb == 0 {
+		return s.impliesFallback(a, b)
+	}
+	if s.entail == nil {
+		return s.validUncached(logic.Disj(logic.Not(a), b))
+	}
+	key := entailKey{kind: 'I', a: ida, b: idb}
+	if v, ok := s.entail.get(key); ok {
+		atomic.AddInt64(&s.stats.EntailCacheHits, 1)
+		return v
+	}
+	atomic.AddInt64(&s.stats.EntailCacheMisses, 1)
+	v := s.impliesUncached(a, b)
+	s.entail.put(key, v)
+	return v
+}
+
+// impliesFallback is the string-keyed path for formulas past the
+// intern-table cap.
+func (s *Solver) impliesFallback(a, b logic.Formula) bool {
 	ka, kb := logic.Key(a), logic.Key(b)
 	if ka == kb {
 		return true
@@ -281,28 +402,32 @@ func (s *Solver) Implies(a, b logic.Formula) bool {
 		return s.validUncached(logic.Disj(logic.Not(a), b))
 	}
 	key := ka + "\x1f" + kb
-	if v, ok := s.entail.get(key); ok {
+	if v, ok := s.entail.getStr(key); ok {
 		atomic.AddInt64(&s.stats.EntailCacheHits, 1)
 		return v
 	}
 	atomic.AddInt64(&s.stats.EntailCacheMisses, 1)
-	var v bool
-	if syntacticImplies(a, b) {
-		atomic.AddInt64(&s.stats.EntailSynHits, 1)
-		s.tick(1)
-		v = true
-	} else {
-		v = s.validUncached(logic.Disj(logic.Not(a), b))
-	}
-	s.entail.put(key, v)
+	v := s.impliesUncached(a, b)
+	s.entail.putStr(key, v)
 	return v
 }
 
+func (s *Solver) impliesUncached(a, b logic.Formula) bool {
+	if syntacticImplies(a, b) {
+		atomic.AddInt64(&s.stats.EntailSynHits, 1)
+		s.tick(1)
+		return true
+	}
+	return s.validUncached(logic.Disj(logic.Not(a), b))
+}
+
 // Equivalent reports whether a ⇔ b is proven valid. Structurally
-// identical formulas short-circuit; otherwise both directions go through
-// the (cached) Implies path.
+// identical formulas short-circuit on id equality; otherwise both
+// directions go through the (cached) Implies path.
 func (s *Solver) Equivalent(a, b logic.Formula) bool {
-	if logic.Key(a) == logic.Key(b) {
+	if ida, idb := logic.KeyID(a), logic.KeyID(b); ida != 0 && ida == idb {
+		return true
+	} else if (ida == 0 || idb == 0) && logic.Key(a) == logic.Key(b) {
 		return true
 	}
 	return s.Implies(a, b) && s.Implies(b, a)

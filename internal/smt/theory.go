@@ -1,0 +1,174 @@
+// Backtrackable theory state for the CDCL loop: a trail of asserted
+// ≤-atoms with incremental integer-interval propagation and O(1)
+// push/pop. As the SAT core assigns atom variables, each implied linear
+// constraint is asserted here; single-variable atoms tighten exact
+// integer bounds and multi-variable atoms are interval-checked against
+// the current box. A detected conflict is always a proven integer
+// inconsistency of the asserted atoms, so the search prunes a partial
+// assignment without paying a full Fourier–Motzkin check — and on
+// backtracking the trail pops to the decision mark, reusing every bound
+// derived on the shared prefix instead of rebuilding per theory check.
+//
+// Detection is deliberately incomplete (a full assignment that survives
+// the trail still goes through satCube); soundness only needs the
+// converse, that every reported conflict is real. Arithmetic is
+// overflow-guarded: any derivation that could exceed the guard range
+// concludes nothing rather than risking a false conflict.
+package smt
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// Guard ranges for the interval arithmetic; anything beyond them is
+// treated as unbounded (no conclusion), so overflow can never
+// manufacture a false conflict.
+const (
+	thGuard     = int64(1) << 40 // bound magnitudes
+	thCoefGuard = int64(1) << 20 // coefficient magnitudes
+	thSumGuard  = int64(1) << 62 // running-sum magnitude
+)
+
+// interval is an integer interval with optional endpoints.
+type interval struct {
+	lo, hi       int64
+	hasLo, hasHi bool
+}
+
+type thUndo struct {
+	v    lang.Var
+	prev interval
+	had  bool // v had an entry before this assertion
+}
+
+// theoryTrail is the backtrackable bounds store.
+type theoryTrail struct {
+	bounds map[lang.Var]interval
+	undo   []thUndo
+	lits   []int // asserted skeleton literals, in assertion order
+	marks  []int // undo length before each asserted literal
+}
+
+func newTheoryTrail() *theoryTrail {
+	return &theoryTrail{bounds: map[lang.Var]interval{}}
+}
+
+// size returns the trail length (for decision-level marks).
+func (t *theoryTrail) size() int { return len(t.lits) }
+
+// popTo unwinds the trail to length n, restoring every bound the popped
+// assertions tightened.
+func (t *theoryTrail) popTo(n int) {
+	for i := len(t.lits) - 1; i >= n; i-- {
+		for j := len(t.undo) - 1; j >= t.marks[i]; j-- {
+			u := t.undo[j]
+			if u.had {
+				t.bounds[u.v] = u.prev
+			} else {
+				delete(t.bounds, u.v)
+			}
+		}
+		t.undo = t.undo[:t.marks[i]]
+	}
+	t.lits = t.lits[:n]
+	t.marks = t.marks[:n]
+}
+
+// setBound records the previous interval for undo and stores the new
+// one.
+func (t *theoryTrail) setBound(v lang.Var, iv interval) {
+	prev, had := t.bounds[v]
+	t.undo = append(t.undo, thUndo{v: v, prev: prev, had: had})
+	t.bounds[v] = iv
+}
+
+// assert records the atom (a.L ≤ 0) implied by skeleton literal lit and
+// returns false when the asserted set is proven integer-unsatisfiable.
+func (t *theoryTrail) assert(a logic.Atom, lit int) bool {
+	t.lits = append(t.lits, lit)
+	t.marks = append(t.marks, len(t.undo))
+	if a.Eq {
+		return true // equalities never reach the skeleton; be lenient
+	}
+	l := a.L
+	if len(l.Vars) == 1 {
+		return t.assertSingle(l.Vars[0], l.Coefs[0], l.K)
+	}
+	return !t.refutesBox(l)
+}
+
+// assertSingle tightens the interval of v from c·v + k ≤ 0.
+func (t *theoryTrail) assertSingle(v lang.Var, c, k int64) bool {
+	if k <= -thGuard || k >= thGuard || c <= -thGuard || c >= thGuard {
+		return true // out of guarded range: no conclusion
+	}
+	iv := t.bounds[v]
+	if c > 0 {
+		// v ≤ ⌊-k/c⌋.
+		b := floorDivI(-k, c)
+		if !iv.hasHi || b < iv.hi {
+			iv.hi, iv.hasHi = b, true
+			t.setBound(v, iv)
+		}
+	} else {
+		// (-c)·v ≥ k → v ≥ ⌈k/(-c)⌉.
+		b := ceilDivI(k, -c)
+		if !iv.hasLo || b > iv.lo {
+			iv.lo, iv.hasLo = b, true
+			t.setBound(v, iv)
+		}
+	}
+	return !(iv.hasLo && iv.hasHi && iv.lo > iv.hi)
+}
+
+// refutesBox reports whether l ≤ 0 is impossible under the current box:
+// true when the minimum of l over the box provably exceeds 0. Missing
+// bounds or guarded overflow yield false (no conclusion).
+func (t *theoryTrail) refutesBox(l logic.Lin) bool {
+	minVal := l.K
+	if minVal <= -thGuard || minVal >= thGuard {
+		return false
+	}
+	for i, v := range l.Vars {
+		c := l.Coefs[i]
+		iv := t.bounds[v]
+		var b int64
+		switch {
+		case c > 0 && iv.hasLo:
+			b = iv.lo
+		case c < 0 && iv.hasHi:
+			b = iv.hi
+		default:
+			return false // unbounded in the minimizing direction
+		}
+		// |c| < 2^20 and |b| < 2^40 keep c·b under 2^60; the running sum
+		// stays under 2^62. Anything larger concludes nothing.
+		if c <= -thCoefGuard || c >= thCoefGuard || b <= -thGuard || b >= thGuard {
+			return false
+		}
+		minVal += c * b
+		if minVal <= -thSumGuard || minVal >= thSumGuard {
+			return false
+		}
+	}
+	return minVal > 0
+}
+
+// floorDivI returns ⌊a/b⌋ for b > 0 (logic keeps its own unexported).
+func floorDivI(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDivI returns ⌈a/b⌉ for b > 0.
+func ceilDivI(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -301,7 +302,9 @@ func (db *DB) Add(s Summary) {
 	if !db.enabled {
 		return
 	}
-	key := fmt.Sprintf("%d|%s|%s", s.Kind, logic.Key(s.Pre), logic.Key(s.Post))
+	// Cheap concat over interned keys — this runs per summary insertion
+	// and used to pay a fmt.Sprintf over two full structural renders.
+	key := strconv.Itoa(int(s.Kind)) + "|" + logic.Key(s.Pre) + "|" + logic.Key(s.Post)
 	ps := db.entry(s.Proc)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
