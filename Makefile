@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build cross test race trace-smoke prof-selftest bench-gate bench
+.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest bench-gate fuzz-smoke bench bench-snapshot
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: vet build cross test race trace-smoke prof-selftest bench-gate
+ci: fmt vet build cross test race trace-smoke prof-selftest bench-gate fuzz-smoke
+
+# fmt fails when any tracked file is not gofmt-clean (prints offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,10 +28,10 @@ test:
 # race re-runs the concurrency-heavy packages under the race detector:
 # the streaming engine, the sharded summary database, the solver's
 # entailment cache and fuzz seed corpus (shared interning table under
-# concurrent PUNCH), the hash-consing table itself, and the query tree's
-# coalescing machinery.
+# concurrent PUNCH), the hash-consing table itself, the query tree's
+# coalescing machinery, and the persistent summary store.
 race:
-	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query
+	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query ./internal/store ./internal/wire
 
 # trace-smoke round-trips a corpus program through all three engines with
 # the Chrome tracer attached and validates the serialized document.
@@ -45,5 +50,19 @@ prof-selftest:
 bench-gate:
 	$(GO) run ./cmd/boltbench -compare BENCH_streaming.json
 
+# bench-snapshot regenerates the committed baseline the gate compares
+# against (run after an intentional perf change, then commit the file).
+bench-snapshot:
+	$(GO) run ./cmd/boltbench -snapshot BENCH_streaming.json
+
+# fuzz-smoke gives each fuzzer a short budget: the solver against its
+# reference implementation, and the wire codec's decode/re-encode
+# round trip on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDPLLAgainstReference -fuzztime 10s ./internal/smt
+	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 10s ./internal/logic
+
+# bench runs every benchmark in the repo once (all packages, not just
+# the root: the harness, solver and store benches live in subpackages).
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

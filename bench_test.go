@@ -14,6 +14,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/punch/maymust"
 	"repro/internal/smt"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
 
@@ -367,6 +368,58 @@ func BenchmarkSolver(b *testing.B) {
 			Run(core.AssertionQuestion(prog))
 		b.ReportMetric(float64(r.Solver.SatCalls), "satcalls")
 	}
+}
+
+// BenchmarkWarmVsCold: the persistent summary store's payoff. "cold"
+// verifies into an empty disk store (paying encode+persist); "warm"
+// re-verifies from the store the setup run populated. Warm runs start
+// from yesterday's proven facts, so their virtual makespan — the
+// reported vticks — must come in measurably under cold.
+func BenchmarkWarmVsCold(b *testing.B) {
+	check := drivers.NamedCheck("parport", "MarkPowerDown", false)
+	prog := drivers.Generate(check.Config)
+	fp := store.NewFingerprint("bench-warm", check.ID(), prog.String())
+	runWith := func(b *testing.B, dir string) core.Result {
+		st, err := store.OpenDisk(dir, fp, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := core.New(prog, core.Options{
+			Punch: maymust.New(), MaxThreads: 8, VirtualCores: 8,
+			MaxIterations: 1 << 19, Store: st,
+		}).Run(core.AssertionQuestion(prog))
+		if r.StoreErr != nil {
+			b.Fatal(r.StoreErr)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			r := runWith(b, dir)
+			if r.PersistedSummaries == 0 {
+				b.Fatal("cold run persisted nothing")
+			}
+			b.ReportMetric(float64(r.VirtualTicks), "vticks")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		runWith(b, dir) // populate once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := runWith(b, dir)
+			if r.WarmSummaries == 0 {
+				b.Fatal("warm run loaded nothing")
+			}
+			b.ReportMetric(float64(r.VirtualTicks), "vticks")
+		}
+	})
 }
 
 // BenchmarkDistributed: the §7 "Distributed BOLT" simulation — cluster

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/cfg"
@@ -29,7 +30,9 @@ import (
 	"repro/internal/punch/may"
 	"repro/internal/punch/maymust"
 	"repro/internal/punch/must"
+	"repro/internal/store"
 	"repro/internal/summary"
+	"repro/internal/wire"
 	"repro/internal/witness"
 )
 
@@ -182,6 +185,19 @@ type Options struct {
 	// memo (Implies/Valid results shared across concurrent PUNCH
 	// instances). Disabled runs never touch the cache.
 	DisableEntailmentCache bool
+	// StorePath, when set, names a directory holding the persistent
+	// summary store (created on first use). The run warm-starts from its
+	// contents and persists new summaries back, so a re-run of the same
+	// program re-checks from yesterday's facts instead of from scratch.
+	// The store is fingerprinted by program text, analysis, and wire
+	// version; a store built for anything else is rejected (never
+	// silently reused) — the run is aborted with Result.StoreErr set and
+	// verdict Unknown.
+	StorePath string
+	// StoreReset explicitly discards and recreates a store whose
+	// fingerprint does not match (the only sanctioned way to repurpose a
+	// store directory).
+	StoreReset bool
 	// FindWitness, on an ErrorReachable verdict from Check, searches for a
 	// concrete counterexample (inputs + trace) and attaches it to the
 	// result.
@@ -252,6 +268,15 @@ type Result struct {
 	// Solver is the run's QF_LIA solver accounting — always populated,
 	// independent of Options.CollectMetrics.
 	Solver SolverStats
+	// WarmSummaries is the number of summaries loaded from the persistent
+	// store before the run started (0 without Options.StorePath);
+	// PersistedSummaries the number of new summaries written back when it
+	// ended. StoreErr reports the first store failure: an open-time
+	// fingerprint mismatch aborts the run (verdict Unknown), while
+	// load/persist failures degrade to a cold run with the error recorded.
+	WarmSummaries      int
+	PersistedSummaries int
+	StoreErr           error
 }
 
 // SolverStats surfaces the solver's hot-path counters: overall call
@@ -298,7 +323,7 @@ func newPunch(a Analysis) punch.Punch {
 	}
 }
 
-func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics) *core.Engine {
+func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics, st store.Store) *core.Engine {
 	return core.New(prog, core.Options{
 		Punch:                  newPunch(o.Analysis),
 		MaxThreads:             max(1, o.Threads),
@@ -311,10 +336,45 @@ func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics) *core.
 		DisableSumDB:           o.DisableSumDB,
 		DisableCoalesce:        o.DisableCoalesce,
 		DisableEntailmentCache: o.DisableEntailmentCache,
+		Store:                  st,
 		Tracer:                 tr,
 		Metrics:                m,
 		PprofLabels:            o.PprofLabels,
 	})
+}
+
+// storeFingerprint identifies the (program, analysis, wire version)
+// combination a persistent store was built for. Any change to the
+// program text, the PUNCH instantiation, or the wire format produces a
+// different fingerprint, and OpenDisk refuses to reuse the store.
+func (p *Program) storeFingerprint(a Analysis) store.Fingerprint {
+	return store.NewFingerprint(
+		"bolt/summary-store",
+		strconv.Itoa(wire.Version),
+		a.String(),
+		p.prog.String(),
+	)
+}
+
+// openStore opens the persistent summary store named by dir, or returns
+// (nil, nil) when dir is empty (no store configured).
+func (p *Program) openStore(dir string, a Analysis, reset bool) (store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.OpenDisk(dir, p.storeFingerprint(a), reset)
+}
+
+// closeStore folds the store's Close error into the result's StoreErr
+// (first error wins — an earlier load/persist failure is more
+// informative than a failed close).
+func closeStore(st store.Store, errp *error) {
+	if st == nil {
+		return
+	}
+	if err := st.Close(); err != nil && *errp == nil {
+		*errp = err
+	}
 }
 
 // hooks builds the run's tracers and registry from the options. The
@@ -377,6 +437,10 @@ func toResult(r core.Result) Result {
 		TimedOut:     r.TimedOut,
 		Deadlocked:   r.Deadlocked,
 		CoalesceHits: r.CoalesceHits,
+
+		WarmSummaries:      r.WarmSummaries,
+		PersistedSummaries: r.PersistedSummaries,
+		StoreErr:           r.StoreErr,
 		Solver: SolverStats{
 			SatCalls:          r.Solver.SatCalls,
 			TheoryChecks:      r.Solver.TheoryChecks,
@@ -407,9 +471,14 @@ func (p *Program) Check(opts Options) Result {
 // the run at the next scheduling boundary with StopReason StopCancelled
 // and all workers joined.
 func (p *Program) CheckContext(ctx context.Context, opts Options) Result {
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	if err != nil {
+		return Result{Verdict: Unknown, StoreErr: err}
+	}
 	ct, jt, tr, m := opts.hooks()
-	r := opts.engine(p.prog, tr, m).RunContext(ctx, core.AssertionQuestion(p.prog))
+	r := opts.engine(p.prog, tr, m, st).RunContext(ctx, core.AssertionQuestion(p.prog))
 	res := toResult(r)
+	closeStore(st, &res.StoreErr)
 	attachObs(&res, r.Metrics, ct, jt, opts.TraceTo)
 	if res.Verdict == ErrorReachable && opts.FindWitness {
 		if tr, ok := witness.Find(p.prog, witness.Options{}); ok {
@@ -441,9 +510,14 @@ func (p *Program) CheckReachContext(ctx context.Context, proc, pre, post string,
 		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
 	}
 	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	if err != nil {
+		return Result{}, fmt.Errorf("bolt: summary store: %w", err)
+	}
 	ct, jt, tr, m := opts.hooks()
-	r := opts.engine(p.prog, tr, m).RunContext(ctx, q)
+	r := opts.engine(p.prog, tr, m, st).RunContext(ctx, q)
 	res := toResult(r)
+	closeStore(st, &res.StoreErr)
 	attachObs(&res, r.Metrics, ct, jt, opts.TraceTo)
 	return res, nil
 }
@@ -473,6 +547,11 @@ type DistOptions struct {
 	// elimination ablation switches; see Options.
 	DisableCoalesce        bool
 	DisableEntailmentCache bool
+	// StorePath and StoreReset mirror Options: a persistent summary store
+	// the cluster warm-starts from (summaries routed to their owning
+	// nodes) and persists its union of node databases back into.
+	StorePath  string
+	StoreReset bool
 	// TraceTo, TraceJSONLTo, CollectMetrics, MetricsInto and PprofLabels
 	// mirror Options: Chrome trace-event output (one process per node,
 	// one track per node-local worker slot), the streaming JSONL event
@@ -514,6 +593,10 @@ type DistResult struct {
 	TraceSpans    int
 	TraceEvents   int64
 	TraceErr      error
+	// WarmSummaries, PersistedSummaries and StoreErr mirror Result.
+	WarmSummaries      int
+	PersistedSummaries int
+	StoreErr           error
 }
 
 // CheckDistributed verifies the program's assertions on the simulated
@@ -524,6 +607,10 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	faults, err := core.ParseFaults(opts.Faults)
 	if err != nil {
 		return DistResult{}, fmt.Errorf("bolt: %w", err)
+	}
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	if err != nil {
+		return DistResult{}, fmt.Errorf("bolt: summary store: %w", err)
 	}
 	hooks := Options{
 		TraceTo:        opts.TraceTo,
@@ -541,6 +628,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		MaxRounds:      opts.MaxRounds,
 		RealTimeout:    opts.Timeout,
 		Faults:         faults,
+		Store:          st,
 		Tracer:         tr,
 		Metrics:        m,
 		PprofLabels:    opts.PprofLabels,
@@ -563,7 +651,12 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		RecoveredSummaries: r.RecoveredSummaries,
 		DroppedDeliveries:  r.DroppedDeliveries,
 		CoalesceHits:       r.CoalesceHits,
+
+		WarmSummaries:      r.WarmSummaries,
+		PersistedSummaries: r.PersistedSummaries,
+		StoreErr:           r.StoreErr,
 	}
+	closeStore(st, &out.StoreErr)
 	out.Metrics = r.Metrics.Flatten()
 	if r.Metrics != nil {
 		for _, ws := range r.Metrics.Workers {

@@ -36,6 +36,9 @@ func main() {
 		snapshot  = flag.String("snapshot", "", "write a streaming-engine perf snapshot (makespan, speedup, metrics) to this JSON file, e.g. BENCH_streaming.json")
 		snapTh    = flag.Int("snapshot-threads", 32, "streaming pool size for -snapshot")
 		compare   = flag.String("compare", "", "collect a fresh streaming snapshot and diff it against this committed baseline; exit 1 on regression (the bench gate)")
+		warm      = flag.Bool("warm", false, "run the warm-start experiment: each check cold into a persistent summary store, then warm from it")
+		warmDir   = flag.String("warm-store", "", "store directory for -warm (default: a fresh temp dir, removed afterwards)")
+		warmTh    = flag.Int("warm-threads", 8, "thread count for -warm runs")
 		pprofA    = flag.String("pprof", "", "serve /debug/pprof on this address for the bench's duration")
 	)
 	flag.Parse()
@@ -132,10 +135,37 @@ func main() {
 		}
 		did = true
 	}
+	if *warm {
+		dir := *warmDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "boltwarm")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		rows := harness.WarmVsCold(opts, *warmTh, harness.Table1Checks(), dir)
+		harness.WriteWarmTable(os.Stdout, *warmTh, rows)
+		for _, r := range rows {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "boltbench: warm-start store error on %s: %v\n", r.Check.ID(), r.Err)
+				os.Exit(2)
+			}
+			if r.ColdVerdict != r.WarmVerdict {
+				fmt.Fprintf(os.Stderr, "boltbench: verdict diverged cold vs warm on %s: %v vs %v\n",
+					r.Check.ID(), r.ColdVerdict, r.WarmVerdict)
+				os.Exit(1)
+			}
+		}
+		did = true
+		fmt.Println()
+	}
 	if *compare != "" {
 		old, err := harness.ReadStreamingBench(*compare)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "boltbench: bench gate cannot run: %v\n", err)
 			os.Exit(2)
 		}
 		gateOpts := opts

@@ -33,6 +33,8 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan for -dist: kill=N@R,drop=P,seed=S (all clauses optional)")
 		coalesce = flag.Bool("coalesce", true, "coalesce spawns onto identical in-flight queries (ablation: -coalesce=false)")
 		entCache = flag.Bool("entailcache", true, "cache solver entailment checks across queries (ablation: -entailcache=false)")
+		storeDir = flag.String("store", "", "persistent summary store directory: warm-start from it and persist new summaries back")
+		storeRst = flag.Bool("store-reset", false, "with -store, discard and recreate a store whose fingerprint does not match")
 		proc     = flag.String("proc", "", "procedure for a custom reachability question")
 		pre      = flag.String("pre", "true", "precondition over globals (with -proc)")
 		post     = flag.String("post", "", "postcondition over globals (with -proc)")
@@ -99,7 +101,7 @@ func main() {
 		defer traceJLOut.Close()
 	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg, !*coalesce, !*entCache)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg, !*coalesce, !*entCache, *storeDir, *storeRst)
 		return
 	}
 	opts := bolt.Options{
@@ -113,6 +115,8 @@ func main() {
 		PprofLabels:            *pprofA != "",
 		DisableCoalesce:        !*coalesce,
 		DisableEntailmentCache: !*entCache,
+		StorePath:              *storeDir,
+		StoreReset:             *storeRst,
 	}
 	if traceOut != nil {
 		opts.TraceTo = traceOut
@@ -142,6 +146,7 @@ func main() {
 	} else {
 		res = prog.Check(opts)
 	}
+	reportStore(*storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr)
 
 	fmt.Println(res.Verdict)
 	if res.Verdict == bolt.Unknown || *stats {
@@ -201,6 +206,20 @@ func printMetrics(m map[string]int64, workers []bolt.WorkerMetric) {
 	}
 }
 
+// reportStore confirms the -store warm-start/persist traffic, or fails
+// loudly: a store error (stale fingerprint, unreadable segment, failed
+// flush) is a usage/environment problem, not a verdict, so it exits 3.
+func reportStore(dir string, warm, persisted int, err error) {
+	if dir == "" {
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltcheck: summary store %s: %v\n", dir, err)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "store: loaded %d summaries, persisted %d new (%s)\n", warm, persisted, dir)
+}
+
 // reportTrace confirms (or fails loudly on) the -trace / -trace-jsonl
 // outputs.
 func reportTrace(chromePath, jsonlPath string, spans int, events int64, err error) {
@@ -221,7 +240,7 @@ func reportTrace(chromePath, jsonlPath string, spans int, events int64, err erro
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics, noCoalesce, noEntCache bool) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics, noCoalesce, noEntCache bool, storeDir string, storeReset bool) {
 	opts := bolt.DistOptions{
 		Nodes:                  nodes,
 		ThreadsPerNode:         threads,
@@ -232,6 +251,8 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 		PprofLabels:            liveReg != nil,
 		DisableCoalesce:        noCoalesce,
 		DisableEntailmentCache: noEntCache,
+		StorePath:              storeDir,
+		StoreReset:             storeReset,
 	}
 	tracePath := ""
 	if traceOut != nil {
@@ -259,6 +280,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(3)
 	}
+	reportStore(storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr)
 	fmt.Println(res.Verdict)
 	fmt.Printf("stop reason:  %s\n", res.StopReason)
 	if stats {

@@ -132,6 +132,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 		cores = e.opts.MaxThreads
 	}
 	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
+	e.loadStore(db, &res)
 	s := &asyncState{
 		e:       e,
 		root:    root.ID,
@@ -198,6 +199,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
+	e.persistStore(db, &res)
 	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB, res.Solver)
 	return res
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
 
@@ -70,6 +71,11 @@ type DistOptions struct {
 	// DisableEntailmentCache turns off the solver's entailment memo
 	// (ablation); see Options.DisableEntailmentCache.
 	DisableEntailmentCache bool
+	// Store, when non-nil, warm-starts the cluster: each stored summary
+	// is loaded into its owning node's database before round 0 (gossip
+	// spreads it from there), and the union of all node databases is
+	// persisted back at run end. See Options.Store.
+	Store store.Store
 	// Tracer receives the run's query-lifecycle event stream (nil = off).
 	Tracer obs.Tracer
 	// Metrics is the registry the run updates (nil = off).
@@ -116,6 +122,13 @@ type DistResult struct {
 	// Metrics is the run's metrics snapshot (nil when DistOptions.Metrics
 	// was nil), with summary-database traffic aggregated across nodes.
 	Metrics *obs.Snapshot
+	// WarmSummaries is the number of summaries loaded from
+	// DistOptions.Store before round 0; PersistedSummaries the number of
+	// new summaries written back; StoreErr the first store failure
+	// (non-fatal: the run degrades to a cold start).
+	WarmSummaries      int
+	PersistedSummaries int
+	StoreErr           error
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -229,6 +242,22 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		Verdict:          Unknown,
 		PerNodePeakLive:  make([]int, e.opts.Nodes),
 		PerNodeSummaries: make([]int, e.opts.Nodes),
+	}
+	// Warm start: each stored summary hydrates its owning node (the
+	// node procedure routing would send its questions to) and is marked
+	// known there, so the first gossip exchange spreads it cluster-wide
+	// without re-delivering to the owner.
+	if e.opts.Store != nil {
+		if sums, err := e.opts.Store.Load(); err != nil {
+			res.StoreErr = err
+		} else {
+			for _, s := range sums {
+				owner := nodes[e.nodeOf(s.Proc)]
+				owner.db.Add(s)
+				owner.known[summaryKey(s)] = true
+			}
+			res.WarmSummaries = len(sums)
+		}
 	}
 	var vtime int64
 	// Worker slot w of node n gets the global metrics index
@@ -535,6 +564,30 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 	res.setStop(StopEventBudget)
 	for ni, n := range nodes {
 		res.PerNodeSummaries[ni] = n.db.Count()
+	}
+	// Persist the union of every node's database; the store dedups by
+	// canonical wire key, so gossip replication costs nothing here.
+	if e.opts.Store != nil {
+		var firstErr error
+	persist:
+		for _, n := range nodes {
+			for _, s := range n.db.All() {
+				added, err := e.opts.Store.Put(s)
+				if err != nil {
+					firstErr = err
+					break persist
+				}
+				if added {
+					res.PersistedSummaries++
+				}
+			}
+		}
+		if err := e.opts.Store.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil && res.StoreErr == nil {
+			res.StoreErr = firstErr
+		}
 	}
 	res.TotalQueries = alloc.Count()
 	res.VirtualTicks = vtime

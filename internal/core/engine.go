@@ -25,6 +25,7 @@ import (
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
 
@@ -103,6 +104,14 @@ type Options struct {
 	// memo and its syntactic subsumption pre-check (ablation). The cache
 	// is on by default.
 	DisableEntailmentCache bool
+	// Store, when non-nil, is the persistent summary store the run
+	// warm-starts from: its contents are loaded into SUMDB before the
+	// first MAP stage, and every summary SUMDB holds at run end is
+	// persisted back (deduplicated by canonical wire key). Summaries are
+	// sound facts about the program, so a warm run's verdict matches the
+	// cold run's — it just gets there with less work. Ignored when
+	// DisableSumDB is set; store failures land in Result.StoreErr.
+	Store store.Store
 	// Select orders Ready queries for the MAP stage.
 	Select SelectPolicy
 	// CheckContract validates the §3.2 PUNCH postcondition on every
@@ -189,6 +198,14 @@ type Result struct {
 	Metrics *obs.Snapshot
 	// Summaries is the final content of SUMDB.
 	Summaries []summary.Summary
+	// WarmSummaries is the number of summaries loaded from Options.Store
+	// before the run (0 on a cold start); PersistedSummaries the number
+	// of new summaries written back to it; StoreErr the first store
+	// failure, if any (the run itself proceeds — a broken store degrades
+	// to a cold run, never a wrong verdict).
+	WarmSummaries      int
+	PersistedSummaries int
+	StoreErr           error
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -254,6 +271,8 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	ctx := &punch.Context{Prog: e.prog, DB: db, Alloc: alloc, ModRef: e.prog.ModRef()}
 	tree := query.NewTree()
 	coalesce := !e.opts.DisableCoalesce
+	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
+	e.loadStore(db, &res)
 	if coalesce {
 		tree.TrackInflight()
 	}
@@ -261,7 +280,6 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	root := alloc.New(query.NoParent, q0)
 	tree.Add(root)
 
-	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
 	var vtime int64
 	var doneCount int64
 
@@ -523,8 +541,54 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	res.SumDB = db.StatsSnapshot()
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
+	e.persistStore(db, &res)
 	res.Metrics = in.finish(vtime, res.SumDB, res.Solver)
 	return res
+}
+
+// loadStore warm-starts the run: every summary the store holds is a
+// sound fact about this program (the store's fingerprint pinned the
+// corpus), so seeding SUMDB with them lets PUNCH answer questions that
+// a cold run would re-derive. A load failure degrades to a cold run.
+func (e *Engine) loadStore(db *summary.DB, res *Result) {
+	if e.opts.Store == nil || e.opts.DisableSumDB {
+		return
+	}
+	sums, err := e.opts.Store.Load()
+	if err != nil {
+		res.StoreErr = err
+		return
+	}
+	for _, s := range sums {
+		db.Add(s)
+	}
+	res.WarmSummaries = len(sums)
+}
+
+// persistStore writes the run's summaries back to the store. The store
+// deduplicates by canonical wire key, so re-persisting loaded summaries
+// is a no-op and PersistedSummaries counts only genuinely new facts.
+func (e *Engine) persistStore(db *summary.DB, res *Result) {
+	if e.opts.Store == nil || e.opts.DisableSumDB {
+		return
+	}
+	var firstErr error
+	for _, s := range db.All() {
+		added, err := e.opts.Store.Put(s)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if added {
+			res.PersistedSummaries++
+		}
+	}
+	if err := e.opts.Store.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil && res.StoreErr == nil {
+		res.StoreErr = firstErr
+	}
 }
 
 // makespan computes the greedy list-scheduling completion time of the

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/punch"
 	"repro/internal/punch/maymust"
+	"repro/internal/store"
 )
 
 // Options configure experiment runs.
@@ -51,6 +52,11 @@ type Options struct {
 	// default); see core.Options.
 	DisableCoalesce        bool
 	DisableEntailmentCache bool
+	// Store, when non-nil, is a persistent summary store the run
+	// warm-starts from and persists its new summaries back into (see
+	// core.Options.Store). The caller owns opening/closing it and
+	// matching it to the check — the harness passes it straight through.
+	Store store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +94,11 @@ type CheckResult struct {
 	CoalesceHits int64
 	// Metrics is the run's metrics snapshot (nil unless Options.Metrics).
 	Metrics *obs.Snapshot
+	// WarmSummaries/PersistedSummaries/StoreErr are the persistent-store
+	// traffic when Options.Store is set (see core.Result).
+	WarmSummaries      int
+	PersistedSummaries int
+	StoreErr           error
 }
 
 // RunCheck verifies one driver-property pair with the given thread count.
@@ -108,6 +119,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Async:           opts.Async,
 		Tracer:          opts.Tracer,
 		Metrics:         m,
+		Store:           opts.Store,
 
 		DisableCoalesce:        opts.DisableCoalesce,
 		DisableEntailmentCache: opts.DisableEntailmentCache,
@@ -132,6 +144,10 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		CostByProc:   res.CostByProc,
 		CoalesceHits: res.CoalesceHits,
 		Metrics:      res.Metrics,
+
+		WarmSummaries:      res.WarmSummaries,
+		PersistedSummaries: res.PersistedSummaries,
+		StoreErr:           res.StoreErr,
 	}
 }
 

@@ -158,14 +158,30 @@ func WriteStreamingBench(w io.Writer, b StreamingBench) error {
 }
 
 // ReadStreamingBench loads a snapshot written by WriteStreamingBench.
+// Failures are diagnosed precisely — a missing baseline, an unparsable
+// one, and a structurally empty one are different operator mistakes and
+// each gets its own message — so the bench gate fails loudly instead of
+// comparing against garbage.
 func ReadStreamingBench(path string) (StreamingBench, error) {
 	var b StreamingBench
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return b, err
+		if os.IsNotExist(err) {
+			return b, fmt.Errorf(
+				"harness: baseline snapshot %s does not exist; regenerate it with `boltbench -snapshot %s` (or `make bench-snapshot`) and commit it",
+				path, path)
+		}
+		return b, fmt.Errorf("harness: reading snapshot %s: %w", path, err)
 	}
 	if err := json.Unmarshal(data, &b); err != nil {
-		return b, fmt.Errorf("harness: parsing snapshot %s: %w", path, err)
+		return b, fmt.Errorf(
+			"harness: snapshot %s is not valid JSON (%w); it may be corrupt or hand-edited — regenerate it with `boltbench -snapshot %s`",
+			path, err, path)
+	}
+	if b.Threads <= 0 || len(b.Checks) == 0 {
+		return b, fmt.Errorf(
+			"harness: snapshot %s parsed but is structurally invalid (threads=%d, %d checks); regenerate it with `boltbench -snapshot %s`",
+			path, b.Threads, len(b.Checks), path)
 	}
 	return b, nil
 }

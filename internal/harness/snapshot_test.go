@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -189,6 +191,58 @@ func TestCompareStreamingBench(t *testing.T) {
 	regs = CompareStreamingBench(old, missing)
 	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Errorf("dropped check not flagged correctly: %v", regs)
+	}
+}
+
+// TestReadStreamingBenchDiagnostics: the bench gate's failure modes are
+// operator mistakes that each need an actionable message — a missing
+// baseline says how to regenerate it, an unparsable or structurally
+// empty one is distinguished from a clean miss.
+func TestReadStreamingBenchDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "nope.json")
+	if _, err := ReadStreamingBench(missing); err == nil {
+		t.Error("missing baseline did not error")
+	} else {
+		if !strings.Contains(err.Error(), "does not exist") ||
+			!strings.Contains(err.Error(), "boltbench -snapshot") {
+			t.Errorf("missing-baseline error lacks regenerate hint: %v", err)
+		}
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStreamingBench(corrupt); err == nil {
+		t.Error("corrupt baseline did not error")
+	} else if !strings.Contains(err.Error(), "not valid JSON") {
+		t.Errorf("corrupt-baseline error undiagnostic: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStreamingBench(empty); err == nil {
+		t.Error("structurally empty baseline did not error")
+	} else if !strings.Contains(err.Error(), "structurally invalid") {
+		t.Errorf("empty-baseline error undiagnostic: %v", err)
+	}
+
+	// A valid snapshot still loads.
+	good := filepath.Join(dir, "good.json")
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStreamingBench(f, fakeBench()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadStreamingBench(good); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
 	}
 }
 

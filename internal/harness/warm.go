@@ -1,0 +1,118 @@
+// Warm-start experiment: run each check cold with a persistent summary
+// store attached, then re-run it warm from the store the cold run just
+// populated. The warm run starts from yesterday's proven facts, so its
+// makespan bounds the incremental cost of re-checking an unchanged
+// program — the payoff of the wire format + store subsystem.
+
+package harness
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/drivers"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// WarmRow is one check's cold-vs-warm comparison.
+type WarmRow struct {
+	Check drivers.Check
+	// ColdTicks/WarmTicks are the makespans of the store-populating run
+	// and the store-consuming re-run; Speedup their ratio.
+	ColdTicks int64
+	WarmTicks int64
+	Speedup   float64
+	// Persisted is the summary count the cold run wrote; Loaded the count
+	// the warm run started from (equal unless the store failed).
+	Persisted int
+	Loaded    int
+	// Verdicts of both runs — the store carries sound facts about the
+	// fingerprinted program, so these must agree.
+	ColdVerdict core.Verdict
+	WarmVerdict core.Verdict
+	// Err is the first store failure across the two runs, if any.
+	Err error
+}
+
+// checkFingerprint pins a store directory to one generated driver
+// program (and the wire version), mirroring the facade's fingerprint
+// discipline: a store is only ever warm-loaded into the exact program
+// that produced it.
+func checkFingerprint(check drivers.Check) store.Fingerprint {
+	prog := drivers.Generate(check.Config)
+	return store.NewFingerprint(
+		"bolt/harness-warm",
+		strconv.Itoa(wire.Version),
+		check.ID(),
+		prog.String(),
+	)
+}
+
+// WarmVsCold runs each check twice at the given thread count — cold into
+// a fresh per-check store under dir, then warm from it — and reports the
+// comparison. Store failures are recorded per row, not fatal.
+func WarmVsCold(opts Options, threads int, checks []drivers.Check, dir string) []WarmRow {
+	var rows []WarmRow
+	for i, check := range checks {
+		rows = append(rows, warmVsColdOne(opts, threads, check,
+			filepath.Join(dir, fmt.Sprintf("check%d", i))))
+	}
+	return rows
+}
+
+func warmVsColdOne(opts Options, threads int, check drivers.Check, dir string) WarmRow {
+	row := WarmRow{Check: check}
+	fp := checkFingerprint(check)
+
+	runWith := func() (CheckResult, error) {
+		st, err := store.OpenDisk(dir, fp, false)
+		if err != nil {
+			return CheckResult{}, err
+		}
+		o := opts
+		o.Store = st
+		r := RunCheck(check, threads, o)
+		if err := st.Close(); err != nil && r.StoreErr == nil {
+			r.StoreErr = err
+		}
+		return r, r.StoreErr
+	}
+
+	cold, err := runWith()
+	row.ColdTicks, row.ColdVerdict, row.Persisted = cold.Ticks, cold.Verdict, cold.PersistedSummaries
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	warm, err := runWith()
+	row.WarmTicks, row.WarmVerdict, row.Loaded = warm.Ticks, warm.Verdict, warm.WarmSummaries
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	if row.WarmTicks > 0 {
+		row.Speedup = float64(row.ColdTicks) / float64(row.WarmTicks)
+	}
+	return row
+}
+
+// WriteWarmTable renders the cold-vs-warm comparison.
+func WriteWarmTable(w io.Writer, threads int, rows []WarmRow) {
+	fmt.Fprintf(w, "Warm-start: persistent summary store, cold run vs re-run (threads=%d)\n\n", threads)
+	fmt.Fprintf(w, "%-45s %10s %10s %8s %8s %8s  %s\n",
+		"check", "cold", "warm", "spd", "saved", "loaded", "verdict cold/warm")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-45s store error: %v\n", r.Check.ID(), r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-45s %10d %10d %8.2f %8d %8d  %s / %s\n",
+			r.Check.ID(), r.ColdTicks, r.WarmTicks, r.Speedup,
+			r.Persisted, r.Loaded,
+			verdictShort(r.ColdVerdict), verdictShort(r.WarmVerdict))
+	}
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drivers"
+)
+
+// TestWarmVsCold: the warm run loads exactly what the cold run
+// persisted, the verdicts agree, and warm never costs more virtual time
+// than cold.
+func TestWarmVsCold(t *testing.T) {
+	checks := []drivers.Check{Table1Checks()[0]}
+	rows := WarmVsCold(Options{}, 8, checks, t.TempDir())
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Err != nil {
+		t.Fatalf("store error: %v", r.Err)
+	}
+	if r.Persisted == 0 {
+		t.Fatal("cold run persisted no summaries")
+	}
+	if r.Loaded != r.Persisted {
+		t.Errorf("warm run loaded %d summaries, cold persisted %d", r.Loaded, r.Persisted)
+	}
+	if r.ColdVerdict != r.WarmVerdict {
+		t.Fatalf("verdict diverged cold vs warm: %v vs %v", r.ColdVerdict, r.WarmVerdict)
+	}
+	if r.WarmTicks > r.ColdTicks {
+		t.Errorf("warm run slower than cold: %d > %d ticks", r.WarmTicks, r.ColdTicks)
+	}
+
+	var sb strings.Builder
+	WriteWarmTable(&sb, 8, rows)
+	out := sb.String()
+	if !strings.Contains(out, r.Check.ID()) || !strings.Contains(out, "Warm-start") {
+		t.Errorf("warm table missing content:\n%s", out)
+	}
+}
+
+// TestWarmVsColdSurvivesReopen: the second WarmVsCold over the same
+// directory re-reads the store written by the first (the fingerprint
+// matches, so it is reused, not rejected).
+func TestWarmVsColdSurvivesReopen(t *testing.T) {
+	checks := []drivers.Check{Table1Checks()[0]}
+	dir := t.TempDir()
+	first := WarmVsCold(Options{}, 8, checks, dir)
+	if first[0].Err != nil {
+		t.Fatal(first[0].Err)
+	}
+	second := WarmVsCold(Options{}, 8, checks, dir)
+	if second[0].Err != nil {
+		t.Fatal(second[0].Err)
+	}
+	if second[0].ColdVerdict != first[0].ColdVerdict {
+		t.Errorf("verdict changed across store reuse: %v vs %v",
+			first[0].ColdVerdict, second[0].ColdVerdict)
+	}
+	if second[0].Loaded == 0 {
+		t.Error("re-run over an existing store loaded nothing")
+	}
+}

@@ -171,7 +171,7 @@ func TestMoveToCarriesCoalesceState(t *testing.T) {
 	src.Add(twin)
 	src.Add(w)
 	src.Add(on)
-	src.AddWaiter(twin.ID, w.ID) // w waits on twin
+	src.AddWaiter(twin.ID, w.ID)  // w waits on twin
 	src.AddWaiter(on.ID, twin.ID) // twin waits on "on"
 
 	if !src.MoveTo(dst, twin.ID) {

@@ -1,0 +1,464 @@
+// Disk is the disk-backed store: an append-only segment file of
+// wire-encoded, crc-guarded summary records plus a sidecar index
+// mapping procedures to record offsets. The segment header carries the
+// store fingerprint; opening a segment whose fingerprint does not match
+// the corpus being checked fails with *MismatchError instead of
+// silently warm-starting from a stale (or foreign) store.
+//
+// Crash tolerance is the append-only kind: a run killed mid-append
+// leaves a truncated final record, which Open detects and trims; a
+// stale or missing index is rebuilt from the segment, never trusted
+// over it.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/summary"
+	"repro/internal/wire"
+)
+
+const (
+	segMagic   = "BOLTSEG1"
+	idxMagic   = "BOLTIDX1"
+	segVersion = 1
+	// SegName and IdxName are the file names inside a store directory.
+	SegName = "summaries.seg"
+	IdxName = "summaries.idx"
+
+	segHeaderSize = len(segMagic) + 1 + len(Fingerprint{})
+	maxRecordLen  = 1 << 24
+)
+
+// Disk is the disk-backed Store. All methods are safe for concurrent
+// use.
+type Disk struct {
+	mu     sync.Mutex
+	dir    string
+	fp     Fingerprint
+	f      *os.File
+	size   int64 // current segment length (all complete records)
+	count  int
+	keys   map[string]struct{}
+	byProc map[string][]int64 // record offsets per procedure
+	dirty  bool               // index out of date on disk
+	closed bool
+}
+
+// OpenDisk opens (or creates) the summary store in dir for the given
+// fingerprint. A store written under a different fingerprint is
+// rejected with *MismatchError unless reset is true, in which case it
+// is explicitly discarded and recreated empty — stale contents are
+// never silently reused either way.
+func OpenDisk(dir string, fp Fingerprint, reset bool) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{
+		dir:    dir,
+		fp:     fp,
+		keys:   map[string]struct{}{},
+		byProc: map[string][]int64{},
+	}
+	segPath := filepath.Join(dir, SegName)
+	data, err := os.ReadFile(segPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if err := d.createSegment(segPath); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("store: %w", err)
+	default:
+		got, err := parseSegHeader(segPath, data)
+		if err != nil {
+			return nil, err
+		}
+		if got != fp {
+			if !reset {
+				return nil, &MismatchError{Path: segPath, Want: fp, Got: got}
+			}
+			if err := d.createSegment(segPath); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if err := d.scanSegment(segPath, data); err != nil {
+			return nil, err
+		}
+	}
+	if d.f == nil {
+		f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		d.f = f
+	}
+	d.checkIndex()
+	return d, nil
+}
+
+// Fingerprint returns the fingerprint the store was opened with.
+func (d *Disk) Fingerprint() Fingerprint { return d.fp }
+
+// Count returns the number of stored summaries.
+func (d *Disk) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+func (d *Disk) createSegment(segPath string) error {
+	f, err := os.Create(segPath)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, segVersion)
+	hdr = append(hdr, d.fp[:]...)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	d.f = f
+	d.size = int64(segHeaderSize)
+	d.dirty = true
+	// Drop any index left over from a discarded store.
+	_ = os.Remove(filepath.Join(d.dir, IdxName))
+	return nil
+}
+
+func parseSegHeader(path string, data []byte) (Fingerprint, error) {
+	var fp Fingerprint
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
+		return fp, fmt.Errorf("store: %s is not a summary store segment", path)
+	}
+	if v := data[len(segMagic)]; v != segVersion {
+		return fp, fmt.Errorf("store: %s has segment version %d, this build reads version %d", path, v, segVersion)
+	}
+	copy(fp[:], data[len(segMagic)+1:segHeaderSize])
+	return fp, nil
+}
+
+// scanSegment walks every record, building the dedup set and the
+// per-procedure offset index. A truncated final record (a crashed
+// append) is trimmed off; a corrupt record in the middle of the file is
+// an error — the store's contents can no longer be trusted.
+func (d *Disk) scanSegment(segPath string, data []byte) error {
+	pos := int64(segHeaderSize)
+	for pos < int64(len(data)) {
+		payload, next, err := parseRecord(data, pos)
+		if err != nil {
+			var tr *truncatedError
+			if errors.As(err, &tr) {
+				// Crash-truncated tail: trim to the last full record.
+				if terr := os.Truncate(segPath, pos); terr != nil {
+					return fmt.Errorf("store: trimming truncated record at offset %d: %w", pos, terr)
+				}
+				break
+			}
+			return fmt.Errorf("store: %s: %w", segPath, err)
+		}
+		s, _, err := wire.DecodeSummary(payload)
+		if err != nil {
+			return fmt.Errorf("store: %s: record at offset %d: %w", segPath, pos, err)
+		}
+		if _, dup := d.keys[string(payload)]; !dup {
+			d.keys[string(payload)] = struct{}{}
+			d.byProc[s.Proc] = append(d.byProc[s.Proc], pos)
+			d.count++
+		}
+		pos = next
+	}
+	d.size = pos
+	return nil
+}
+
+type truncatedError struct{ off int64 }
+
+func (e *truncatedError) Error() string {
+	return fmt.Sprintf("truncated record at offset %d", e.off)
+}
+
+// parseRecord reads the record at pos: uvarint payload length, payload,
+// crc32(payload). It returns the payload and the offset of the next
+// record.
+func parseRecord(data []byte, pos int64) (payload []byte, next int64, err error) {
+	plen, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, 0, &truncatedError{pos}
+	}
+	if plen > maxRecordLen {
+		return nil, 0, fmt.Errorf("record at offset %d: length %d exceeds %d", pos, plen, maxRecordLen)
+	}
+	body := pos + int64(n)
+	end := body + int64(plen) + 4
+	if end > int64(len(data)) {
+		return nil, 0, &truncatedError{pos}
+	}
+	payload = data[body : body+int64(plen)]
+	want := binary.LittleEndian.Uint32(data[body+int64(plen) : end])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("record at offset %d: checksum mismatch (corrupt store)", pos)
+	}
+	return payload, end, nil
+}
+
+// Load returns every stored summary by scanning the segment.
+func (d *Disk) Load() ([]summary.Summary, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("store: load on closed store")
+	}
+	procs := make([]string, 0, len(d.byProc))
+	for p := range d.byProc {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var out []summary.Summary
+	for _, p := range procs {
+		sums, err := d.readOffsets(d.byProc[p])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sums...)
+	}
+	return out, nil
+}
+
+// LoadProc returns only proc's summaries, reading just that
+// procedure's records via the offset index — the selective-load path a
+// sharded multi-process deployment uses to hydrate one node.
+func (d *Disk) LoadProc(proc string) ([]summary.Summary, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("store: load on closed store")
+	}
+	return d.readOffsets(d.byProc[proc])
+}
+
+func (d *Disk) readOffsets(offsets []int64) ([]summary.Summary, error) {
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, SegName))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	out := make([]summary.Summary, 0, len(offsets))
+	for _, off := range offsets {
+		payload, _, err := parseRecord(data, off)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s, _, err := wire.DecodeSummary(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: record at offset %d: %w", off, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Put appends one summary record, deduplicated by canonical wire key.
+// The wire encoder is the durability guard: a summary whose fields
+// carry a process-local "#id"/"!" key is refused before any byte
+// reaches disk.
+func (d *Disk) Put(s summary.Summary) (bool, error) {
+	payload, err := wire.AppendSummary(nil, s)
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, fmt.Errorf("store: put on closed store")
+	}
+	if _, dup := d.keys[string(payload)]; dup {
+		return false, nil
+	}
+	rec := binary.AppendUvarint(nil, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	if _, err := d.f.Write(rec); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	d.keys[string(payload)] = struct{}{}
+	d.byProc[s.Proc] = append(d.byProc[s.Proc], d.size)
+	d.size += int64(len(rec))
+	d.count++
+	d.dirty = true
+	return true, nil
+}
+
+// Flush fsyncs the segment and rewrites the index.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flushLocked()
+}
+
+func (d *Disk) flushLocked() error {
+	if d.closed {
+		return nil
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if !d.dirty {
+		return nil
+	}
+	if err := d.writeIndex(); err != nil {
+		return err
+	}
+	d.dirty = false
+	return nil
+}
+
+// Close flushes and releases the store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	err := d.flushLocked()
+	d.closed = true
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeIndex renders the per-procedure offset index:
+// magic, fingerprint, segment size, record count, then per procedure
+// its name and sorted record offsets. The (fingerprint, segment size)
+// pair is the validity stamp: an index that does not match the segment
+// byte-for-byte in both is stale and gets rebuilt from the segment.
+func (d *Disk) writeIndex() error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, idxMagic...)
+	buf = append(buf, d.fp[:]...)
+	buf = binary.AppendUvarint(buf, uint64(d.size))
+	buf = binary.AppendUvarint(buf, uint64(d.count))
+	procs := make([]string, 0, len(d.byProc))
+	for p := range d.byProc {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	buf = binary.AppendUvarint(buf, uint64(len(procs)))
+	for _, p := range procs {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+		offs := d.byProc[p]
+		buf = binary.AppendUvarint(buf, uint64(len(offs)))
+		for _, off := range offs {
+			buf = binary.AppendUvarint(buf, uint64(off))
+		}
+	}
+	tmp := filepath.Join(d.dir, IdxName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, IdxName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// checkIndex compares the on-disk index against the scan-derived truth
+// and schedules a rewrite when the index is missing, stale, or does not
+// match the segment. The segment is always authoritative.
+func (d *Disk) checkIndex() {
+	idx, err := readIndex(filepath.Join(d.dir, IdxName))
+	if err != nil || idx.fp != d.fp || idx.segSize != d.size || idx.count != d.count {
+		d.dirty = true
+		return
+	}
+	for p, offs := range d.byProc {
+		got := idx.byProc[p]
+		if len(got) != len(offs) {
+			d.dirty = true
+			return
+		}
+		for i := range offs {
+			if got[i] != offs[i] {
+				d.dirty = true
+				return
+			}
+		}
+	}
+}
+
+type diskIndex struct {
+	fp      Fingerprint
+	segSize int64
+	count   int
+	byProc  map[string][]int64
+}
+
+func readIndex(path string) (*diskIndex, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(idxMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != idxMagic {
+		return nil, fmt.Errorf("store: %s is not a summary store index", path)
+	}
+	idx := &diskIndex{byProc: map[string][]int64{}}
+	if _, err := io.ReadFull(r, idx.fp[:]); err != nil {
+		return nil, fmt.Errorf("store: %s: truncated index", path)
+	}
+	segSize, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: truncated index", path)
+	}
+	idx.segSize = int64(segSize)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: truncated index", path)
+	}
+	idx.count = int(count)
+	nprocs, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: truncated index", path)
+	}
+	for i := uint64(0); i < nprocs; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil || nameLen > maxRecordLen {
+			return nil, fmt.Errorf("store: %s: corrupt index", path)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("store: %s: truncated index", path)
+		}
+		noffs, err := binary.ReadUvarint(r)
+		if err != nil || noffs > maxRecordLen {
+			return nil, fmt.Errorf("store: %s: corrupt index", path)
+		}
+		offs := make([]int64, noffs)
+		for j := range offs {
+			off, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: truncated index", path)
+			}
+			offs[j] = int64(off)
+		}
+		idx.byProc[string(name)] = offs
+	}
+	return idx, nil
+}

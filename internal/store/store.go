@@ -1,0 +1,126 @@
+// Package store implements the persistent summary store behind the
+// engines' warm-start path: a SummaryStore interface with the existing
+// 32-way striped in-memory SUMDB as one backend (Mem) and an
+// append-only, fingerprinted disk segment as another (Disk).
+//
+// Everything a store holds went through internal/wire, so its contents
+// are canonical cross-process bytes — never the process-local
+// "#<intern-id>" keys the in-memory hot path uses. A disk store is
+// bound to a fingerprint of the corpus/driver it was built from; a
+// store whose fingerprint does not match is rejected with a
+// *MismatchError, never silently reused.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/summary"
+	"repro/internal/wire"
+)
+
+// Store is a persistent (or shareable) summary collection. All methods
+// are safe for concurrent use.
+type Store interface {
+	// Load returns every stored summary. The engines feed the result
+	// into a fresh SUMDB before the first MAP stage (warm start).
+	Load() ([]summary.Summary, error)
+	// Put persists one summary, deduplicated by canonical wire key;
+	// added reports whether the summary was new to the store.
+	Put(s summary.Summary) (added bool, err error)
+	// Flush makes every Put durable (fsync + index rewrite for the
+	// disk backend; a no-op for the in-memory backend).
+	Flush() error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Fingerprint identifies the corpus/driver + analysis + wire version a
+// store's contents are valid for.
+type Fingerprint [sha256.Size]byte
+
+// NewFingerprint hashes the given parts (length-prefixed, so part
+// boundaries are unambiguous) into a store fingerprint. Callers include
+// the wire version, the analysis name, and the full program text, so
+// any change to what the summaries mean invalidates the store.
+func NewFingerprint(parts ...string) Fingerprint {
+	h := sha256.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, p := range parts {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:n])
+		h.Write([]byte(p))
+	}
+	var fp Fingerprint
+	copy(fp[:], h.Sum(nil))
+	return fp
+}
+
+func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:8]) }
+
+// Mem is the in-memory backend: the same 32-way striped summary
+// database the engines share in-process, fronted by a canonical-key
+// dedup set. It is the natural store for a long-lived server sharing
+// warm summaries across requests without touching disk.
+type Mem struct {
+	mu   sync.Mutex
+	keys map[string]struct{}
+	db   *summary.DB
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{keys: map[string]struct{}{}, db: summary.New(nil)}
+}
+
+// Load returns the stored summaries.
+func (m *Mem) Load() ([]summary.Summary, error) { return m.db.All(), nil }
+
+// Put stores s, deduplicated by canonical wire key.
+func (m *Mem) Put(s summary.Summary) (bool, error) {
+	key, err := wire.SummaryKey(s)
+	if err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.keys[key]; dup {
+		return false, nil
+	}
+	m.keys[key] = struct{}{}
+	m.db.Add(s)
+	return true, nil
+}
+
+// Flush is a no-op for the in-memory backend.
+func (m *Mem) Flush() error { return nil }
+
+// Close is a no-op for the in-memory backend.
+func (m *Mem) Close() error { return nil }
+
+// Count returns the number of stored summaries.
+func (m *Mem) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.keys)
+}
+
+// MismatchError reports a store whose fingerprint does not match the
+// corpus/driver being checked. The store is rejected: warm-starting
+// from summaries of a different program (or a different wire version)
+// would be unsound, so the caller must either point at the right store
+// or explicitly recreate this one.
+type MismatchError struct {
+	Path string
+	Want Fingerprint
+	Got  Fingerprint
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf(
+		"store: %s holds summaries for a different corpus/driver (store fingerprint %s, expected %s); refusing to reuse a stale store — point at the matching store or recreate this one explicitly",
+		e.Path, e.Got, e.Want)
+}

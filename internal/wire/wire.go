@@ -1,0 +1,201 @@
+// Package wire defines the stable cross-process encoding of the
+// objects that may legitimately leave a process: summaries and
+// questions. It composes the canonical formula encoding of
+// internal/logic (logic.WireBytes) with length-prefixed strings and a
+// record tag, and it is the single choke point where durability is
+// enforced: nothing resembling a process-local logic.Key — the
+// "#<intern-id>" render or the "!"-prefixed overflow fallback — may be
+// written into a persisted artifact. Only canonical wire bytes cross
+// the process boundary.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/summary"
+)
+
+// Version is the wire-format version. It participates in every store
+// fingerprint, so bumping it invalidates (rather than misreads) any
+// artifact written under an older encoding.
+const Version = 1
+
+// Record tags.
+const (
+	tagSummary  = 0x53 // 'S'
+	tagQuestion = 0x51 // 'Q'
+)
+
+const maxStringLen = 1 << 16
+
+// ErrVolatileKey is wrapped by every durability-guard failure.
+var ErrVolatileKey = fmt.Errorf("wire: process-local logic.Key leaked into a durable artifact")
+
+// CheckDurable rejects strings that carry a process-local formula
+// identity: the "#<id>" render of an interned logic.Key and the
+// "!"-prefixed structural fallback. Such strings are only meaningful
+// inside the process that produced them; persisting or shipping one is
+// always a bug. The encoders below run this check on every string they
+// write, so the store encoder cannot emit one even if a caller
+// mistakenly threads a Key through a name field.
+func CheckDurable(s string) error {
+	if looksVolatile(s) {
+		return fmt.Errorf("%w: %q", ErrVolatileKey, s)
+	}
+	return nil
+}
+
+func looksVolatile(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if s[0] == '!' {
+		return true
+	}
+	if s[0] != '#' || len(s) < 2 {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendSummary appends the canonical encoding of s to dst:
+// tag, kind, proc, Pre wire bytes, Post wire bytes.
+func AppendSummary(dst []byte, s summary.Summary) ([]byte, error) {
+	if err := CheckDurable(s.Proc); err != nil {
+		return dst, fmt.Errorf("summary for proc %q: %w", s.Proc, err)
+	}
+	if s.Pre == nil || s.Post == nil {
+		return dst, fmt.Errorf("wire: summary for proc %q has a nil formula", s.Proc)
+	}
+	dst = append(dst, tagSummary, byte(s.Kind))
+	dst = appendString(dst, s.Proc)
+	dst = logic.AppendWire(dst, s.Pre)
+	dst = logic.AppendWire(dst, s.Post)
+	return dst, nil
+}
+
+// DecodeSummary decodes one summary and returns the bytes consumed.
+func DecodeSummary(buf []byte) (summary.Summary, int, error) {
+	var s summary.Summary
+	if len(buf) < 2 || buf[0] != tagSummary {
+		return s, 0, fmt.Errorf("wire: not a summary record")
+	}
+	kind := summary.Kind(buf[1])
+	if kind != summary.Must && kind != summary.NotMay {
+		return s, 0, fmt.Errorf("wire: unknown summary kind %d", buf[1])
+	}
+	pos := 2
+	proc, n, err := decodeString(buf[pos:])
+	if err != nil {
+		return s, 0, err
+	}
+	pos += n
+	pre, n, err := logic.DecodeWire(buf[pos:])
+	if err != nil {
+		return s, 0, err
+	}
+	pos += n
+	post, n, err := logic.DecodeWire(buf[pos:])
+	if err != nil {
+		return s, 0, err
+	}
+	pos += n
+	return summary.Summary{Kind: kind, Proc: proc, Pre: pre, Post: post}, pos, nil
+}
+
+// SummaryKey is the canonical cross-process identity of a summary: its
+// wire encoding as a string. Two summaries with equal keys are the same
+// fact in every process.
+func SummaryKey(s summary.Summary) (string, error) {
+	b, err := AppendSummary(nil, s)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// AppendQuestion appends the canonical encoding of q to dst. Nil
+// formulas (scripted test questions) encode as the reserved nil tag.
+func AppendQuestion(dst []byte, q summary.Question) ([]byte, error) {
+	if err := CheckDurable(q.Proc); err != nil {
+		return dst, fmt.Errorf("question for proc %q: %w", q.Proc, err)
+	}
+	dst = append(dst, tagQuestion)
+	dst = appendString(dst, q.Proc)
+	dst = appendOptFormula(dst, q.Pre)
+	dst = appendOptFormula(dst, q.Post)
+	return dst, nil
+}
+
+// DecodeQuestion decodes one question and returns the bytes consumed.
+func DecodeQuestion(buf []byte) (summary.Question, int, error) {
+	var q summary.Question
+	if len(buf) < 1 || buf[0] != tagQuestion {
+		return q, 0, fmt.Errorf("wire: not a question record")
+	}
+	pos := 1
+	proc, n, err := decodeString(buf[pos:])
+	if err != nil {
+		return q, 0, err
+	}
+	pos += n
+	pre, n, err := decodeOptFormula(buf[pos:])
+	if err != nil {
+		return q, 0, err
+	}
+	pos += n
+	post, n, err := decodeOptFormula(buf[pos:])
+	if err != nil {
+		return q, 0, err
+	}
+	pos += n
+	return summary.Question{Proc: proc, Pre: pre, Post: post}, pos, nil
+}
+
+// QuestionKey is the canonical cross-process identity of a question —
+// the durable analogue of Question.Key (which is built from
+// process-local intern ids and must never leave the process).
+func QuestionKey(q summary.Question) (string, error) {
+	b, err := AppendQuestion(nil, q)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(buf []byte) (string, int, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("wire: bad string length")
+	}
+	if l > maxStringLen || uint64(len(buf)-n) < l {
+		return "", 0, fmt.Errorf("wire: string length %d out of range", l)
+	}
+	return string(buf[n : n+int(l)]), n + int(l), nil
+}
+
+func appendOptFormula(dst []byte, f logic.Formula) []byte {
+	if f == nil {
+		return append(dst, logic.WireNil)
+	}
+	return logic.AppendWire(dst, f)
+}
+
+func decodeOptFormula(buf []byte) (logic.Formula, int, error) {
+	if len(buf) > 0 && buf[0] == logic.WireNil {
+		return nil, 1, nil
+	}
+	return logic.DecodeWire(buf)
+}
