@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest bench-gate fuzz-smoke bench bench-snapshot
+.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke bench-gate fuzz-smoke bench bench-snapshot
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: fmt vet build cross test race trace-smoke prof-selftest bench-gate fuzz-smoke
+ci: fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke bench-gate fuzz-smoke
 
 # fmt fails when any tracked file is not gofmt-clean (prints offenders).
 fmt:
@@ -43,6 +43,13 @@ trace-smoke:
 # analyzer's invariants (span <= work, critical path sums to span, ...).
 prof-selftest:
 	$(GO) run ./cmd/boltprof -selftest
+
+# watchdog-smoke seeds a deliberate stall (a PUNCH parked on a gate),
+# points the stall watchdog at the live probe on a fast tick, and
+# requires a structured diagnosis with the flight recorder's event
+# history attached before the run is released.
+watchdog-smoke:
+	$(GO) test -run TestWatchdogStallSmoke -count=1 ./internal/core
 
 # bench-gate is the perf regression gate: collect a fresh streaming
 # snapshot and diff it against the committed baseline. Fails when the

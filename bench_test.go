@@ -293,10 +293,14 @@ func BenchmarkObsOverhead(b *testing.B) {
 		name    string
 		metrics bool
 		trace   bool
+		flight  bool
+		probe   bool
 	}{
-		{"disabled", false, false},
-		{"metrics", true, false},
-		{"metrics+trace", true, true},
+		{name: "disabled"},
+		{name: "metrics", metrics: true},
+		{name: "metrics+trace", metrics: true, trace: true},
+		{name: "flight", flight: true},
+		{name: "flight+probe", flight: true, probe: true},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
@@ -310,6 +314,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 				}
 				if mode.trace {
 					opts.Tracer = obs.NewChromeTracer()
+				}
+				if mode.flight {
+					opts.Tracer = obs.NewFlightRecorder(0)
+				}
+				if mode.probe {
+					opts.Probe = &obs.Probe{}
 				}
 				r := core.New(prog, opts).Run(core.AssertionQuestion(prog))
 				if r.Verdict != core.Safe {

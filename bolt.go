@@ -227,6 +227,17 @@ type Options struct {
 	// (engine, proc, query-depth), so CPU profiles break analysis time
 	// down by procedure and tree depth.
 	PprofLabels bool
+	// Inspect, when non-nil, attaches the run to the inspector's live
+	// probe: /debug/bolt/state (and the stall watchdog) can then sample
+	// per-worker state, forest occupancy, coalescer, SUMDB shard and
+	// solver gauges while the check is in flight. Nil costs one branch
+	// per publish site.
+	Inspect *Inspector
+	// FlightRecorder, when non-nil, is teed into the run's event stream:
+	// a bounded ring of the most recent lifecycle events, dumpable via
+	// /debug/bolt/flight or boltcheck -flight-dump. Unlike TraceTo it is
+	// cheap enough to leave on for whole runs.
+	FlightRecorder *obs.FlightRecorder
 }
 
 // Result reports a verification run.
@@ -340,6 +351,7 @@ func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics, st sto
 		Tracer:                 tr,
 		Metrics:                m,
 		PprofLabels:            o.PprofLabels,
+		Probe:                  o.Inspect.Probe(),
 	})
 }
 
@@ -391,6 +403,11 @@ func (o Options) hooks() (*obs.ChromeTracer, *obs.JSONLTracer, obs.Tracer, *obs.
 	if o.TraceJSONLTo != nil {
 		jt = obs.NewJSONLTracer(o.TraceJSONLTo)
 		tr = obs.Tee(tr, jt)
+	}
+	// The guard matters: teeing a typed-nil *FlightRecorder would yield
+	// a non-nil Tracer interface and defeat the engines' nil check.
+	if o.FlightRecorder != nil {
+		tr = obs.Tee(tr, o.FlightRecorder)
 	}
 	m := o.MetricsInto
 	if m == nil && o.CollectMetrics {
@@ -561,6 +578,11 @@ type DistOptions struct {
 	CollectMetrics bool
 	MetricsInto    *obs.Metrics
 	PprofLabels    bool
+	// Inspect and FlightRecorder mirror Options: the live-introspection
+	// probe (per-node occupancy, skew and gossip backlog on top of the
+	// shared gauges) and the bounded ring of recent lifecycle events.
+	Inspect        *Inspector
+	FlightRecorder *obs.FlightRecorder
 }
 
 // DistResult reports a simulated-cluster run.
@@ -617,6 +639,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		TraceJSONLTo:   opts.TraceJSONLTo,
 		CollectMetrics: opts.CollectMetrics,
 		MetricsInto:    opts.MetricsInto,
+		FlightRecorder: opts.FlightRecorder,
 	}
 	ct, jt, tr, m := hooks.hooks()
 	eng := core.NewDistributed(p.prog, core.DistOptions{
@@ -632,6 +655,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		Tracer:         tr,
 		Metrics:        m,
 		PprofLabels:    opts.PprofLabels,
+		Probe:          opts.Inspect.Probe(),
 
 		DisableCoalesce:        opts.DisableCoalesce,
 		DisableEntailmentCache: opts.DisableEntailmentCache,

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	bolt "repro"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -39,16 +40,27 @@ func main() {
 		warm      = flag.Bool("warm", false, "run the warm-start experiment: each check cold into a persistent summary store, then warm from it")
 		warmDir   = flag.String("warm-store", "", "store directory for -warm (default: a fresh temp dir, removed afterwards)")
 		warmTh    = flag.Int("warm-threads", 8, "thread count for -warm runs")
-		pprofA    = flag.String("pprof", "", "serve /debug/pprof on this address for the bench's duration")
+		pprofA    = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/bolt/{state,flight,health} on this address for the bench's duration")
 	)
 	flag.Parse()
+	// The bench loop runs checks back to back, so one shared registry,
+	// inspector and flight ring observe the whole suite: /metrics
+	// accumulates across runs, /debug/bolt/state shows whichever check
+	// is in flight right now.
+	var liveReg *obs.Metrics
+	var insp *bolt.Inspector
+	var flightTr obs.Tracer // interface-typed only when a recorder exists (typed-nil would defeat engine nil checks)
 	if *pprofA != "" {
-		addr, err := obs.StartPprofServer(*pprofA, nil)
+		liveReg = obs.NewMetrics()
+		insp = bolt.NewInspector()
+		flight := obs.NewFlightRecorder(0)
+		flightTr = flight
+		addr, err := obs.StartDebugServer(*pprofA, bolt.DebugState(liveReg, insp, flight, nil))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "debug: serving /debug/pprof, /metrics and /debug/bolt/{state,flight,health} on http://%s\n", addr)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -62,6 +74,9 @@ func main() {
 		Ctx:                    ctx,
 		DisableCoalesce:        !*coalesce,
 		DisableEntailmentCache: !*entCache,
+		MetricsInto:            liveReg,
+		Probe:                  insp.Probe(),
+		Tracer:                 flightTr,
 	}
 
 	did := false

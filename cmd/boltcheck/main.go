@@ -44,7 +44,10 @@ func main() {
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open at ui.perfetto.dev)")
 		traceJL  = flag.String("trace-jsonl", "", "stream the run's events to this file as JSON Lines (analyze with boltprof)")
 		metrics  = flag.Bool("metrics", false, "collect and print the engine metrics registry")
-		pprofA   = flag.String("pprof", "", "serve /debug/pprof and Prometheus /metrics on this address for the run's duration (also enables pprof labels)")
+		pprofA   = flag.String("pprof", "", "serve /debug/pprof, Prometheus /metrics and the /debug/bolt/{state,flight,health} introspection endpoints on this address for the run's duration (also enables pprof labels)")
+		watchT   = flag.Duration("watchdog", 0, "sample live engine state at this tick and print a stall diagnosis when progress flatlines (0 = off)")
+		watchS   = flag.Duration("watchdog-stall", obs.DefaultWatchdogStall, "with -watchdog, call the run stalled after this long without progress")
+		flightD  = flag.String("flight-dump", "", "write the flight recorder's recent-event ring to this JSONL file when the run ends (and at each watchdog stall)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -70,18 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boltcheck: -faults requires -dist")
 		os.Exit(3)
 	}
-	// With -pprof, the run accumulates into a registry the HTTP server
-	// also renders at /metrics, so Prometheus scrapes see the live run.
-	var liveReg *obs.Metrics
-	if *pprofA != "" {
-		liveReg = obs.NewMetrics()
-		addr, err := obs.StartPprofServer(*pprofA, liveReg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(3)
-		}
-		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof and /metrics on http://%s\n", addr)
-	}
+	ob := newObsBundle(*pprofA, *watchT, *watchS, *flightD)
 	var traceOut *os.File
 	if *trace != "" {
 		traceOut, err = os.Create(*trace)
@@ -101,7 +93,7 @@ func main() {
 		defer traceJLOut.Close()
 	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, liveReg, !*coalesce, !*entCache, *storeDir, *storeRst)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, ob, !*coalesce, !*entCache, *storeDir, *storeRst)
 		return
 	}
 	opts := bolt.Options{
@@ -111,7 +103,9 @@ func main() {
 		Async:                  *async,
 		FindWitness:            *wit,
 		CollectMetrics:         *metrics,
-		MetricsInto:            liveReg,
+		MetricsInto:            ob.reg,
+		Inspect:                ob.insp,
+		FlightRecorder:         ob.flight,
 		PprofLabels:            *pprofA != "",
 		DisableCoalesce:        !*coalesce,
 		DisableEntailmentCache: !*entCache,
@@ -168,7 +162,89 @@ func main() {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
 	reportTrace(*trace, *traceJL, res.TraceSpans, res.TraceEvents, res.TraceErr)
+	ob.finish()
 	exitVerdict(res.Verdict)
+}
+
+// obsBundle holds the live-introspection handles one boltcheck run
+// shares between the engine, the debug HTTP server, and the watchdog.
+// The zero bundle (no -pprof/-watchdog/-flight-dump) disables all of it.
+type obsBundle struct {
+	reg    *obs.Metrics
+	insp   *bolt.Inspector
+	flight *obs.FlightRecorder
+	wd     *obs.Watchdog
+	dump   string
+}
+
+// newObsBundle builds (and starts) the observability side-cars the
+// flags ask for: the debug HTTP server on pprofAddr, a watchdog at the
+// given tick, and a flight recorder whenever any consumer needs one.
+func newObsBundle(pprofAddr string, tick, stall time.Duration, dump string) *obsBundle {
+	ob := &obsBundle{dump: dump}
+	if pprofAddr == "" && tick <= 0 && dump == "" {
+		return ob
+	}
+	ob.insp = bolt.NewInspector()
+	ob.flight = obs.NewFlightRecorder(0)
+	if pprofAddr != "" {
+		// The run accumulates into a registry the HTTP server also
+		// renders at /metrics, so Prometheus scrapes see the live run.
+		ob.reg = obs.NewMetrics()
+	}
+	if tick > 0 {
+		ob.wd = obs.NewWatchdog(obs.WatchdogConfig{
+			Probe:      ob.insp.Probe(),
+			Flight:     ob.flight,
+			Tick:       tick,
+			StallAfter: stall,
+			OnStall: func(r obs.StallReport) {
+				fmt.Fprintln(os.Stderr, r.String())
+				if ob.dump != "" {
+					ob.writeDump()
+				}
+			},
+		})
+		ob.wd.Start()
+	}
+	if pprofAddr != "" {
+		addr, err := obs.StartDebugServer(pprofAddr, bolt.DebugState(ob.reg, ob.insp, ob.flight, ob.wd))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "debug: serving /debug/pprof, /metrics and /debug/bolt/{state,flight,health} on http://%s\n", addr)
+	}
+	return ob
+}
+
+// writeDump writes the flight ring to the -flight-dump path, replacing
+// any earlier dump (later is better: more of the interesting tail).
+func (ob *obsBundle) writeDump() {
+	f, err := os.Create(ob.dump)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
+		os.Exit(3)
+	}
+	n, err := ob.flight.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "flight: wrote %s (%d events, %d dropped); report with boltprof -flight %s\n",
+		ob.dump, n, ob.flight.Dropped(), ob.dump)
+}
+
+// finish stops the watchdog and writes the final flight dump. It must
+// run before exitVerdict: os.Exit skips deferred functions.
+func (ob *obsBundle) finish() {
+	ob.wd.Stop()
+	if ob.dump != "" {
+		ob.writeDump()
+	}
 }
 
 // printSolverStats renders the solver's hot-path accounting: the
@@ -240,15 +316,17 @@ func reportTrace(chromePath, jsonlPath string, spans int, events int64, err erro
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, liveReg *obs.Metrics, noCoalesce, noEntCache bool, storeDir string, storeReset bool) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, ob *obsBundle, noCoalesce, noEntCache bool, storeDir string, storeReset bool) {
 	opts := bolt.DistOptions{
 		Nodes:                  nodes,
 		ThreadsPerNode:         threads,
 		Timeout:                timeout,
 		Faults:                 faults,
 		CollectMetrics:         metrics,
-		MetricsInto:            liveReg,
-		PprofLabels:            liveReg != nil,
+		MetricsInto:            ob.reg,
+		Inspect:                ob.insp,
+		FlightRecorder:         ob.flight,
+		PprofLabels:            ob.reg != nil,
 		DisableCoalesce:        noCoalesce,
 		DisableEntailmentCache: noEntCache,
 		StorePath:              storeDir,
@@ -300,6 +378,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
 	reportTrace(tracePath, traceJLPath, res.TraceSpans, res.TraceEvents, res.TraceErr)
+	ob.finish()
 	exitVerdict(res.Verdict)
 }
 

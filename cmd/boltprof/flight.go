@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// runFlight reports on a flight-recorder dump (boltcheck -flight-dump,
+// or /debug/bolt/flight). Flight dumps use the same JSONL wire form as
+// full traces but hold only the newest events of a bounded ring, so
+// unlike -input analysis the report must tolerate truncation: punch
+// ends without a start, done queries whose spawn was dropped. Returns
+// the process exit code.
+func runFlight(path string, w io.Writer) int {
+	events, err := analyze.LoadJSONLFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(w, "flight %s: empty recording\n", path)
+		return 0
+	}
+
+	byType := map[obs.EventType]int{}
+	open := map[int64]obs.Event{} // query -> unmatched EvPunchStart
+	orphanEnds := 0               // EvPunchEnd whose start fell off the ring
+	var cost int64
+	for _, ev := range events {
+		byType[ev.Type]++
+		switch ev.Type {
+		case obs.EvPunchStart:
+			open[int64(ev.Query)] = ev
+		case obs.EvPunchEnd:
+			if _, ok := open[int64(ev.Query)]; ok {
+				delete(open, int64(ev.Query))
+			} else {
+				orphanEnds++
+			}
+			cost += ev.Cost
+		}
+	}
+
+	first, last := events[0], events[len(events)-1]
+	fmt.Fprintf(w, "flight %s: %d events\n", path, len(events))
+	fmt.Fprintf(w, "  span: vtime %d..%d (%d ticks), wall %v..%v (%v)\n",
+		first.VTime, last.VTime, last.VTime-first.VTime,
+		first.Wall, last.Wall, last.Wall-first.Wall)
+	fmt.Fprintf(w, "  punch cost in window: %d ticks\n", cost)
+
+	types := make([]obs.EventType, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	fmt.Fprintln(w, "  by type:")
+	for _, t := range types {
+		fmt.Fprintf(w, "    %-12s %d\n", t, byType[t])
+	}
+
+	if len(open) > 0 {
+		// Punches still in flight when the ring was dumped — on a
+		// stalled run these are the prime suspects.
+		stuck := make([]obs.Event, 0, len(open))
+		for _, ev := range open {
+			stuck = append(stuck, ev)
+		}
+		sort.Slice(stuck, func(i, j int) bool { return stuck[i].VTime < stuck[j].VTime })
+		fmt.Fprintf(w, "  open punches at dump time: %d\n", len(open))
+		for _, ev := range stuck {
+			fmt.Fprintf(w, "    q%-6d %-20s worker %d node %d since vtime %d (wall %v)\n",
+				ev.Query, ev.Proc, ev.Worker, ev.Node, ev.VTime, ev.Wall)
+		}
+	}
+	if orphanEnds > 0 {
+		fmt.Fprintf(w, "  punch ends with start truncated off the ring: %d\n", orphanEnds)
+	}
+
+	tail := events
+	if len(tail) > 10 {
+		tail = tail[len(tail)-10:]
+	}
+	fmt.Fprintf(w, "  last %d events:\n", len(tail))
+	for _, ev := range tail {
+		fmt.Fprintf(w, "    vt=%-8d %-12s q%-6d %-20s worker %d node %d\n",
+			ev.VTime, ev.Type, ev.Query, ev.Proc, ev.Worker, ev.Node)
+	}
+	return 0
+}

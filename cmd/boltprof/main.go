@@ -7,6 +7,7 @@
 //
 //	boltcheck -async -trace-jsonl trace.jsonl program.bolt
 //	boltprof -input trace.jsonl -report text
+//	boltprof -flight flight.jsonl
 //	boltprof -selftest
 //
 // -selftest replays the testdata corpus through all three engines
@@ -35,14 +36,18 @@ func main() {
 		report   = flag.String("report", "text", "report format: text|json")
 		selftest = flag.Bool("selftest", false, "replay the corpus through all three engines and validate analyzer invariants")
 		corpus   = flag.String("corpus", "testdata/corpus", "corpus directory for -selftest")
+		flight   = flag.String("flight", "", "flight-recorder dump to report on (from boltcheck -flight-dump or /debug/bolt/flight)")
 	)
 	flag.Parse()
 
 	if *selftest {
 		os.Exit(runSelftest(*corpus))
 	}
+	if *flight != "" {
+		os.Exit(runFlight(*flight, os.Stdout))
+	}
 	if *input == "" {
-		fmt.Fprintln(os.Stderr, "usage: boltprof -input trace.jsonl [-report text|json], or boltprof -selftest")
+		fmt.Fprintln(os.Stderr, "usage: boltprof -input trace.jsonl [-report text|json], boltprof -flight dump.jsonl, or boltprof -selftest")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -100,8 +100,14 @@ type asyncState struct {
 	// recorded stream is totally ordered and its virtual-time stamps
 	// are monotone.
 	in instr
+	// ls is the live-introspection surface (nil when no probe was
+	// attached). Gauges are published under mu in sample(); the
+	// per-worker cells are atomics and may also be touched from the
+	// worker loop.
+	ls    *obs.LiveState
+	alloc *query.Allocator
 	// depth is each live query's distance from the root, maintained
-	// only when pprof labels are on.
+	// only when pprof labels or live introspection are on.
 	depth map[query.ID]int
 }
 
@@ -148,10 +154,17 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 		clock:     newCoreClock(cores),
 		start:     start,
 		res:       &res,
+		alloc:     alloc,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.in = newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.MaxThreads, start, e.opts.PprofLabels)
-	if s.in.labels {
+	if e.opts.Probe != nil {
+		s.ls = obs.NewLiveState("async", e.opts.MaxThreads, 0, start)
+		attachProbe(e.opts.Probe, s.ls, db, solver)
+		defer e.opts.Probe.Detach()
+		publishForest(s.ls, tree, alloc, 0, 0, 0, 0, 0)
+	}
+	if s.in.labels || s.ls != nil {
 		s.depth = map[query.ID]int{root.ID: 0}
 	}
 	s.in.m.Inc(obs.QueriesSpawned)
@@ -226,11 +239,13 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 			}
 			s.res.IdleWaits++
 			s.in.m.Inc(obs.IdleParks)
+			s.ls.WorkerParked(id)
 			s.cond.Wait()
 			continue
 		}
 		s.busy++
 		s.running[q.ID] = true
+		s.ls.WorkerRunning(id, q.Q.Proc, int64(q.ID))
 		// While PUNCH runs it may mutate q in place outside the lock;
 		// keep index scans (ReadyCount, InState) away from it.
 		s.tree.Deschedule(q.ID)
@@ -261,6 +276,7 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 		s.mu.Lock()
 		s.busy--
 		delete(s.running, q.ID)
+		s.ls.WorkerFinished(id)
 		if s.in.m != nil {
 			s.in.m.ObservePunch(id, r.Cost, wall)
 		}
@@ -325,6 +341,7 @@ func (s *asyncState) pop(id int) *query.Query {
 			s.deques[id] = d[:len(d)-1]
 		} else {
 			s.in.m.Inc(obs.StealsAttempted)
+			s.ls.WorkerStealing(id)
 			for off := 1; off < len(s.deques); off++ {
 				v := (id + off) % len(s.deques)
 				if d := s.deques[v]; len(d) > 0 {
@@ -394,8 +411,9 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 			s.push(id, c)
 			newQ++
 			s.in.m.Inc(obs.QueriesSpawned)
-			if s.in.labels {
+			if s.depth != nil {
 				s.depth[c.ID] = s.depth[r.Self.ID] + 1
+				s.ls.ObserveDepth(s.depth[c.ID])
 			}
 			if s.in.tr != nil {
 				s.in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Worker: id, VTime: s.clock.vtime})
@@ -546,6 +564,13 @@ func (s *asyncState) sample(vtimeBefore, cost int64, newQ int) {
 	}
 	if smp.Ready > s.res.PeakReady {
 		s.res.PeakReady = smp.Ready
+	}
+	if s.ls != nil {
+		busy := int64(s.busy)
+		s.ls.Tick(s.clock.vtime, s.events)
+		s.ls.SetProgress(s.alloc.Count(), s.doneCount)
+		s.ls.SetForest(int64(smp.Live), int64(smp.Ready), int64(smp.Live)-int64(smp.Ready)-busy, busy)
+		s.ls.SetCoalescer(int64(s.tree.InflightSize()), int64(s.tree.WaiterEdgeCount()), s.res.CoalesceHits)
 	}
 	s.res.Trace = append(s.res.Trace, smp)
 	if s.e.opts.OnIteration != nil {

@@ -82,6 +82,10 @@ type DistOptions struct {
 	Metrics *obs.Metrics
 	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels.
 	PprofLabels bool
+	// Probe, when non-nil, receives a live-state snapshot function for
+	// the run's duration (per-node occupancy, skew and gossip backlog on
+	// top of the shared worker/forest gauges); see Options.Probe.
+	Probe *obs.Probe
 }
 
 // DistResult reports a cluster run.
@@ -263,8 +267,16 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 	// Worker slot w of node n gets the global metrics index
 	// n*ThreadsPerNode + w.
 	in := newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.Nodes*e.opts.ThreadsPerNode, start, e.opts.PprofLabels)
+	var ls *obs.LiveState
+	var doneCount int64
+	if e.opts.Probe != nil {
+		ls = obs.NewLiveState("dist", e.opts.Nodes*e.opts.ThreadsPerNode, e.opts.Nodes, start)
+		attachDistProbe(e.opts.Probe, ls, nodes, solver)
+		defer e.opts.Probe.Detach()
+		publishDist(ls, nodes, alloc, 0, 0, 0, 0)
+	}
 	var depth map[query.ID]int
-	if in.labels {
+	if in.labels || ls != nil {
 		depth = map[query.ID]int{root.ID: 0}
 	}
 	in.m.Inc(obs.QueriesSpawned)
@@ -289,7 +301,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		// Fault injection: the victim dies at the start of its round,
 		// before MAP, so no in-flight work complicates recovery.
 		if faults != nil && faults.KillNode >= 0 && round == faults.KillRound {
-			e.failNode(nodes, faults.KillNode, &res, &in, vtime)
+			e.failNode(nodes, faults.KillNode, &res, &in, ls, vtime)
 		}
 		rootOwner := e.owner(nodes, q0.Proc)
 		if rootOwner == nil {
@@ -337,6 +349,9 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 				go func(ni, i int) {
 					defer wg.Done()
 					o := &outcomes[ni]
+					slot := ni*e.opts.ThreadsPerNode + i
+					ls.WorkerRunning(slot, o.sel[i].Q.Proc, int64(o.sel[i].ID))
+					defer ls.WorkerFinished(slot)
 					var t0 time.Time
 					if in.m != nil {
 						t0 = time.Now()
@@ -364,11 +379,13 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			// new flowed, the cluster is genuinely deadlocked.
 			res.SyncExchanges++
 			vtime += e.opts.SyncCost
-			if e.gossip(nodes, nil, &res, &in, vtime) == 0 {
+			if e.gossip(nodes, nil, &res, &in, ls, vtime) == 0 {
+				publishDist(ls, nodes, alloc, vtime, int64(round+1), doneCount, res.CoalesceHits)
 				res.setStop(StopDeadlocked)
 				break
 			}
 			wakeBlocked(nodes, &in, vtime)
+			publishDist(ls, nodes, alloc, vtime, int64(round+1), doneCount, res.CoalesceHits)
 			continue
 		}
 
@@ -384,6 +401,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 				costs[i] = r.Cost
 			}
 			c := makespan(costs, e.opts.CoresPerNode)
+			ls.NodeAddBusy(ni, c)
 			if c > roundCost {
 				roundCost = c
 			}
@@ -441,8 +459,9 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 					}
 					dst.tree.Add(c)
 					in.m.Inc(obs.QueriesSpawned)
-					if in.labels {
+					if depth != nil {
 						depth[c.ID] = depth[r.Self.ID] + 1
+						ls.ObserveDepth(depth[c.ID])
 					}
 					if in.tr != nil {
 						in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime})
@@ -474,6 +493,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 				if self.State != query.Done {
 					continue
 				}
+				doneCount++
 				in.m.Inc(obs.QueriesDone)
 				if in.tr != nil {
 					in.emit(obs.Event{Type: obs.EvDone, Query: self.ID, Proc: self.Q.Proc, Node: ni, Worker: i, VTime: vtime})
@@ -518,6 +538,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			}
 		}
 		e.recordPeaks(nodes, &res)
+		publishDist(ls, nodes, alloc, vtime, int64(round+1), doneCount, res.CoalesceHits)
 
 		// Root check.
 		if rootQ := rootOwner.tree.Get(root.ID); rootQ != nil && rootQ.State == query.Done {
@@ -553,7 +574,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			// detector below would declare a fully-replicated-but-sleeping
 			// cluster dead. (The barrier engine gets this ordering for free
 			// from its shared database.)
-			if e.gossip(nodes, rng, &res, &in, vtime) > 0 {
+			if e.gossip(nodes, rng, &res, &in, ls, vtime) > 0 {
 				wakeBlocked(nodes, &in, vtime)
 			}
 		}
@@ -668,12 +689,13 @@ func (e *DistEngine) recordPeaks(nodes []*distNode, res *DistResult) {
 // queries are re-routed to their new owners, with Blocked survivors woken
 // so they re-examine the recovered databases. No-op when the victim is
 // out of range or already dead.
-func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult, in *instr, vtime int64) {
+func (e *DistEngine) failNode(nodes []*distNode, victim int, res *DistResult, in *instr, ls *obs.LiveState, vtime int64) {
 	if victim < 0 || victim >= len(nodes) || nodes[victim].dead {
 		return
 	}
 	dead := nodes[victim]
 	dead.dead = true
+	ls.NodeDead(victim)
 	res.KilledNodes = append(res.KilledNodes, victim)
 	in.m.Inc(obs.NodeKills)
 	if in.tr != nil {
@@ -721,14 +743,17 @@ func summaryKey(s summary.Summary) string {
 // batch deltas; the simulation keys on summary structure to avoid
 // rebroadcast. With a non-nil rng, each delivery is dropped with the
 // fault plan's probability; a dropped delivery stays unacknowledged and
-// is retried at the next exchange (drop-as-delay).
-func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult, in *instr, vtime int64) int {
+// is retried at the next exchange (drop-as-delay). Each receiver's
+// deferred-delivery count for this exchange is published as its live
+// gossip backlog.
+func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult, in *instr, ls *obs.LiveState, vtime int64) int {
 	in.m.Inc(obs.GossipRounds)
 	drop := 0.0
 	if rng != nil && e.opts.Faults != nil {
 		drop = e.opts.Faults.GossipDrop
 	}
 	moved := 0
+	deferred := make([]int64, len(nodes))
 	for _, from := range nodes {
 		if from.dead {
 			continue
@@ -741,6 +766,7 @@ func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult, 
 				}
 				if drop > 0 && rng.Float64() < drop {
 					res.DroppedDeliveries++
+					deferred[to.id]++
 					continue
 				}
 				to.known[key] = true
@@ -748,6 +774,11 @@ func (e *DistEngine) gossip(nodes []*distNode, rng *rand.Rand, res *DistResult, 
 				moved++
 				in.deliver(from.id, to.id, s.Proc, len(key), vtime)
 			}
+		}
+	}
+	if ls != nil {
+		for i, d := range deferred {
+			ls.NodeSetBacklog(i, d)
 		}
 	}
 	return moved

@@ -145,6 +145,12 @@ type Options struct {
 	// PprofLabels wraps every PUNCH invocation in runtime/pprof labels
 	// (engine, proc, query-depth) for CPU-profile attribution.
 	PprofLabels bool
+	// Probe, when non-nil, receives a live-state snapshot function for
+	// the run's duration: per-worker state, forest occupancy, coalescer
+	// and SUMDB/solver gauges, sampled concurrently by the debug HTTP
+	// endpoints and the stall watchdog. A nil probe costs one branch per
+	// publish site.
+	Probe *obs.Probe
 }
 
 // IterSample is one MAP/REDUCE iteration's instrumentation record; the
@@ -284,10 +290,18 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	var doneCount int64
 
 	in := newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.MaxThreads, start, e.opts.PprofLabels)
+	var ls *obs.LiveState
+	if e.opts.Probe != nil {
+		ls = obs.NewLiveState("barrier", e.opts.MaxThreads, 0, start)
+		attachProbe(e.opts.Probe, ls, db, solver)
+		defer e.opts.Probe.Detach()
+		publishForest(ls, tree, alloc, 0, 0, 0, 0, 0)
+	}
 	// depth tracks each live query's distance from the root for the
-	// query-depth pprof label; maintained only when labels are on.
+	// query-depth pprof label and the live max-depth gauge; maintained
+	// only when one of them is on.
 	var depth map[query.ID]int
-	if in.labels {
+	if in.labels || ls != nil {
 		depth = map[query.ID]int{root.ID: 0}
 	}
 	in.m.Inc(obs.QueriesSpawned)
@@ -351,6 +365,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 			go func(i int) {
 				defer wg.Done()
 				q := sel[i]
+				ls.WorkerRunning(i, q.Q.Proc, int64(q.ID))
 				if in.tr != nil {
 					in.emit(obs.Event{Type: obs.EvPunchStart, Query: q.ID, Proc: q.Q.Proc, Worker: i, VTime: vtime})
 				}
@@ -371,6 +386,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				if in.tr != nil {
 					in.emit(obs.Event{Type: obs.EvPunchEnd, Query: q.ID, Proc: q.Q.Proc, Worker: i, VTime: vtime, Cost: results[i].Cost})
 				}
+				ls.WorkerFinished(i)
 			}(i)
 		}
 		wg.Wait()
@@ -433,8 +449,9 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				}
 				tree.Add(c)
 				in.m.Inc(obs.QueriesSpawned)
-				if in.labels {
+				if depth != nil {
 					depth[c.ID] = depth[r.Self.ID] + 1
+					ls.ObserveDepth(depth[c.ID])
 				}
 				if in.tr != nil {
 					in.emit(obs.Event{Type: obs.EvSpawn, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime})
@@ -484,6 +501,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 			res.setStop(StopRootAnswered)
 			res.Iterations = iter + 1
 			e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
+			publishForest(ls, tree, alloc, vtime, int64(iter+1), doneCount, res.CoalesceHits, 0)
 			break
 		}
 
@@ -529,6 +547,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 		}
 		res.Iterations = iter + 1
 		e.sample(&res, iter, vtime, stageCost, len(ready), len(sel), tree.Len(), doneCount, newQueries)
+		publishForest(ls, tree, alloc, vtime, int64(iter+1), doneCount, res.CoalesceHits, 0)
 	}
 
 	// Falling out of the loop without a recorded reason means the

@@ -45,6 +45,14 @@ type Options struct {
 	// Metrics attaches a fresh obs.Metrics registry to every run and its
 	// snapshot to CheckResult.Metrics.
 	Metrics bool
+	// MetricsInto, when non-nil, is a shared live registry every run
+	// accumulates into instead of a fresh private one (implies Metrics):
+	// the CLIs hand the same registry to obs.StartDebugServer so
+	// /metrics scrapes observe runs in flight.
+	MetricsInto *obs.Metrics
+	// Probe, when non-nil, receives each run's live-state snapshot
+	// function (see core.Options.Probe); runs attach and detach in turn.
+	Probe *obs.Probe
 	// Tracer, when set, receives every run's query-lifecycle events.
 	Tracer obs.Tracer
 	// DisableCoalesce and DisableEntailmentCache are the
@@ -106,7 +114,9 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 	opts = opts.withDefaults()
 	prog := drivers.Generate(check.Config)
 	var m *obs.Metrics
-	if opts.Metrics {
+	if opts.MetricsInto != nil {
+		m = opts.MetricsInto
+	} else if opts.Metrics {
 		m = obs.NewMetrics()
 	}
 	eng := core.New(prog, core.Options{
@@ -119,6 +129,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Async:           opts.Async,
 		Tracer:          opts.Tracer,
 		Metrics:         m,
+		Probe:           opts.Probe,
 		Store:           opts.Store,
 
 		DisableCoalesce:        opts.DisableCoalesce,

@@ -101,7 +101,10 @@ func CollectStreaming(opts Options, threads int, checks []drivers.Check) Streami
 	for _, check := range checks {
 		seq := RunCheck(check, 1, seqOpts)
 		rec := &obs.Recording{}
-		parOpts.Tracer = rec
+		// Tee rather than replace: a caller-supplied tracer (e.g. the
+		// CLI's flight recorder) keeps seeing events alongside the
+		// critical-path recording.
+		parOpts.Tracer = obs.Tee(opts.Tracer, rec)
 		par := RunCheck(check, threads, parOpts)
 		entry := StreamingCheckBench{
 			Check:        check.ID(),

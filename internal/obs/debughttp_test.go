@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func debugGet(t *testing.T, st DebugState, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	st.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s = %d", path, rec.Code)
+	}
+	return rec
+}
+
+func TestDebugMetricsCarriesRuntimeInfo(t *testing.T) {
+	m := NewMetrics()
+	m.Add(QueriesDone, 3)
+	st := DebugState{
+		Metrics: m,
+		Build:   BuildInfo{GoVersion: "go1.99", WireVersion: 2, Engines: "barrier,async,dist"},
+		Start:   time.Now().Add(-2 * time.Second),
+	}
+	body := debugGet(t, st, "/metrics").Body.String()
+	for _, want := range []string{
+		`bolt_build_info{go_version="go1.99",wire_version="2",engines="barrier,async,dist"} 1`,
+		"bolt_uptime_seconds",
+		"bolt_run_state 0", // no probe: idle
+		"bolt_queries_done_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugStateEndpoint(t *testing.T) {
+	var p Probe
+	st := DebugState{Probe: &p}
+
+	// Idle: explicit idle document, still valid JSON.
+	var doc map[string]any
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/state").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["phase"] != "idle" {
+		t.Fatalf("idle phase = %v", doc["phase"])
+	}
+
+	// Mid-run: the live snapshot.
+	ls := NewLiveState("async", 2, 0, time.Now())
+	ls.Tick(41, 5)
+	ls.SetForest(3, 1, 1, 1)
+	p.Attach(func() *StateSnapshot { return ls.Snapshot() })
+	defer p.Detach()
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/state").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["phase"] != "running" || doc["engine"] != "async" || doc["vtime"] != float64(41) {
+		t.Fatalf("running state = %v", doc)
+	}
+	forest, ok := doc["forest"].(map[string]any)
+	if !ok || forest["live"] != float64(3) {
+		t.Fatalf("forest = %v", doc["forest"])
+	}
+}
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Event(Event{Type: EvSpawn, VTime: int64(i)})
+	}
+	rec := debugGet(t, DebugState{Flight: f}, "/debug/bolt/flight")
+	if got := rec.Header().Get("X-Bolt-Flight-Total"); got != "6" {
+		t.Fatalf("total header = %q", got)
+	}
+	if got := rec.Header().Get("X-Bolt-Flight-Dropped"); got != "2" {
+		t.Fatalf("dropped header = %q", got)
+	}
+	if got := rec.Header().Get("X-Bolt-Flight-Capacity"); got != "4" {
+		t.Fatalf("capacity header = %q", got)
+	}
+	lines := 0
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		if _, err := UnmarshalEventJSON(sc.Bytes()); err != nil {
+			t.Fatalf("flight line does not parse: %v", err)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("flight served %d lines; want 4", lines)
+	}
+}
+
+func TestDebugHealthEndpoint(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Event(Event{Type: EvSpawn})
+	st := DebugState{
+		Flight: f,
+		Build:  BuildInfo{GoVersion: "go1.99", WireVersion: 2, Engines: "barrier"},
+	}
+	var doc struct {
+		Status      string         `json:"status"`
+		Phase       string         `json:"phase"`
+		Build       BuildInfo      `json:"build"`
+		FlightTotal int64          `json:"flight_total"`
+		Watchdog    WatchdogStatus `json:"watchdog"`
+	}
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/health").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Phase != "idle" || doc.FlightTotal != 1 {
+		t.Fatalf("health = %+v", doc)
+	}
+	if doc.Build.WireVersion != 2 || doc.Watchdog.Enabled {
+		t.Fatalf("health = %+v; want build stamped, watchdog disabled", doc)
+	}
+}
+
+// TestDebugEndpointsAllNil locks in the contract that every handle in
+// DebugState is optional: an empty state still serves well-formed
+// responses on every route.
+func TestDebugEndpointsAllNil(t *testing.T) {
+	st := DebugState{}
+	var doc map[string]any
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/state").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/health").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if body := debugGet(t, st, "/debug/bolt/flight").Body.String(); body != "" {
+		t.Fatalf("nil flight body = %q; want empty", body)
+	}
+	if body := debugGet(t, st, "/metrics").Body.String(); !strings.Contains(body, "bolt_build_info") {
+		t.Fatalf("/metrics = %q", body)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder(0) uses —
+// large enough to hold the last few scheduling generations of a busy
+// 32-thread run, small enough that a dump stays skimmable.
+const DefaultFlightCapacity = 4096
+
+// FlightRecorder is a bounded ring of the most recent lifecycle events:
+// the always-on "black box" a live engine can afford to keep. It
+// implements Tracer, so it attaches anywhere a tracer does (typically
+// teed next to the other sinks). Writes are one short critical section —
+// copy the event into the ring, bump two counters — with no allocation,
+// so the recorder is cheap enough to leave on for whole runs; when it is
+// not attached the engines pay their usual single nil-tracer branch.
+//
+// When the ring wraps, the oldest events are overwritten and counted as
+// dropped; Snapshot and WriteJSONL always return the surviving events
+// oldest-first together with the drop count, so a dump states exactly
+// how much history it is missing.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int   // ring index of the next write
+	total int64 // events ever recorded
+}
+
+// NewFlightRecorder returns a recorder keeping the last capacity events
+// (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: make([]Event, capacity)}
+}
+
+// Event implements Tracer: record ev, overwriting the oldest event when
+// the ring is full. Safe for concurrent use.
+func (f *FlightRecorder) Event(ev Event) {
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder: the surviving
+// events oldest-first, plus the totals that say how much history the
+// ring has shed.
+type FlightSnapshot struct {
+	// Events holds the retained events, oldest first.
+	Events []Event
+	// Total is the number of events ever recorded; Dropped how many of
+	// them were overwritten before this snapshot (Total - len(Events)).
+	Total   int64
+	Dropped int64
+}
+
+// Snapshot copies the ring out oldest-first. Nil-receiver safe (an
+// empty snapshot), so callers can hold an optional recorder.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FlightSnapshot{Total: f.total}
+	n := f.total
+	if n > int64(len(f.ring)) {
+		n = int64(len(f.ring))
+		s.Dropped = f.total - n
+	}
+	s.Events = make([]Event, 0, n)
+	// The oldest retained event sits at next when the ring has wrapped,
+	// at 0 otherwise.
+	start := 0
+	if s.Dropped > 0 {
+		start = f.next
+	}
+	for i := int64(0); i < n; i++ {
+		s.Events = append(s.Events, f.ring[(start+int(i))%len(f.ring)])
+	}
+	return s
+}
+
+// Total returns the number of events ever recorded (0 on nil).
+func (f *FlightRecorder) Total() int64 { return f.Snapshot().Total }
+
+// Dropped returns how many events the ring has overwritten (0 on nil).
+func (f *FlightRecorder) Dropped() int64 { return f.Snapshot().Dropped }
+
+// Capacity returns the ring size (0 on nil).
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// WriteJSONL dumps the current snapshot to w in the JSONL wire form —
+// the format boltprof and internal/obs/analyze load — and returns how
+// many events were written. The snapshot is taken up front, so the dump
+// is internally consistent even while the run keeps recording.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) (int, error) {
+	s := f.Snapshot()
+	for i, ev := range s.Events {
+		line, err := MarshalEventJSON(ev)
+		if err != nil {
+			return i, err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return i, err
+		}
+	}
+	return len(s.Events), nil
+}

@@ -2,10 +2,6 @@ package obs
 
 import (
 	"context"
-	"fmt"
-	"net"
-	"net/http"
-	httppprof "net/http/pprof"
 	"runtime/pprof"
 	"strconv"
 )
@@ -26,22 +22,9 @@ func DoPunch(ctx context.Context, engine, proc string, depth int, f func()) {
 // StartPprofServer serves the standard /debug/pprof endpoints — plus a
 // Prometheus text-format /metrics exposition of the given registry — on
 // addr in a background goroutine and returns the bound address (useful
-// with ":0"). A nil registry serves an empty /metrics. The listener
-// lives for the remainder of the process — the CLIs use it for the
-// duration of a run.
+// with ":0"). A nil registry serves an empty /metrics. It is the
+// metrics-only special case of StartDebugServer, kept for callers that
+// have no live-introspection handles to expose.
 func StartPprofServer(addr string, m *Metrics) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(m))
-	mux.HandleFunc("/debug/pprof/", httppprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return StartDebugServer(addr, DebugState{Metrics: m})
 }

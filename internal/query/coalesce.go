@@ -24,6 +24,22 @@ func (t *Tree) Inflight(key string) (ID, bool) {
 	return id, ok
 }
 
+// InflightSize returns the number of canonical-question keys currently
+// registered in the in-flight index (0 when coalescing is disabled).
+// Callers must hold whatever lock guards the tree.
+func (t *Tree) InflightSize() int { return len(t.inflight) }
+
+// WaiterEdgeCount returns the number of live coalesced waiter
+// registrations (the sum over all twins of their waiter counts).
+// Callers must hold whatever lock guards the tree.
+func (t *Tree) WaiterEdgeCount() int {
+	n := 0
+	for _, ws := range t.waiters {
+		n += len(ws)
+	}
+	return n
+}
+
 // AddWaiter registers w as an additional parent waiting on id's summary.
 // Duplicate registrations are ignored. The edge persists across id's
 // Ready/Blocked transitions; engines fan the wake out (and then
