@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke bench-gate fuzz-smoke bench bench-snapshot
+.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke bench-gate fuzz-smoke bench bench-snapshot
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke bench-gate fuzz-smoke
+ci: fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke bench-gate fuzz-smoke
 
 # fmt fails when any tracked file is not gofmt-clean (prints offenders).
 fmt:
@@ -29,9 +29,11 @@ test:
 # the streaming engine, the sharded summary database, the solver's
 # entailment cache and fuzz seed corpus (shared interning table under
 # concurrent PUNCH), the hash-consing table itself, the query tree's
-# coalescing machinery, and the persistent summary store.
+# coalescing machinery, the persistent summary store, and the
+# observability layer (live probe, watchdog, flight recorder, debug
+# server — all sampled from outside the run's goroutines).
 race:
-	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query ./internal/store ./internal/wire
+	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query ./internal/store ./internal/wire ./internal/obs
 
 # trace-smoke round-trips a corpus program through all three engines with
 # the Chrome tracer attached and validates the serialized document.
@@ -50,6 +52,14 @@ prof-selftest:
 # history attached before the run is released.
 watchdog-smoke:
 	$(GO) test -run TestWatchdogStallSmoke -count=1 ./internal/core
+
+# prov-smoke asserts the provenance invariants on the whole corpus:
+# every verdict's cone is non-empty, closed under spawn and dependency
+# edges, and byte-stable across the barrier, async, and distributed
+# schedules — and invalidating prov.Cone(p) for any procedure leaves a
+# warm re-check confluent with a from-scratch run.
+prov-smoke:
+	$(GO) test -run 'TestProvSmoke|TestConeInvalidationConfluence' -count=1 ./internal/core
 
 # bench-gate is the perf regression gate: collect a fresh streaming
 # snapshot and diff it against the committed baseline. Fails when the

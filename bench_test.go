@@ -295,12 +295,14 @@ func BenchmarkObsOverhead(b *testing.B) {
 		trace   bool
 		flight  bool
 		probe   bool
+		prov    bool
 	}{
 		{name: "disabled"},
 		{name: "metrics", metrics: true},
 		{name: "metrics+trace", metrics: true, trace: true},
 		{name: "flight", flight: true},
 		{name: "flight+probe", flight: true, probe: true},
+		{name: "prov", prov: true},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
@@ -320,6 +322,9 @@ func BenchmarkObsOverhead(b *testing.B) {
 				}
 				if mode.probe {
 					opts.Probe = &obs.Probe{}
+				}
+				if mode.prov {
+					opts.CollectProvenance = true
 				}
 				r := core.New(prog, opts).Run(core.AssertionQuestion(prog))
 				if r.Verdict != core.Safe {

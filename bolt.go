@@ -26,6 +26,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/prov"
 	"repro/internal/punch"
 	"repro/internal/punch/may"
 	"repro/internal/punch/maymust"
@@ -223,6 +224,14 @@ type Options struct {
 	// attached to Result.Metrics and Result.WorkerMetrics. Off by default:
 	// disabled instrumentation costs one branch per would-be observation.
 	CollectMetrics bool
+	// CollectProvenance records, per run, which summaries each PUNCH
+	// invocation consumed and produced, and assembles them into the
+	// verdict's dependency record (Result.Provenance): the procedure
+	// cone the answer rests on, warm-vs-fresh read attribution, and the
+	// invalidation cone of every procedure. Off by default; when off the
+	// engines pay one nil check per PUNCH invocation. With StorePath set,
+	// the verdict's read set is also persisted beside the summaries.
+	CollectProvenance bool
 	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels
 	// (engine, proc, query-depth), so CPU profiles break analysis time
 	// down by procedure and tree depth.
@@ -288,6 +297,12 @@ type Result struct {
 	WarmSummaries      int
 	PersistedSummaries int
 	StoreErr           error
+	// Provenance is the verdict's dependency record (nil unless
+	// Options.CollectProvenance): read/write summary sets, the procedure
+	// dependency graph, and per-procedure invalidation cones. The
+	// procedure cone is schedule-invariant — identical across the
+	// barrier, async, and distributed engines for the same question.
+	Provenance *prov.Provenance
 }
 
 // SolverStats surfaces the solver's hot-path counters: overall call
@@ -350,6 +365,7 @@ func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics, st sto
 		Store:                  st,
 		Tracer:                 tr,
 		Metrics:                m,
+		CollectProvenance:      o.CollectProvenance,
 		PprofLabels:            o.PprofLabels,
 		Probe:                  o.Inspect.Probe(),
 	})
@@ -458,6 +474,7 @@ func toResult(r core.Result) Result {
 		WarmSummaries:      r.WarmSummaries,
 		PersistedSummaries: r.PersistedSummaries,
 		StoreErr:           r.StoreErr,
+		Provenance:         r.Provenance,
 		Solver: SolverStats{
 			SatCalls:          r.Solver.SatCalls,
 			TheoryChecks:      r.Solver.TheoryChecks,
@@ -578,6 +595,9 @@ type DistOptions struct {
 	CollectMetrics bool
 	MetricsInto    *obs.Metrics
 	PprofLabels    bool
+	// CollectProvenance mirrors Options.CollectProvenance: the verdict's
+	// dependency record lands in DistResult.Provenance.
+	CollectProvenance bool
 	// Inspect and FlightRecorder mirror Options: the live-introspection
 	// probe (per-node occupancy, skew and gossip backlog on top of the
 	// shared gauges) and the bounded ring of recent lifecycle events.
@@ -619,6 +639,9 @@ type DistResult struct {
 	WarmSummaries      int
 	PersistedSummaries int
 	StoreErr           error
+	// Provenance mirrors Result.Provenance (nil unless
+	// DistOptions.CollectProvenance).
+	Provenance *prov.Provenance
 }
 
 // CheckDistributed verifies the program's assertions on the simulated
@@ -643,19 +666,20 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	}
 	ct, jt, tr, m := hooks.hooks()
 	eng := core.NewDistributed(p.prog, core.DistOptions{
-		Punch:          newPunch(opts.Analysis),
-		Nodes:          opts.Nodes,
-		ThreadsPerNode: opts.ThreadsPerNode,
-		SyncEvery:      opts.SyncEvery,
-		SyncCost:       opts.SyncCost,
-		MaxRounds:      opts.MaxRounds,
-		RealTimeout:    opts.Timeout,
-		Faults:         faults,
-		Store:          st,
-		Tracer:         tr,
-		Metrics:        m,
-		PprofLabels:    opts.PprofLabels,
-		Probe:          opts.Inspect.Probe(),
+		Punch:             newPunch(opts.Analysis),
+		Nodes:             opts.Nodes,
+		ThreadsPerNode:    opts.ThreadsPerNode,
+		SyncEvery:         opts.SyncEvery,
+		SyncCost:          opts.SyncCost,
+		MaxRounds:         opts.MaxRounds,
+		RealTimeout:       opts.Timeout,
+		Faults:            faults,
+		Store:             st,
+		Tracer:            tr,
+		Metrics:           m,
+		CollectProvenance: opts.CollectProvenance,
+		PprofLabels:       opts.PprofLabels,
+		Probe:             opts.Inspect.Probe(),
 
 		DisableCoalesce:        opts.DisableCoalesce,
 		DisableEntailmentCache: opts.DisableEntailmentCache,
@@ -679,6 +703,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		WarmSummaries:      r.WarmSummaries,
 		PersistedSummaries: r.PersistedSummaries,
 		StoreErr:           r.StoreErr,
+		Provenance:         r.Provenance,
 	}
 	closeStore(st, &out.StoreErr)
 	out.Metrics = r.Metrics.Flatten()

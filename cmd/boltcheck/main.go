@@ -6,6 +6,7 @@
 //	boltcheck [flags] program.bolt
 //	boltcheck -proc main -pre 'true' -post 'g >= 10' program.bolt
 //	boltcheck -dist 3 -faults 'kill=1@3,drop=0.2,seed=42' program.bolt
+//	boltcheck -explain -prov-out prov.json program.bolt
 //
 // Exit status: 0 safe, 1 error reachable, 2 unknown, 3 usage/parsing.
 package main
@@ -16,11 +17,19 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	bolt "repro"
 	"repro/internal/obs"
+	"repro/internal/prov"
 )
+
+// osExit is swapped out by the exit-path regression tests; every exit
+// after the observability side-cars start must go through the bundle's
+// fatalf/exit funnels so the flight dump and watchdog shutdown run
+// first (os.Exit skips deferred functions).
+var osExit = os.Exit
 
 func main() {
 	var (
@@ -48,6 +57,8 @@ func main() {
 		watchT   = flag.Duration("watchdog", 0, "sample live engine state at this tick and print a stall diagnosis when progress flatlines (0 = off)")
 		watchS   = flag.Duration("watchdog-stall", obs.DefaultWatchdogStall, "with -watchdog, call the run stalled after this long without progress")
 		flightD  = flag.String("flight-dump", "", "write the flight recorder's recent-event ring to this JSONL file when the run ends (and at each watchdog stall)")
+		explain  = flag.Bool("explain", false, "record verdict provenance and print the dependency-cone report (which procedures and summaries the verdict rests on)")
+		provOut  = flag.String("prov-out", "", "record verdict provenance and write it to this JSON file (inspect with boltprof -prov)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,8 +89,7 @@ func main() {
 	if *trace != "" {
 		traceOut, err = os.Create(*trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(3)
+			ob.fatalf("%v", err)
 		}
 		defer traceOut.Close()
 	}
@@ -87,13 +97,12 @@ func main() {
 	if *traceJL != "" {
 		traceJLOut, err = os.Create(*traceJL)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(3)
+			ob.fatalf("%v", err)
 		}
 		defer traceJLOut.Close()
 	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, ob, !*coalesce, !*entCache, *storeDir, *storeRst)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, ob, !*coalesce, !*entCache, *storeDir, *storeRst, *explain, *provOut)
 		return
 	}
 	opts := bolt.Options{
@@ -102,6 +111,7 @@ func main() {
 		MaxVirtualTicks:        *ticks,
 		Async:                  *async,
 		FindWitness:            *wit,
+		CollectProvenance:      *explain || *provOut != "",
 		CollectMetrics:         *metrics,
 		MetricsInto:            ob.reg,
 		Inspect:                ob.insp,
@@ -126,21 +136,22 @@ func main() {
 	case "must":
 		opts.Analysis = bolt.Must
 	default:
-		fmt.Fprintf(os.Stderr, "unknown analysis %q\n", *analysis)
-		os.Exit(3)
+		ob.fatalf("unknown analysis %q", *analysis)
 	}
 
 	var res bolt.Result
 	if *proc != "" {
 		res, err = prog.CheckReach(*proc, *pre, *post, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(3)
+			ob.fatalf("%v", err)
 		}
 	} else {
 		res = prog.Check(opts)
 	}
-	reportStore(*storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr)
+	ob.setProv(res.Provenance)
+	if err := reportStore(*storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr); err != nil {
+		ob.fatalf("%v", err)
+	}
 
 	fmt.Println(res.Verdict)
 	if res.Verdict == bolt.Unknown || *stats {
@@ -161,9 +172,40 @@ func main() {
 	if *metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
-	reportTrace(*trace, *traceJL, res.TraceSpans, res.TraceEvents, res.TraceErr)
-	ob.finish()
-	exitVerdict(res.Verdict)
+	if err := reportProv(res.Provenance, *explain, *provOut); err != nil {
+		ob.fatalf("%v", err)
+	}
+	if err := reportTrace(*trace, *traceJL, res.TraceSpans, res.TraceEvents, res.TraceErr); err != nil {
+		ob.fatalf("%v", err)
+	}
+	ob.exit(verdictCode(res.Verdict))
+}
+
+// reportProv prints the -explain dependency-cone report and writes the
+// -prov-out JSON record.
+func reportProv(p *prov.Provenance, explain bool, provOut string) error {
+	if p == nil {
+		return nil
+	}
+	if explain {
+		fmt.Print(p.Explain())
+	}
+	if provOut != "" {
+		f, err := os.Create(provOut)
+		if err != nil {
+			return fmt.Errorf("boltcheck: provenance: %w", err)
+		}
+		err = p.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("boltcheck: provenance: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "prov: wrote %s (%d procedures, %d summaries); inspect with boltprof -prov %s\n",
+			provOut, len(p.Procedures), len(p.Summaries), provOut)
+	}
+	return nil
 }
 
 // obsBundle holds the live-introspection handles one boltcheck run
@@ -175,6 +217,42 @@ type obsBundle struct {
 	flight *obs.FlightRecorder
 	wd     *obs.Watchdog
 	dump   string
+	// prov holds the finished run's provenance record for
+	// /debug/bolt/prov (nil until a -explain/-prov-out run completes).
+	prov atomic.Pointer[prov.Provenance]
+}
+
+// setProv publishes the run's provenance record to /debug/bolt/prov.
+func (ob *obsBundle) setProv(p *prov.Provenance) {
+	if p != nil {
+		ob.prov.Store(p)
+	}
+}
+
+// provDoc is the /debug/bolt/prov source: the latest record, or nil.
+func (ob *obsBundle) provDoc() any {
+	if p := ob.prov.Load(); p != nil {
+		return p
+	}
+	return nil
+}
+
+// fatalf reports a usage/environment failure and exits 3 through the
+// bundle's shutdown path, so the watchdog stops and the final flight
+// dump is written even on error exits.
+func (ob *obsBundle) fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	ob.exit(3)
+}
+
+// exit runs the bundle's shutdown and leaves with code. A failed final
+// flight dump turns a success exit into 3 (the dump was asked for and
+// not delivered) but never masks a non-zero code.
+func (ob *obsBundle) exit(code int) {
+	if !ob.finish() && code == 0 {
+		code = 3
+	}
+	osExit(code)
 }
 
 // newObsBundle builds (and starts) the observability side-cars the
@@ -201,50 +279,60 @@ func newObsBundle(pprofAddr string, tick, stall time.Duration, dump string) *obs
 			OnStall: func(r obs.StallReport) {
 				fmt.Fprintln(os.Stderr, r.String())
 				if ob.dump != "" {
-					ob.writeDump()
+					if err := ob.writeDump(); err != nil {
+						// A failed mid-run dump is reported but must not
+						// kill the run being diagnosed.
+						fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
+					}
 				}
 			},
 		})
 		ob.wd.Start()
 	}
 	if pprofAddr != "" {
-		addr, err := obs.StartDebugServer(pprofAddr, bolt.DebugState(ob.reg, ob.insp, ob.flight, ob.wd))
+		ds := bolt.DebugState(ob.reg, ob.insp, ob.flight, ob.wd)
+		ds.Prov = ob.provDoc
+		addr, err := obs.StartDebugServer(pprofAddr, ds)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(3)
+			ob.fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "debug: serving /debug/pprof, /metrics and /debug/bolt/{state,flight,health} on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "debug: serving /debug/pprof, /metrics and /debug/bolt/{state,flight,health,prov} on http://%s\n", addr)
 	}
 	return ob
 }
 
 // writeDump writes the flight ring to the -flight-dump path, replacing
 // any earlier dump (later is better: more of the interesting tail).
-func (ob *obsBundle) writeDump() {
+func (ob *obsBundle) writeDump() error {
 	f, err := os.Create(ob.dump)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
-		os.Exit(3)
+		return err
 	}
 	n, err := ob.flight.WriteJSONL(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
-		os.Exit(3)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "flight: wrote %s (%d events, %d dropped); report with boltprof -flight %s\n",
 		ob.dump, n, ob.flight.Dropped(), ob.dump)
+	return nil
 }
 
-// finish stops the watchdog and writes the final flight dump. It must
-// run before exitVerdict: os.Exit skips deferred functions.
-func (ob *obsBundle) finish() {
+// finish stops the watchdog and writes the final flight dump, reporting
+// whether everything the flags asked for was delivered. Every exit path
+// (success, verdict, usage failure) funnels through here via exit /
+// fatalf: os.Exit skips deferred functions, so nothing may bypass it.
+func (ob *obsBundle) finish() bool {
 	ob.wd.Stop()
 	if ob.dump != "" {
-		ob.writeDump()
+		if err := ob.writeDump(); err != nil {
+			fmt.Fprintf(os.Stderr, "boltcheck: flight dump: %v\n", err)
+			return false
+		}
 	}
+	return true
 }
 
 // printSolverStats renders the solver's hot-path accounting: the
@@ -282,29 +370,29 @@ func printMetrics(m map[string]int64, workers []bolt.WorkerMetric) {
 	}
 }
 
-// reportStore confirms the -store warm-start/persist traffic, or fails
-// loudly: a store error (stale fingerprint, unreadable segment, failed
-// flush) is a usage/environment problem, not a verdict, so it exits 3.
-func reportStore(dir string, warm, persisted int, err error) {
+// reportStore confirms the -store warm-start/persist traffic. A store
+// error (stale fingerprint, unreadable segment, failed flush) is a
+// usage/environment problem, not a verdict: the caller routes the
+// returned error through the bundle's exit-3 funnel.
+func reportStore(dir string, warm, persisted int, err error) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "boltcheck: summary store %s: %v\n", dir, err)
-		os.Exit(3)
+		return fmt.Errorf("boltcheck: summary store %s: %w", dir, err)
 	}
 	fmt.Fprintf(os.Stderr, "store: loaded %d summaries, persisted %d new (%s)\n", warm, persisted, dir)
+	return nil
 }
 
-// reportTrace confirms (or fails loudly on) the -trace / -trace-jsonl
-// outputs.
-func reportTrace(chromePath, jsonlPath string, spans int, events int64, err error) {
+// reportTrace confirms the -trace / -trace-jsonl outputs; a failed
+// trace write is returned for the caller's exit-3 funnel.
+func reportTrace(chromePath, jsonlPath string, spans int, events int64, err error) error {
 	if chromePath == "" && jsonlPath == "" {
-		return
+		return nil
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "boltcheck: writing trace: %v\n", err)
-		os.Exit(3)
+		return fmt.Errorf("boltcheck: writing trace: %w", err)
 	}
 	if chromePath != "" {
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d punch spans); open at https://ui.perfetto.dev\n", chromePath, spans)
@@ -312,16 +400,18 @@ func reportTrace(chromePath, jsonlPath string, spans int, events int64, err erro
 	if jsonlPath != "" {
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events); analyze with boltprof -input %s\n", jsonlPath, events, jsonlPath)
 	}
+	return nil
 }
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, ob *obsBundle, noCoalesce, noEntCache bool, storeDir string, storeReset bool) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, ob *obsBundle, noCoalesce, noEntCache bool, storeDir string, storeReset bool, explain bool, provOut string) {
 	opts := bolt.DistOptions{
 		Nodes:                  nodes,
 		ThreadsPerNode:         threads,
 		Timeout:                timeout,
 		Faults:                 faults,
+		CollectProvenance:      explain || provOut != "",
 		CollectMetrics:         metrics,
 		MetricsInto:            ob.reg,
 		Inspect:                ob.insp,
@@ -350,15 +440,16 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 	case "must":
 		opts.Analysis = bolt.Must
 	default:
-		fmt.Fprintf(os.Stderr, "unknown analysis %q\n", analysis)
-		os.Exit(3)
+		ob.fatalf("unknown analysis %q", analysis)
 	}
 	res, err := prog.CheckDistributed(context.Background(), opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(3)
+		ob.fatalf("%v", err)
 	}
-	reportStore(storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr)
+	ob.setProv(res.Provenance)
+	if err := reportStore(storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr); err != nil {
+		ob.fatalf("%v", err)
+	}
 	fmt.Println(res.Verdict)
 	fmt.Printf("stop reason:  %s\n", res.StopReason)
 	if stats {
@@ -377,18 +468,22 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 	if metrics {
 		printMetrics(res.Metrics, res.WorkerMetrics)
 	}
-	reportTrace(tracePath, traceJLPath, res.TraceSpans, res.TraceEvents, res.TraceErr)
-	ob.finish()
-	exitVerdict(res.Verdict)
+	if err := reportProv(res.Provenance, explain, provOut); err != nil {
+		ob.fatalf("%v", err)
+	}
+	if err := reportTrace(tracePath, traceJLPath, res.TraceSpans, res.TraceEvents, res.TraceErr); err != nil {
+		ob.fatalf("%v", err)
+	}
+	ob.exit(verdictCode(res.Verdict))
 }
 
-func exitVerdict(v bolt.Verdict) {
+func verdictCode(v bolt.Verdict) int {
 	switch v {
 	case bolt.Safe:
-		os.Exit(0)
+		return 0
 	case bolt.ErrorReachable:
-		os.Exit(1)
+		return 1
 	default:
-		os.Exit(2)
+		return 2
 	}
 }

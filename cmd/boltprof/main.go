@@ -8,6 +8,7 @@
 //	boltcheck -async -trace-jsonl trace.jsonl program.bolt
 //	boltprof -input trace.jsonl -report text
 //	boltprof -flight flight.jsonl
+//	boltprof -prov prov.json
 //	boltprof -selftest
 //
 // -selftest replays the testdata corpus through all three engines
@@ -37,6 +38,7 @@ func main() {
 		selftest = flag.Bool("selftest", false, "replay the corpus through all three engines and validate analyzer invariants")
 		corpus   = flag.String("corpus", "testdata/corpus", "corpus directory for -selftest")
 		flight   = flag.String("flight", "", "flight-recorder dump to report on (from boltcheck -flight-dump or /debug/bolt/flight)")
+		provIn   = flag.String("prov", "", "provenance record to report on (from boltcheck -prov-out or /debug/bolt/prov): cone-size distribution and hot-summary fan-in")
 	)
 	flag.Parse()
 
@@ -45,6 +47,9 @@ func main() {
 	}
 	if *flight != "" {
 		os.Exit(runFlight(*flight, os.Stdout))
+	}
+	if *provIn != "" {
+		os.Exit(runProv(*provIn, os.Stdout))
 	}
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "usage: boltprof -input trace.jsonl [-report text|json], boltprof -flight dump.jsonl, or boltprof -selftest")

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
@@ -109,6 +110,9 @@ type asyncState struct {
 	// depth is each live query's distance from the root, maintained
 	// only when pprof labels or live introspection are on.
 	depth map[query.ID]int
+	// rec is the provenance recorder (nil unless CollectProvenance);
+	// workers wrap each PUNCH invocation's database view through it.
+	rec *prov.Recorder
 }
 
 // runAsync answers q0 with the streaming engine.
@@ -138,7 +142,12 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 		cores = e.opts.MaxThreads
 	}
 	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
-	e.loadStore(db, &res)
+	var rec *prov.Recorder
+	if e.opts.CollectProvenance {
+		rec = prov.NewRecorder(e.opts.Metrics)
+	}
+	e.loadStore(db, rec, &res)
+	rec.Root(root.ID, root.Q.Proc)
 	s := &asyncState{
 		e:       e,
 		root:    root.ID,
@@ -155,6 +164,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 		start:     start,
 		res:       &res,
 		alloc:     alloc,
+		rec:       rec,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.in = newInstr(e.opts.Tracer, e.opts.Metrics, e.opts.MaxThreads, start, e.opts.PprofLabels)
@@ -213,6 +223,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
 	e.persistStore(db, &res)
+	e.finishProv(rec, &res, "async")
 	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB, res.Solver)
 	return res
 }
@@ -261,13 +272,19 @@ func (s *asyncState) worker(id int, ctx *punch.Context) {
 		if s.in.m != nil {
 			t0 = time.Now()
 		}
+		pctx := ctx
+		if s.rec != nil {
+			ic := *ctx
+			ic.DB = s.rec.Frame(ctx.DB, q.ID, q.Q.Proc)
+			pctx = &ic
+		}
 		var r punch.Result
 		if s.in.labels {
 			obs.DoPunch(s.ctx, "async", q.Q.Proc, d, func() {
-				r = s.e.opts.Punch.Step(ctx, q)
+				r = s.e.opts.Punch.Step(pctx, q)
 			})
 		} else {
-			r = s.e.opts.Punch.Step(ctx, q)
+			r = s.e.opts.Punch.Step(pctx, q)
 		}
 		var wall time.Duration
 		if s.in.m != nil {
@@ -411,6 +428,7 @@ func (s *asyncState) reduce(id int, q *query.Query, r punch.Result) {
 			s.push(id, c)
 			newQ++
 			s.in.m.Inc(obs.QueriesSpawned)
+			s.rec.Spawn(r.Self.ID, r.Self.Q.Proc, c.ID, c.Q.Proc)
 			if s.depth != nil {
 				s.depth[c.ID] = s.depth[r.Self.ID] + 1
 				s.ls.ObserveDepth(s.depth[c.ID])
@@ -540,6 +558,7 @@ func (s *asyncState) tryCoalesce(id int, parent, c *query.Query, twinID query.ID
 func (s *asyncState) hitCoalesce(id int, parent, c *query.Query, twinID query.ID) {
 	s.res.CoalesceHits++
 	s.in.m.Inc(obs.CoalesceHits)
+	s.rec.Coalesce(parent.ID, parent.Q.Proc, c.Q.Proc)
 	if s.in.tr != nil {
 		s.in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: parent.ID, Proc: c.Q.Proc, Worker: id, VTime: s.clock.vtime, N: int64(twinID)})
 	}

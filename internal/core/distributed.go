@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
@@ -80,6 +81,10 @@ type DistOptions struct {
 	Tracer obs.Tracer
 	// Metrics is the registry the run updates (nil = off).
 	Metrics *obs.Metrics
+	// CollectProvenance records the verdict's summary read/write sets
+	// and procedure dependency graph into DistResult.Provenance; see
+	// Options.CollectProvenance.
+	CollectProvenance bool
 	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels.
 	PprofLabels bool
 	// Probe, when non-nil, receives a live-state snapshot function for
@@ -126,6 +131,11 @@ type DistResult struct {
 	// Metrics is the run's metrics snapshot (nil when DistOptions.Metrics
 	// was nil), with summary-database traffic aggregated across nodes.
 	Metrics *obs.Snapshot
+	// Provenance is the verdict's dependency record (nil unless
+	// DistOptions.CollectProvenance). Procedure routing does not affect
+	// the recorded dependency graph, so the cone matches the shared-
+	// memory engines'.
+	Provenance *prov.Provenance
 	// WarmSummaries is the number of summaries loaded from
 	// DistOptions.Store before round 0; PersistedSummaries the number of
 	// new summaries written back; StoreErr the first store failure
@@ -247,6 +257,11 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		PerNodePeakLive:  make([]int, e.opts.Nodes),
 		PerNodeSummaries: make([]int, e.opts.Nodes),
 	}
+	var rec *prov.Recorder
+	if e.opts.CollectProvenance {
+		rec = prov.NewRecorder(e.opts.Metrics)
+	}
+	rec.Root(root.ID, q0.Proc)
 	// Warm start: each stored summary hydrates its owning node (the
 	// node procedure routing would send its questions to) and is marked
 	// known there, so the first gossip exchange spreads it cluster-wide
@@ -259,6 +274,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 				owner := nodes[e.nodeOf(s.Proc)]
 				owner.db.Add(s)
 				owner.known[summaryKey(s)] = true
+				rec.MarkWarm(s)
 			}
 			res.WarmSummaries = len(sums)
 		}
@@ -352,16 +368,22 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 					slot := ni*e.opts.ThreadsPerNode + i
 					ls.WorkerRunning(slot, o.sel[i].Q.Proc, int64(o.sel[i].ID))
 					defer ls.WorkerFinished(slot)
+					pctx := ctx
+					if rec != nil {
+						ic := *ctx
+						ic.DB = rec.Frame(ctx.DB, o.sel[i].ID, o.sel[i].Q.Proc)
+						pctx = &ic
+					}
 					var t0 time.Time
 					if in.m != nil {
 						t0 = time.Now()
 					}
 					if in.labels {
 						obs.DoPunch(ctx0, "dist", o.sel[i].Q.Proc, depth[o.sel[i].ID], func() {
-							o.results[i] = e.opts.Punch.Step(ctx, o.sel[i])
+							o.results[i] = e.opts.Punch.Step(pctx, o.sel[i])
 						})
 					} else {
-						o.results[i] = e.opts.Punch.Step(ctx, o.sel[i])
+						o.results[i] = e.opts.Punch.Step(pctx, o.sel[i])
 					}
 					if in.m != nil {
 						o.walls[i] = time.Since(t0)
@@ -437,6 +459,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 								if twin.State == query.Done {
 									res.CoalesceHits++
 									in.m.Inc(obs.CoalesceHits)
+									rec.Coalesce(r.Self.ID, r.Self.Q.Proc, c.Q.Proc)
 									if in.tr != nil {
 										in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime, N: int64(twinID)})
 									}
@@ -449,6 +472,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 									dst.tree.AddWaiter(twinID, r.Self.ID)
 									res.CoalesceHits++
 									in.m.Inc(obs.CoalesceHits)
+									rec.Coalesce(r.Self.ID, r.Self.Q.Proc, c.Q.Proc)
 									if in.tr != nil {
 										in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, Node: dst.id, Worker: i, VTime: vtime, N: int64(twinID)})
 									}
@@ -459,6 +483,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 					}
 					dst.tree.Add(c)
 					in.m.Inc(obs.QueriesSpawned)
+					rec.Spawn(r.Self.ID, r.Self.Q.Proc, c.ID, c.Q.Proc)
 					if depth != nil {
 						depth[c.ID] = depth[r.Self.ID] + 1
 						ls.ObserveDepth(depth[c.ID])
@@ -613,6 +638,16 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 	res.TotalQueries = alloc.Count()
 	res.VirtualTicks = vtime
 	res.WallTime = time.Since(start)
+	if rec != nil {
+		p := rec.Finish(res.Verdict.String())
+		res.Provenance = p
+		observeCones(e.opts.Metrics, p)
+		if e.opts.Store != nil {
+			if err := persistProv(e.opts.Store, p, "dist"); err != nil && res.StoreErr == nil {
+				res.StoreErr = err
+			}
+		}
+	}
 	res.Metrics = in.finish(vtime, aggregateStats(nodes), solver.StatsSnapshot())
 	return res
 }

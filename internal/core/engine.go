@@ -22,11 +22,13 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/punch"
 	"repro/internal/query"
 	"repro/internal/smt"
 	"repro/internal/store"
 	"repro/internal/summary"
+	"repro/internal/wire"
 )
 
 // Verdict is the outcome of a verification run.
@@ -151,6 +153,12 @@ type Options struct {
 	// endpoints and the stall watchdog. A nil probe costs one branch per
 	// publish site.
 	Probe *obs.Probe
+	// CollectProvenance records each query's summary read/write sets and
+	// the run's procedure dependency DAG into Result.Provenance (see
+	// internal/prov). Off by default; when off the engines pay one nil
+	// check per PUNCH invocation. With a Store attached, the verdict's
+	// read set is also persisted beside the summaries.
+	CollectProvenance bool
 }
 
 // IterSample is one MAP/REDUCE iteration's instrumentation record; the
@@ -212,6 +220,10 @@ type Result struct {
 	WarmSummaries      int
 	PersistedSummaries int
 	StoreErr           error
+	// Provenance is the verdict's dependency record (nil unless
+	// Options.CollectProvenance was set): the procedure cone, the
+	// summaries read and written, and warm-vs-fresh attribution.
+	Provenance *prov.Provenance
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -278,13 +290,18 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	tree := query.NewTree()
 	coalesce := !e.opts.DisableCoalesce
 	res := Result{Verdict: Unknown, CostByProc: map[string]int64{}}
-	e.loadStore(db, &res)
+	var rec *prov.Recorder
+	if e.opts.CollectProvenance {
+		rec = prov.NewRecorder(e.opts.Metrics)
+	}
+	e.loadStore(db, rec, &res)
 	if coalesce {
 		tree.TrackInflight()
 	}
 	forest := []*query.Tree{tree}
 	root := alloc.New(query.NoParent, q0)
 	tree.Add(root)
+	rec.Root(root.ID, root.Q.Proc)
 
 	var vtime int64
 	var doneCount int64
@@ -373,12 +390,18 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				if in.m != nil {
 					t0 = time.Now()
 				}
+				pctx := ctx
+				if rec != nil {
+					ic := *ctx
+					ic.DB = rec.Frame(db, q.ID, q.Q.Proc)
+					pctx = &ic
+				}
 				if in.labels {
 					obs.DoPunch(ctx0, "barrier", q.Q.Proc, depth[q.ID], func() {
-						results[i] = e.opts.Punch.Step(ctx, q)
+						results[i] = e.opts.Punch.Step(pctx, q)
 					})
 				} else {
-					results[i] = e.opts.Punch.Step(ctx, q)
+					results[i] = e.opts.Punch.Step(pctx, q)
 				}
 				if in.m != nil {
 					in.m.ObservePunch(i, results[i].Cost, time.Since(t0))
@@ -427,6 +450,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 							if twin.State == query.Done {
 								res.CoalesceHits++
 								in.m.Inc(obs.CoalesceHits)
+								rec.Coalesce(r.Self.ID, r.Self.Q.Proc, c.Q.Proc)
 								if in.tr != nil {
 									in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime, N: int64(twinID)})
 								}
@@ -439,6 +463,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 								tree.AddWaiter(twinID, r.Self.ID)
 								res.CoalesceHits++
 								in.m.Inc(obs.CoalesceHits)
+								rec.Coalesce(r.Self.ID, r.Self.Q.Proc, c.Q.Proc)
 								if in.tr != nil {
 									in.emit(obs.Event{Type: obs.EvCoalesce, Query: c.ID, Parent: r.Self.ID, Proc: c.Q.Proc, VTime: vtime, N: int64(twinID)})
 								}
@@ -449,6 +474,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 				}
 				tree.Add(c)
 				in.m.Inc(obs.QueriesSpawned)
+				rec.Spawn(r.Self.ID, r.Self.Q.Proc, c.ID, c.Q.Proc)
 				if depth != nil {
 					depth[c.ID] = depth[r.Self.ID] + 1
 					ls.ObserveDepth(depth[c.ID])
@@ -561,6 +587,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
 	e.persistStore(db, &res)
+	e.finishProv(rec, &res, "barrier")
 	res.Metrics = in.finish(vtime, res.SumDB, res.Solver)
 	return res
 }
@@ -569,7 +596,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 // sound fact about this program (the store's fingerprint pinned the
 // corpus), so seeding SUMDB with them lets PUNCH answer questions that
 // a cold run would re-derive. A load failure degrades to a cold run.
-func (e *Engine) loadStore(db *summary.DB, res *Result) {
+func (e *Engine) loadStore(db *summary.DB, rec *prov.Recorder, res *Result) {
 	if e.opts.Store == nil || e.opts.DisableSumDB {
 		return
 	}
@@ -580,8 +607,57 @@ func (e *Engine) loadStore(db *summary.DB, res *Result) {
 	}
 	for _, s := range sums {
 		db.Add(s)
+		rec.MarkWarm(s)
 	}
 	res.WarmSummaries = len(sums)
+}
+
+// finishProv freezes the recorder into the result, feeds the cone-size
+// histogram, and persists the verdict's read set beside the summaries
+// when the store supports provenance.
+func (e *Engine) finishProv(rec *prov.Recorder, res *Result, engine string) {
+	if rec == nil {
+		return
+	}
+	p := rec.Finish(res.Verdict.String())
+	res.Provenance = p
+	observeCones(e.opts.Metrics, p)
+	if e.opts.Store == nil || e.opts.DisableSumDB {
+		return
+	}
+	if err := persistProv(e.opts.Store, p, engine); err != nil && res.StoreErr == nil {
+		res.StoreErr = err
+	}
+}
+
+// observeCones feeds each procedure's invalidation-cone size into the
+// metrics histogram.
+func observeCones(m *obs.Metrics, p *prov.Provenance) {
+	if m == nil {
+		return
+	}
+	for _, cs := range p.ConeSizes() {
+		m.ObserveConeSize(int64(cs.Size))
+	}
+}
+
+// persistProv writes a verdict's read set next to the summaries when
+// the store supports provenance (a missing capability is not an error).
+func persistProv(st store.Store, p *prov.Provenance, engine string) error {
+	ps, ok := st.(store.ProvStore)
+	if !ok {
+		return nil
+	}
+	wrec := wire.ProvRecord{Root: p.Root, Verdict: p.Verdict, Engine: engine}
+	for _, r := range p.Reads() {
+		if r.Summary.Pre == nil || r.Summary.Post == nil {
+			// Scripted test summaries carry nil formulas and are not
+			// durable; the persisted read set covers only real facts.
+			continue
+		}
+		wrec.Reads = append(wrec.Reads, wire.ProvRead{Summary: r.Summary, Warm: r.Warm, Count: r.Count})
+	}
+	return ps.PutProv(wrec)
 }
 
 // persistStore writes the run's summaries back to the store. The store

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drivers"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/punch"
 	"repro/internal/punch/maymust"
 	"repro/internal/store"
@@ -65,6 +66,9 @@ type Options struct {
 	// core.Options.Store). The caller owns opening/closing it and
 	// matching it to the check — the harness passes it straight through.
 	Store store.Store
+	// Provenance records each run's verdict dependency record into
+	// CheckResult.Prov (see core.Options.CollectProvenance).
+	Provenance bool
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +111,9 @@ type CheckResult struct {
 	WarmSummaries      int
 	PersistedSummaries int
 	StoreErr           error
+	// Prov is the verdict's dependency record (nil unless
+	// Options.Provenance).
+	Prov *prov.Provenance
 }
 
 // RunCheck verifies one driver-property pair with the given thread count.
@@ -132,6 +139,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Probe:           opts.Probe,
 		Store:           opts.Store,
 
+		CollectProvenance:      opts.Provenance,
 		DisableCoalesce:        opts.DisableCoalesce,
 		DisableEntailmentCache: opts.DisableEntailmentCache,
 	})
@@ -159,6 +167,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		WarmSummaries:      res.WarmSummaries,
 		PersistedSummaries: res.PersistedSummaries,
 		StoreErr:           res.StoreErr,
+		Prov:               res.Provenance,
 	}
 }
 

@@ -72,6 +72,18 @@ type StreamingCheckBench struct {
 	Propagations   int64 `json:"dpll_propagations"`
 	TheoryChecks   int64 `json:"theory_checks"`
 	HashConsHits   int64 `json:"hashcons_hits"`
+	// Provenance-recording overhead: the same streaming run repeated with
+	// Options.Provenance on. ProvParTicks is its virtual makespan (equal
+	// to ParTicks when the recorder is schedule-neutral, as intended);
+	// ProvWallNs its wall time; ProvOverheadPct the relative wall-clock
+	// cost of recording. ProvConeProcs and ProvSummaryReads size the
+	// verdict's recorded dependency cone. None of these are gated by
+	// CompareStreamingBench — they are review-diff material.
+	ProvParTicks     int64   `json:"prov_par_ticks,omitempty"`
+	ProvWallNs       int64   `json:"prov_wall_ns,omitempty"`
+	ProvOverheadPct  float64 `json:"prov_overhead_pct,omitempty"`
+	ProvConeProcs    int     `json:"prov_cone_procs,omitempty"`
+	ProvSummaryReads int64   `json:"prov_summary_reads,omitempty"`
 	// Metrics is the streaming run's flattened metrics summary (counters,
 	// sumdb traffic, punch-histogram aggregates, makespan).
 	Metrics map[string]int64 `json:"metrics"`
@@ -142,6 +154,24 @@ func CollectStreaming(opts Options, threads int, checks []drivers.Check) Streami
 				entry.WorkerUtilization = append(entry.WorkerUtilization,
 					float64(ws.BusyTicks)/float64(par.Metrics.MakespanTicks))
 			}
+		}
+		// Repeat the streaming run with provenance recording on to price
+		// the recorder (metrics and tracing off, so only the recorder
+		// differs from a bare run).
+		provOpts := opts
+		provOpts.Async = true
+		provOpts.Metrics = false
+		provOpts.Tracer = nil
+		provOpts.Provenance = true
+		pr := RunCheck(check, threads, provOpts)
+		entry.ProvParTicks = pr.Ticks
+		entry.ProvWallNs = int64(pr.Wall)
+		if par.Wall > 0 {
+			entry.ProvOverheadPct = 100 * (float64(pr.Wall) - float64(par.Wall)) / float64(par.Wall)
+		}
+		if pr.Prov != nil {
+			entry.ProvConeProcs = len(pr.Prov.Procedures)
+			entry.ProvSummaryReads = pr.Prov.SummaryReads
 		}
 		bench.Checks = append(bench.Checks, entry)
 		bench.TotalSeqTicks += seq.Ticks

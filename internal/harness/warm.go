@@ -30,6 +30,11 @@ type WarmRow struct {
 	// the warm run started from (equal unless the store failed).
 	Persisted int
 	Loaded    int
+	// WarmRead is how many of the loaded summaries the warm run actually
+	// consumed (distinct warm summaries in the verdict's read set, from
+	// the provenance recorder) — the live fraction of the store, as
+	// opposed to Loaded, which only counts hydration.
+	WarmRead int
 	// Verdicts of both runs — the store carries sound facts about the
 	// fingerprinted program, so these must agree.
 	ColdVerdict core.Verdict
@@ -68,13 +73,14 @@ func warmVsColdOne(opts Options, threads int, check drivers.Check, dir string) W
 	row := WarmRow{Check: check}
 	fp := checkFingerprint(check)
 
-	runWith := func() (CheckResult, error) {
+	runWith := func(collectProv bool) (CheckResult, error) {
 		st, err := store.OpenDisk(dir, fp, false)
 		if err != nil {
 			return CheckResult{}, err
 		}
 		o := opts
 		o.Store = st
+		o.Provenance = o.Provenance || collectProv
 		r := RunCheck(check, threads, o)
 		if err := st.Close(); err != nil && r.StoreErr == nil {
 			r.StoreErr = err
@@ -82,14 +88,19 @@ func warmVsColdOne(opts Options, threads int, check drivers.Check, dir string) W
 		return r, r.StoreErr
 	}
 
-	cold, err := runWith()
+	cold, err := runWith(false)
 	row.ColdTicks, row.ColdVerdict, row.Persisted = cold.Ticks, cold.Verdict, cold.PersistedSummaries
 	if err != nil {
 		row.Err = err
 		return row
 	}
-	warm, err := runWith()
+	// The warm run records provenance so the row can report how many of
+	// the loaded summaries were actually read, not just hydrated.
+	warm, err := runWith(true)
 	row.WarmTicks, row.WarmVerdict, row.Loaded = warm.Ticks, warm.Verdict, warm.WarmSummaries
+	if warm.Prov != nil {
+		row.WarmRead = warm.Prov.WarmRead
+	}
 	if err != nil {
 		row.Err = err
 		return row
@@ -103,16 +114,16 @@ func warmVsColdOne(opts Options, threads int, check drivers.Check, dir string) W
 // WriteWarmTable renders the cold-vs-warm comparison.
 func WriteWarmTable(w io.Writer, threads int, rows []WarmRow) {
 	fmt.Fprintf(w, "Warm-start: persistent summary store, cold run vs re-run (threads=%d)\n\n", threads)
-	fmt.Fprintf(w, "%-45s %10s %10s %8s %8s %8s  %s\n",
-		"check", "cold", "warm", "spd", "saved", "loaded", "verdict cold/warm")
+	fmt.Fprintf(w, "%-45s %10s %10s %8s %8s %8s %8s  %s\n",
+		"check", "cold", "warm", "spd", "saved", "loaded", "read", "verdict cold/warm")
 	for _, r := range rows {
 		if r.Err != nil {
 			fmt.Fprintf(w, "%-45s store error: %v\n", r.Check.ID(), r.Err)
 			continue
 		}
-		fmt.Fprintf(w, "%-45s %10d %10d %8.2f %8d %8d  %s / %s\n",
+		fmt.Fprintf(w, "%-45s %10d %10d %8.2f %8d %8d %8d  %s / %s\n",
 			r.Check.ID(), r.ColdTicks, r.WarmTicks, r.Speedup,
-			r.Persisted, r.Loaded,
+			r.Persisted, r.Loaded, r.WarmRead,
 			verdictShort(r.ColdVerdict), verdictShort(r.WarmVerdict))
 	}
 }

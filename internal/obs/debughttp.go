@@ -38,6 +38,12 @@ type DebugState struct {
 	Flight *FlightRecorder
 	// Watchdog contributes its counters to /debug/bolt/health.
 	Watchdog *Watchdog
+	// Prov backs /debug/bolt/prov: called per request, it returns the
+	// most recent verdict's provenance document (any JSON-marshalable
+	// value) or nil when no run has recorded provenance yet. The obs
+	// package stays decoupled from the provenance types; callers close
+	// over whatever they hold.
+	Prov func() any
 	// Build is stamped into bolt_build_info and /debug/bolt/health.
 	Build BuildInfo
 	// Start anchors bolt_uptime_seconds (time.Now at server start when
@@ -133,6 +139,21 @@ func (st DebugState) Handler() http.Handler {
 		}
 		if wd := doc.Watchdog; wd.Enabled && wd.StuckFor > 0 {
 			doc.Status = "stalled"
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/bolt/prov", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var doc any
+		if st.Prov != nil {
+			doc = st.Prov()
+		}
+		if doc == nil {
+			doc = struct {
+				Status string `json:"status"`
+			}{Status: "no provenance recorded"}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

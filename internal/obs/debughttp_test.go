@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -142,4 +143,112 @@ func TestDebugEndpointsAllNil(t *testing.T) {
 	if body := debugGet(t, st, "/metrics").Body.String(); !strings.Contains(body, "bolt_build_info") {
 		t.Fatalf("/metrics = %q", body)
 	}
+}
+
+// TestDebugProvEndpoint: the provenance route serves whatever document
+// the attached source returns, and a well-formed placeholder when no
+// provenance has been recorded (source absent or returning nil).
+func TestDebugProvEndpoint(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal(debugGet(t, DebugState{}, "/debug/bolt/prov").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "no provenance recorded" {
+		t.Fatalf("nil source doc = %v", doc)
+	}
+	st := DebugState{Prov: func() any { return nil }}
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/prov").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "no provenance recorded" {
+		t.Fatalf("nil-returning source doc = %v", doc)
+	}
+	st.Prov = func() any { return map[string]any{"root": "main", "verdict": "Program is Safe"} }
+	if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/prov").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["root"] != "main" {
+		t.Fatalf("prov doc = %v", doc)
+	}
+}
+
+// TestDebugHealthStallRecovery drives the full stall lifecycle through
+// /debug/bolt/health: a flatlined run flips the status to "stalled" and
+// fires one stall report; resumed progress re-arms the watchdog and
+// returns the status to "ok"; a second flatline is a fresh episode that
+// fires again.
+func TestDebugHealthStallRecovery(t *testing.T) {
+	var p Probe
+	ls := NewLiveState("async", 2, 0, time.Now())
+	ls.Tick(1, 1)
+	ls.SetForest(1, 0, 1, 0)
+	p.Attach(func() *StateSnapshot { return ls.Snapshot() })
+	defer p.Detach()
+
+	var reports atomic.Int64
+	wd := NewWatchdog(WatchdogConfig{
+		Probe:      &p,
+		Tick:       time.Millisecond,
+		StallAfter: 5 * time.Millisecond,
+		OnStall:    func(StallReport) { reports.Add(1) },
+	})
+	wd.Start()
+	defer wd.Stop()
+	st := DebugState{Probe: &p, Watchdog: wd}
+
+	health := func() (string, WatchdogStatus) {
+		var doc struct {
+			Status   string         `json:"status"`
+			Watchdog WatchdogStatus `json:"watchdog"`
+		}
+		if err := json.Unmarshal(debugGet(t, st, "/debug/bolt/health").Body.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Status, doc.Watchdog
+	}
+	waitStalled := func(minReports int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if status, _ := health(); status == "stalled" && reports.Load() >= minReports {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		status, wst := health()
+		t.Fatalf("health never reached stalled with %d report(s): status=%q watchdog=%+v reports=%d",
+			minReports, status, wst, reports.Load())
+	}
+
+	// Phase 1: the signature is flat, so the watchdog marks the run
+	// stalled and fires exactly one report for the episode.
+	waitStalled(1)
+	if _, wst := health(); !wst.Enabled || wst.StuckFor == 0 || wst.Stalls < 1 {
+		t.Fatalf("stalled watchdog status = %+v", wst)
+	}
+
+	// Phase 2: progress resumes; the watchdog re-arms and health recovers.
+	// Keep the signature moving until the sampler has seen it.
+	recovered := false
+	vtime := int64(2)
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		ls.Tick(vtime, vtime)
+		vtime++
+		if status, wst := health(); status == "ok" && wst.StuckFor == 0 {
+			recovered = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !recovered {
+		status, wst := health()
+		t.Fatalf("health never recovered: status=%q watchdog=%+v", status, wst)
+	}
+	if reports.Load() != 1 {
+		t.Fatalf("recovery must not fire new reports; got %d", reports.Load())
+	}
+
+	// Phase 3: a second flatline is a new episode — the re-armed watchdog
+	// fires a second report.
+	waitStalled(2)
 }

@@ -48,6 +48,17 @@ const (
 	// CoalesceHits counts spawned children coalesced onto a live
 	// in-flight twin instead of growing a duplicate subtree.
 	CoalesceHits
+	// ProvSummaryReads counts SUMDB summaries recorded into a query's
+	// provenance read set (AnswerYes/AnswerNo/Answer hits under a
+	// recording frame); ProvSummaryWrites counts summaries recorded
+	// into a write set; ProvProcReads counts procedure-granularity
+	// ForProc scans; ProvCoalesceReuse counts coalesce edges recorded
+	// (a parent's dependency satisfied by an in-flight twin's subtree).
+	// All four stay zero unless provenance collection is on.
+	ProvSummaryReads
+	ProvSummaryWrites
+	ProvProcReads
+	ProvCoalesceReuse
 
 	numCounters
 )
@@ -57,7 +68,8 @@ var counterNames = [numCounters]string{
 	"wakes", "rewakes", "steals_attempted", "steals_succeeded",
 	"idle_parks", "punch_invocations", "gossip_rounds",
 	"gossip_deliveries", "gossip_bytes", "node_kills",
-	"coalesce_hits",
+	"coalesce_hits", "prov_summary_reads", "prov_summary_writes",
+	"prov_proc_reads", "prov_coalesce_reuse",
 }
 
 func (c Counter) String() string {
@@ -150,6 +162,7 @@ type Metrics struct {
 	counters  [numCounters]atomic.Int64
 	punchCost Histogram
 	punchWall Histogram
+	coneSize  Histogram
 
 	mu      sync.RWMutex
 	workers []*workerCell
@@ -221,6 +234,16 @@ func (m *Metrics) ObservePunch(worker int, cost int64, wall time.Duration) {
 	}
 }
 
+// ObserveConeSize records one procedure's invalidation-cone size
+// (procedure count) at provenance-assembly time; the distribution backs
+// the bolt_prov_cone_size Prometheus histogram.
+func (m *Metrics) ObserveConeSize(v int64) {
+	if m == nil {
+		return
+	}
+	m.coneSize.Observe(v)
+}
+
 // ObserveSteal records one successful steal for the thief's ledger (the
 // global counters are updated separately via Inc).
 func (m *Metrics) ObserveSteal(worker int) {
@@ -251,6 +274,9 @@ type Snapshot struct {
 	// (virtual ticks); PunchWallNs of wall-clock nanoseconds.
 	PunchCost   HistSnapshot `json:"punch_cost_ticks"`
 	PunchWallNs HistSnapshot `json:"punch_wall_ns"`
+	// ProvConeSize is the distribution of per-procedure invalidation
+	// cone sizes (empty unless provenance collection was on).
+	ProvConeSize HistSnapshot `json:"prov_cone_size,omitempty"`
 	// Workers is the per-worker accounting (utilization = BusyTicks /
 	// MakespanTicks).
 	Workers []WorkerSnapshot `json:"workers,omitempty"`
@@ -267,9 +293,10 @@ func (m *Metrics) Snapshot() *Snapshot {
 		return nil
 	}
 	s := &Snapshot{
-		Counters:    make(map[string]int64, int(numCounters)),
-		PunchCost:   m.punchCost.snapshot(),
-		PunchWallNs: m.punchWall.snapshot(),
+		Counters:     make(map[string]int64, int(numCounters)),
+		PunchCost:    m.punchCost.snapshot(),
+		PunchWallNs:  m.punchWall.snapshot(),
+		ProvConeSize: m.coneSize.snapshot(),
 	}
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[c.String()] = m.counters[c].Load()
@@ -304,6 +331,11 @@ func (s *Snapshot) Flatten() map[string]int64 {
 	out["punch_cost_max"] = s.PunchCost.Max
 	out["punch_wall_ns_sum"] = s.PunchWallNs.Sum
 	out["punch_wall_ns_max"] = s.PunchWallNs.Max
+	if s.ProvConeSize.Count > 0 {
+		out["prov_cone_count"] = s.ProvConeSize.Count
+		out["prov_cone_sum"] = s.ProvConeSize.Sum
+		out["prov_cone_max"] = s.ProvConeSize.Max
+	}
 	out["makespan_ticks"] = s.MakespanTicks
 	out["workers"] = int64(len(s.Workers))
 	return out

@@ -41,7 +41,13 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	if err := writePromHist(w, "bolt_punch_cost_ticks", s.PunchCost); err != nil {
 		return err
 	}
-	return writePromHist(w, "bolt_punch_wall_ns", s.PunchWallNs)
+	if err := writePromHist(w, "bolt_punch_wall_ns", s.PunchWallNs); err != nil {
+		return err
+	}
+	if s.ProvConeSize.Count > 0 {
+		return writePromHist(w, "bolt_prov_cone_size", s.ProvConeSize)
+	}
+	return nil
 }
 
 // writePromHist renders one histogram with Prometheus' cumulative

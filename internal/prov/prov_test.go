@@ -1,0 +1,246 @@
+package prov
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/punch"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+func g(x int64) logic.Formula {
+	return logic.Eq(logic.LinVar(lang.Var("g")), logic.LinConst(x))
+}
+
+func mkSum(proc string, a, b int64) summary.Summary {
+	return summary.Summary{Kind: summary.Must, Proc: proc, Pre: g(a), Post: g(b)}
+}
+
+// stubDB is a canned punch.DB so frame recording is tested without
+// solver entailment semantics in the way.
+type stubDB struct{ s summary.Summary }
+
+func (d *stubDB) Solver() *smt.Solver                                { return nil }
+func (d *stubDB) Add(summary.Summary)                                {}
+func (d *stubDB) Answer(summary.Question) (summary.Summary, int)     { return d.s, -1 }
+func (d *stubDB) AnswerYes(summary.Question) (summary.Summary, bool) { return d.s, true }
+func (d *stubDB) AnswerNo(summary.Question) (summary.Summary, bool) {
+	return summary.Summary{}, false
+}
+func (d *stubDB) ForProc(string) []summary.Summary { return []summary.Summary{d.s} }
+
+// TestNilRecorderIsFree locks the zero-cost-when-disabled contract: a
+// nil recorder's methods are no-ops and Frame returns the database
+// untouched, so engines pay one pointer comparison per invocation.
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	db := &stubDB{s: mkSum("f", 0, 1)}
+	if got := r.Frame(db, 1, "main"); got != punch.DB(db) {
+		t.Fatalf("nil recorder must return the db unchanged, got %T", got)
+	}
+	r.Root(1, "main")
+	r.Spawn(1, "main", 2, "f")
+	r.Coalesce(1, "main", "f")
+	r.MarkWarm(mkSum("f", 0, 1))
+	if p := r.Finish("x"); p != nil {
+		t.Fatalf("nil recorder Finish must be nil, got %+v", p)
+	}
+	if p := (*Provenance)(nil); p.Verify() == nil {
+		t.Fatal("nil provenance must not verify")
+	}
+}
+
+// TestRecorderScenario runs a three-procedure scenario through the
+// recorder and checks every derived view of the Finish artifact.
+func TestRecorderScenario(t *testing.T) {
+	r := NewRecorder(nil)
+	warm := mkSum("leaf", 0, 1)
+	r.MarkWarm(warm)
+
+	r.Root(1, "main")
+	r.Spawn(1, "main", 2, "mid")
+	r.Spawn(2, "mid", 3, "leaf")
+
+	// mid's PUNCH invocation consumes leaf's warm summary and produces
+	// its own; main scans mid's summaries.
+	f := r.Frame(&stubDB{s: warm}, 2, "mid")
+	if _, ok := f.AnswerYes(summary.Question{Proc: "leaf", Pre: g(0), Post: g(1)}); !ok {
+		t.Fatal("stub must answer")
+	}
+	f.Add(mkSum("mid", 0, 1))
+	rootFrame := r.Frame(&stubDB{s: mkSum("mid", 0, 1)}, 1, "main")
+	if got := rootFrame.ForProc("mid"); len(got) != 1 {
+		t.Fatalf("ForProc passthrough broken: %d summaries", len(got))
+	}
+
+	p := r.Finish("Program is Safe")
+	if p.Root != "main" || p.Verdict != "Program is Safe" {
+		t.Fatalf("header wrong: %+v", p)
+	}
+	if want := []string{"leaf", "main", "mid"}; !reflect.DeepEqual(p.Procedures, want) {
+		t.Fatalf("cone %v, want %v", p.Procedures, want)
+	}
+	if p.Depth != 2 {
+		t.Fatalf("depth %d, want 2 (main -> mid -> leaf)", p.Depth)
+	}
+	if p.SummaryReads != 1 || p.SummaryWrites != 1 || p.ProcReads != 1 {
+		t.Fatalf("traffic reads=%d writes=%d procReads=%d, want 1/1/1",
+			p.SummaryReads, p.SummaryWrites, p.ProcReads)
+	}
+	if p.WarmLoaded != 1 || p.WarmRead != 1 {
+		t.Fatalf("warm attribution %d/%d, want 1/1", p.WarmRead, p.WarmLoaded)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(p.Reads()) != 1 || !p.Reads()[0].Warm || p.Reads()[0].Count != 1 {
+		t.Fatalf("read set wrong: %+v", p.Reads())
+	}
+
+	// Invalidation cones: editing leaf invalidates everything upstream;
+	// editing main only itself; an untouched procedure has a trivial
+	// cone that cannot affect the verdict.
+	leafCone := p.Cone("leaf")
+	if want := []string{"leaf", "main", "mid"}; !reflect.DeepEqual(leafCone.Procedures, want) {
+		t.Fatalf("leaf cone %v, want %v", leafCone.Procedures, want)
+	}
+	if !leafCone.RootAffected || leafCone.Summaries == 0 {
+		t.Fatalf("leaf cone must affect the root with summaries: %+v", leafCone)
+	}
+	mainCone := p.Cone("main")
+	if !reflect.DeepEqual(mainCone.Procedures, []string{"main"}) || !mainCone.RootAffected {
+		t.Fatalf("main cone wrong: %+v", mainCone)
+	}
+	other := p.Cone("untouched")
+	if !reflect.DeepEqual(other.Procedures, []string{"untouched"}) || other.RootAffected || other.Summaries != 0 {
+		t.Fatalf("untouched cone wrong: %+v", other)
+	}
+}
+
+// TestCoalesceEdgeMatchesSpawnEdge: a dependency satisfied by a
+// coalesced twin must produce the same procedure-level cone as a fresh
+// spawn — the schedule-invariance property prov-smoke asserts end to
+// end.
+func TestCoalesceEdgeMatchesSpawnEdge(t *testing.T) {
+	spawned := NewRecorder(nil)
+	spawned.Root(1, "main")
+	spawned.Spawn(1, "main", 2, "f")
+
+	coalesced := NewRecorder(nil)
+	coalesced.Root(1, "main")
+	coalesced.Coalesce(1, "main", "f")
+
+	a := spawned.Finish("v")
+	b := coalesced.Finish("v")
+	if !bytes.Equal(a.StableBytes(), b.StableBytes()) {
+		t.Fatalf("spawn vs coalesce cones differ:\n%s\n%s", a.StableBytes(), b.StableBytes())
+	}
+	if b.CoalesceReuse != 1 {
+		t.Fatalf("coalesce reuse %d, want 1", b.CoalesceReuse)
+	}
+}
+
+// TestStableBytesOrderInvariant: recording the same edges in a
+// different order yields identical canonical bytes.
+func TestStableBytesOrderInvariant(t *testing.T) {
+	a := NewRecorder(nil)
+	a.Root(1, "main")
+	a.Spawn(1, "main", 2, "f")
+	a.Spawn(1, "main", 3, "g")
+	a.Spawn(2, "f", 4, "h")
+
+	b := NewRecorder(nil)
+	b.Root(1, "main")
+	b.Spawn(1, "main", 3, "g")
+	b.Spawn(2, "f", 4, "h")
+	b.Spawn(1, "main", 2, "f")
+
+	if !bytes.Equal(a.Finish("v").StableBytes(), b.Finish("v").StableBytes()) {
+		t.Fatal("StableBytes must be insensitive to recording order")
+	}
+}
+
+// TestVerifyViolations: each structural invariant fails loudly.
+func TestVerifyViolations(t *testing.T) {
+	if err := (&Provenance{Root: "a"}).Verify(); err == nil {
+		t.Fatal("empty cone must not verify")
+	}
+	p := &Provenance{Root: "a", Procedures: []string{"b"}}
+	if err := p.Verify(); err == nil {
+		t.Fatal("cone missing its root must not verify")
+	}
+	p = &Provenance{
+		Root:       "a",
+		Procedures: []string{"a"},
+		Spawns:     map[string][]string{"a": {"b"}},
+	}
+	if err := p.Verify(); err == nil {
+		t.Fatal("cone not closed under spawn edges must not verify")
+	}
+	p = &Provenance{
+		Root:       "a",
+		Procedures: []string{"a"},
+		Deps:       map[string][]string{"a": {"c"}},
+	}
+	if err := p.Verify(); err == nil {
+		t.Fatal("cone not closed under dep edges must not verify")
+	}
+	p = &Provenance{Root: "a", Procedures: []string{"a"}, WarmRead: 2, WarmLoaded: 1}
+	if err := p.Verify(); err == nil {
+		t.Fatal("warm_read > warm_loaded must not verify")
+	}
+}
+
+// TestJSONRoundTrip: the serialized artifact reloads with the
+// schedule-invariant part intact.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Root(1, "main")
+	r.Spawn(1, "main", 2, "f")
+	f := r.Frame(&stubDB{s: mkSum("f", 0, 1)}, 1, "main")
+	f.Answer(summary.Question{Proc: "f", Pre: g(0), Post: g(1)})
+	p := r.Finish("Error Reachable")
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.StableBytes(), q.StableBytes()) {
+		t.Fatalf("round trip changed stable bytes:\n%s\n%s", p.StableBytes(), q.StableBytes())
+	}
+	if q.SummaryReads != p.SummaryReads || len(q.Summaries) != len(p.Summaries) {
+		t.Fatalf("round trip lost traffic: %+v vs %+v", q, p)
+	}
+	if err := q.Verify(); err != nil {
+		t.Fatalf("reloaded record must verify: %v", err)
+	}
+}
+
+// TestExplainMentionsCone: the human report names the verdict, the cone
+// size, and the hot summaries.
+func TestExplainMentionsCone(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Root(1, "main")
+	r.Spawn(1, "main", 2, "f")
+	fr := r.Frame(&stubDB{s: mkSum("f", 0, 1)}, 1, "main")
+	fr.AnswerYes(summary.Question{Proc: "f", Pre: g(0), Post: g(1)})
+	p := r.Finish("Program is Safe")
+	out := p.Explain()
+	for _, want := range []string{"Program is Safe", "main", "2 procedure(s)", "hot summaries"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	var nilP *Provenance
+	if out := nilP.Explain(); out == "" {
+		t.Fatal("nil provenance must still explain itself")
+	}
+}

@@ -9,8 +9,32 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/query"
+	"repro/internal/smt"
 	"repro/internal/summary"
 )
+
+// DB is the summary-database surface a PUNCH invocation sees: the lookup
+// and insertion methods of *summary.DB, and nothing else. Engines hand
+// PUNCH the real database directly, or — when provenance collection is
+// on — a per-invocation recording frame that delegates to it while
+// capturing the invocation's read and write sets. Keeping the interface
+// to exactly the methods PUNCH uses is what makes that interposition a
+// one-field swap instead of an engine rewrite.
+type DB interface {
+	// Solver returns the database's shared solver (entailment cache and
+	// all); PUNCH charges its cost model off this solver's stats.
+	Solver() *smt.Solver
+	// Add inserts a summary (the §3.2 side effect of finishing a query).
+	Add(s summary.Summary)
+	// Answer reports +1/-1/0 for q against the stored summaries.
+	Answer(q summary.Question) (summary.Summary, int)
+	// AnswerYes reports whether a stored must-summary proves q.
+	AnswerYes(q summary.Question) (summary.Summary, bool)
+	// AnswerNo reports whether a stored not-may-summary refutes q.
+	AnswerNo(q summary.Question) (summary.Summary, bool)
+	// ForProc returns a stable view of proc's summaries.
+	ForProc(proc string) []summary.Summary
+}
 
 // Context carries the shared resources a PUNCH invocation may use. Per the
 // paper, SUMDB is the only shared mutable state; the allocator hands out
@@ -19,7 +43,7 @@ import (
 // alongside the database).
 type Context struct {
 	Prog   *cfg.Program
-	DB     *summary.DB
+	DB     DB
 	Alloc  *query.Allocator
 	ModRef map[string]*cfg.ModRef
 }

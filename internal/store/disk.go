@@ -133,8 +133,10 @@ func (d *Disk) createSegment(segPath string) error {
 	d.f = f
 	d.size = int64(segHeaderSize)
 	d.dirty = true
-	// Drop any index left over from a discarded store.
+	// Drop any index or provenance sidecar left over from a discarded
+	// store (provenance refers to summaries that no longer exist).
 	_ = os.Remove(filepath.Join(d.dir, IdxName))
+	_ = os.Remove(filepath.Join(d.dir, ProvName))
 	return nil
 }
 

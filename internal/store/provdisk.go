@@ -1,0 +1,123 @@
+// The disk store's provenance sidecar: verdict read sets persisted
+// beside the summary segment in prov.seg, with the same framing
+// (uvarint length + payload + crc32) and the same fingerprint binding.
+// Provenance is written once per run and read back rarely (boltbench
+// -warm attribution), so the sidecar is opened per operation instead of
+// held like the segment; crash tolerance is the segment's append-only
+// kind — a truncated final record is trimmed on load.
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+const (
+	provMagic   = "BOLTPRV1"
+	provVersion = 1
+	// ProvName is the provenance sidecar's file name inside a store
+	// directory.
+	ProvName = "prov.seg"
+)
+
+var provHeaderSize = len(provMagic) + 1 + len(Fingerprint{})
+
+// PutProv appends one provenance record to the sidecar, creating it
+// (stamped with the store's fingerprint) on first use. The wire encoder
+// is the durability guard, exactly as for summaries.
+func (d *Disk) PutProv(rec wire.ProvRecord) error {
+	payload, err := wire.AppendProv(nil, rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: put on closed store")
+	}
+	path := filepath.Join(d.dir, ProvName)
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		hdr := make([]byte, 0, provHeaderSize)
+		hdr = append(hdr, provMagic...)
+		hdr = append(hdr, provVersion)
+		hdr = append(hdr, d.fp[:]...)
+		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	} else if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	framed := binary.AppendUvarint(nil, uint64(len(payload)))
+	framed = append(framed, payload...)
+	framed = binary.LittleEndian.AppendUint32(framed, crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(framed); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadProv returns every persisted provenance record, oldest first. A
+// missing sidecar is an empty result, not an error; a sidecar written
+// under a different fingerprint is rejected like a mismatched segment.
+func (d *Disk) LoadProv() ([]wire.ProvRecord, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("store: load on closed store")
+	}
+	path := filepath.Join(d.dir, ProvName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(data) < provHeaderSize || string(data[:len(provMagic)]) != provMagic {
+		return nil, fmt.Errorf("store: %s is not a provenance sidecar", path)
+	}
+	if v := data[len(provMagic)]; v != provVersion {
+		return nil, fmt.Errorf("store: %s has sidecar version %d, this build reads version %d", path, v, provVersion)
+	}
+	var fp Fingerprint
+	copy(fp[:], data[len(provMagic)+1:provHeaderSize])
+	if fp != d.fp {
+		return nil, &MismatchError{Path: path, Want: d.fp, Got: fp}
+	}
+	var out []wire.ProvRecord
+	pos := int64(provHeaderSize)
+	for pos < int64(len(data)) {
+		payload, next, err := parseRecord(data, pos)
+		if err != nil {
+			var tr *truncatedError
+			if errors.As(err, &tr) {
+				// Crash-truncated tail: return the complete prefix.
+				break
+			}
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		rec, _, err := wire.DecodeProv(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: record at offset %d: %w", path, pos, err)
+		}
+		out = append(out, rec)
+		pos = next
+	}
+	return out, nil
+}

@@ -38,6 +38,17 @@ type Store interface {
 	Close() error
 }
 
+// ProvStore is the optional provenance capability: stores that persist
+// verdict read sets beside the summaries implement it (both backends in
+// this package do). Callers type-assert, so a minimal external Store
+// implementation keeps working without provenance.
+type ProvStore interface {
+	// PutProv persists one verdict's provenance record.
+	PutProv(rec wire.ProvRecord) error
+	// LoadProv returns every stored provenance record, oldest first.
+	LoadProv() ([]wire.ProvRecord, error)
+}
+
 // Fingerprint identifies the corpus/driver + analysis + wire version a
 // store's contents are valid for.
 type Fingerprint [sha256.Size]byte
@@ -69,6 +80,7 @@ type Mem struct {
 	mu   sync.Mutex
 	keys map[string]struct{}
 	db   *summary.DB
+	prov []wire.ProvRecord
 }
 
 // NewMem returns an empty in-memory store.
@@ -93,6 +105,26 @@ func (m *Mem) Put(s summary.Summary) (bool, error) {
 	m.keys[key] = struct{}{}
 	m.db.Add(s)
 	return true, nil
+}
+
+// PutProv stores one provenance record. The record is validated by a
+// round trip through its wire encoding, so the in-memory backend
+// rejects exactly what the disk backend would.
+func (m *Mem) PutProv(rec wire.ProvRecord) error {
+	if _, err := wire.AppendProv(nil, rec); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.prov = append(m.prov, rec)
+	return nil
+}
+
+// LoadProv returns the stored provenance records, oldest first.
+func (m *Mem) LoadProv() ([]wire.ProvRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]wire.ProvRecord(nil), m.prov...), nil
 }
 
 // Flush is a no-op for the in-memory backend.

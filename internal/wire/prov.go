@@ -1,0 +1,123 @@
+// Provenance records: the durable encoding of a verdict's read set,
+// persisted beside the summaries it refers to so a warm start can
+// report which stored summaries the previous run actually consumed.
+// Summaries inside a provenance record are identified by their full
+// canonical wire encoding (SummaryKey bytes), never by process-local
+// logic.Key strings — the same durability discipline as every other
+// record in this package.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/summary"
+)
+
+// tagProv marks a provenance record.
+const tagProv = 0x50 // 'P'
+
+// ProvRead is one consumed summary in a provenance record.
+type ProvRead struct {
+	// Summary is the consumed fact (round-trips through the canonical
+	// summary encoding).
+	Summary summary.Summary
+	// Warm marks a summary that was hydrated from the store rather than
+	// derived fresh by the recording run.
+	Warm bool
+	// Count is the number of read-set hits the run recorded on it.
+	Count int64
+}
+
+// ProvRecord is a verdict's persisted read set.
+type ProvRecord struct {
+	// Root is the root procedure the verdict answers for; Verdict the
+	// answer; Engine the engine that produced it.
+	Root    string
+	Verdict string
+	Engine  string
+	Reads   []ProvRead
+}
+
+// AppendProv appends the canonical encoding of p to dst: tag, root,
+// verdict, engine, then a uvarint count of reads, each as warm byte,
+// count uvarint, and the summary's own wire record. Summaries whose
+// formulas cannot be durably encoded (nil formulas from scripted test
+// punches) are rejected — callers filter those out before persisting.
+func AppendProv(dst []byte, p ProvRecord) ([]byte, error) {
+	for _, s := range []string{p.Root, p.Verdict, p.Engine} {
+		if err := CheckDurable(s); err != nil {
+			return dst, fmt.Errorf("provenance record: %w", err)
+		}
+	}
+	dst = append(dst, tagProv)
+	dst = appendString(dst, p.Root)
+	dst = appendString(dst, p.Verdict)
+	dst = appendString(dst, p.Engine)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Reads)))
+	for _, r := range p.Reads {
+		warm := byte(0)
+		if r.Warm {
+			warm = 1
+		}
+		dst = append(dst, warm)
+		if r.Count < 0 {
+			return dst, fmt.Errorf("wire: negative provenance read count %d", r.Count)
+		}
+		dst = binary.AppendUvarint(dst, uint64(r.Count))
+		var err error
+		dst, err = AppendSummary(dst, r.Summary)
+		if err != nil {
+			return dst, fmt.Errorf("provenance read: %w", err)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeProv decodes one provenance record and returns the bytes
+// consumed.
+func DecodeProv(buf []byte) (ProvRecord, int, error) {
+	var p ProvRecord
+	if len(buf) < 1 || buf[0] != tagProv {
+		return p, 0, fmt.Errorf("wire: not a provenance record")
+	}
+	pos := 1
+	for _, field := range []*string{&p.Root, &p.Verdict, &p.Engine} {
+		s, n, err := decodeString(buf[pos:])
+		if err != nil {
+			return p, 0, err
+		}
+		*field = s
+		pos += n
+	}
+	count, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || count > uint64(len(buf)) {
+		return p, 0, fmt.Errorf("wire: bad provenance read count")
+	}
+	pos += n
+	for i := uint64(0); i < count; i++ {
+		if pos >= len(buf) {
+			return p, 0, fmt.Errorf("wire: truncated provenance read")
+		}
+		r := ProvRead{Warm: buf[pos] == 1}
+		if buf[pos] > 1 {
+			return p, 0, fmt.Errorf("wire: bad provenance warm flag %d", buf[pos])
+		}
+		pos++
+		hits, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return p, 0, fmt.Errorf("wire: bad provenance read count")
+		}
+		r.Count = int64(hits)
+		pos += n
+		s, n, err := DecodeSummary(buf[pos:])
+		if err != nil {
+			return p, 0, err
+		}
+		r.Summary = s
+		pos += n
+		p.Reads = append(p.Reads, r)
+	}
+	return p, pos, nil
+}

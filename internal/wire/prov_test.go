@@ -1,0 +1,115 @@
+package wire_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/summary"
+	"repro/internal/wire"
+)
+
+func testProvRecord() wire.ProvRecord {
+	s := testSummary()
+	t := testSummary()
+	t.Proc = "other"
+	t.Kind = summary.Must
+	return wire.ProvRecord{
+		Root:    "main",
+		Verdict: "Program is Safe",
+		Engine:  "async",
+		Reads: []wire.ProvRead{
+			{Summary: s, Warm: true, Count: 3},
+			{Summary: t, Warm: false, Count: 1},
+		},
+	}
+}
+
+func TestProvRoundTrip(t *testing.T) {
+	p := testProvRecord()
+	b, err := wire.AppendProv(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := wire.DecodeProv(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	if got.Root != p.Root || got.Verdict != p.Verdict || got.Engine != p.Engine {
+		t.Fatalf("header changed: %+v", got)
+	}
+	if len(got.Reads) != 2 {
+		t.Fatalf("got %d reads, want 2", len(got.Reads))
+	}
+	for i, r := range got.Reads {
+		want := p.Reads[i]
+		if r.Warm != want.Warm || r.Count != want.Count || r.Summary.Proc != want.Summary.Proc {
+			t.Fatalf("read %d changed: %+v want %+v", i, r, want)
+		}
+		if logic.CanonicalKey(r.Summary.Pre) != logic.CanonicalKey(want.Summary.Pre) {
+			t.Fatalf("read %d precondition changed across round trip", i)
+		}
+	}
+}
+
+func TestProvEmptyReadSet(t *testing.T) {
+	p := wire.ProvRecord{Root: "main", Verdict: "v", Engine: "barrier"}
+	b, err := wire.AppendProv(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := wire.DecodeProv(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got.Root != "main" || len(got.Reads) != 0 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestProvRefusesUndurableSummary(t *testing.T) {
+	p := testProvRecord()
+	p.Reads[0].Summary.Pre = nil // scripted-test summary: not durable
+	if _, err := wire.AppendProv(nil, p); err == nil {
+		t.Fatal("nil-formula summary must be rejected")
+	}
+	p = testProvRecord()
+	p.Reads[0].Count = -1
+	if _, err := wire.AppendProv(nil, p); err == nil {
+		t.Fatal("negative read count must be rejected")
+	}
+	p = testProvRecord()
+	p.Root = "#42" // process-local interned key render
+	if _, err := wire.AppendProv(nil, p); err == nil {
+		t.Fatal("volatile root string must be rejected")
+	}
+}
+
+func TestDecodeProvRejectsGarbage(t *testing.T) {
+	good, err := wire.AppendProv(nil, testProvRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"wrong tag": {0x51, 0x00},
+		"truncated": good[:len(good)-3],
+		"short hdr": good[:2],
+	}
+	for name, buf := range cases {
+		if _, _, err := wire.DecodeProv(buf); err == nil {
+			t.Fatalf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Flipping the warm flag byte to an out-of-range value must fail,
+	// not silently decode.
+	mut := append([]byte(nil), good...)
+	idx := strings.Index(string(mut), "async") + len("async")
+	mut[idx+1] = 7 // first read's warm byte follows the count uvarint
+	if _, _, err := wire.DecodeProv(mut); err == nil {
+		t.Fatal("bad warm flag accepted")
+	}
+}
