@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke bench-gate fuzz-smoke bench bench-snapshot
+.PHONY: ci fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke incr-smoke bench-gate fuzz-smoke bench bench-snapshot
 
 # ci is the tier-1 gate: everything must pass before a change lands.
-ci: fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke bench-gate fuzz-smoke
+ci: fmt vet build cross test race trace-smoke prof-selftest watchdog-smoke prov-smoke incr-smoke bench-gate fuzz-smoke
 
 # fmt fails when any tracked file is not gofmt-clean (prints offenders).
 fmt:
@@ -33,7 +33,7 @@ test:
 # observability layer (live probe, watchdog, flight recorder, debug
 # server — all sampled from outside the run's goroutines).
 race:
-	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query ./internal/store ./internal/wire ./internal/obs
+	$(GO) test -race ./internal/core/... ./internal/summary/... ./internal/smt ./internal/logic ./internal/query ./internal/store ./internal/wire ./internal/obs ./internal/incr
 
 # trace-smoke round-trips a corpus program through all three engines with
 # the Chrome tracer attached and validates the serialized document.
@@ -60,6 +60,13 @@ watchdog-smoke:
 # warm re-check confluent with a from-scratch run.
 prov-smoke:
 	$(GO) test -run 'TestProvSmoke|TestConeInvalidationConfluence' -count=1 ./internal/core
+
+# incr-smoke asserts end-to-end soundness of cone-based invalidation: on
+# every corpus program and every engine, mutate each procedure once in
+# an edit session and re-check incrementally over the surviving
+# summaries; every step's verdict must match a from-scratch run.
+incr-smoke:
+	$(GO) test -run TestIncrSmoke -count=1 ./internal/incr
 
 # bench-gate is the perf regression gate: collect a fresh streaming
 # snapshot and diff it against the committed baseline. Fails when the

@@ -149,6 +149,10 @@ const (
 	// StopNodeFailure: injected faults killed the whole simulated
 	// cluster.
 	StopNodeFailure
+	// StopVerdictReused: an incremental re-check answered the question
+	// from the persisted verdict without running — the edit's
+	// invalidation cone did not reach the question's procedure.
+	StopVerdictReused
 )
 
 func (r StopReason) String() string { return core.StopReason(r).String() }
@@ -232,6 +236,17 @@ type Options struct {
 	// engines pay one nil check per PUNCH invocation. With StorePath set,
 	// the verdict's read set is also persisted beside the summaries.
 	CollectProvenance bool
+	// Incremental turns a store-backed run into an edit-aware re-check
+	// (implies CollectProvenance; no effect without StorePath). The store
+	// is opened under an edit-stable fingerprint (analysis + wire version,
+	// no program text) and carries a manifest of per-procedure content
+	// fingerprints. On each run the manifest diff yields the edited
+	// procedures, their reverse dependency cone is invalidated
+	// (tombstoned) in the store, and the rest of the summaries warm-start
+	// the re-check. When the cone does not reach the question's procedure
+	// the persisted verdict is reused outright (StopVerdictReused,
+	// Result.ReusedVerdict).
+	Incremental bool
 	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels
 	// (engine, proc, query-depth), so CPU profiles break analysis time
 	// down by procedure and tree depth.
@@ -303,6 +318,16 @@ type Result struct {
 	// procedure cone is schedule-invariant — identical across the
 	// barrier, async, and distributed engines for the same question.
 	Provenance *prov.Provenance
+	// Incremental re-check accounting (populated only with
+	// Options.Incremental + StorePath): the procedures whose content
+	// fingerprints changed since the store's manifest, the stale
+	// summaries tombstoned from the store, the warm summaries that
+	// survived invalidation, and whether the persisted verdict was
+	// reused without running.
+	EditedProcs          []string
+	InvalidatedSummaries int
+	SurvivingSummaries   int
+	ReusedVerdict        bool
 }
 
 // SolverStats surfaces the solver's hot-path counters: overall call
@@ -366,6 +391,7 @@ func (o Options) engine(prog *cfg.Program, tr obs.Tracer, m *obs.Metrics, st sto
 		Tracer:                 tr,
 		Metrics:                m,
 		CollectProvenance:      o.CollectProvenance,
+		Incremental:            o.Incremental,
 		PprofLabels:            o.PprofLabels,
 		Probe:                  o.Inspect.Probe(),
 	})
@@ -384,13 +410,31 @@ func (p *Program) storeFingerprint(a Analysis) store.Fingerprint {
 	)
 }
 
+// incrFingerprint identifies an incremental store. Deliberately free of
+// program text: the whole point of an incremental store is surviving
+// program edits, so validity is enforced by the per-procedure manifest
+// diff (stale cones are tombstoned) rather than by a whole-text
+// fingerprint that would reject the store after every edit.
+func incrFingerprint(a Analysis) store.Fingerprint {
+	return store.NewFingerprint(
+		"bolt/incr-store",
+		strconv.Itoa(wire.Version),
+		a.String(),
+	)
+}
+
 // openStore opens the persistent summary store named by dir, or returns
-// (nil, nil) when dir is empty (no store configured).
-func (p *Program) openStore(dir string, a Analysis, reset bool) (store.Store, error) {
+// (nil, nil) when dir is empty (no store configured). Incremental runs
+// use the edit-stable fingerprint.
+func (p *Program) openStore(dir string, a Analysis, reset, incremental bool) (store.Store, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	return store.OpenDisk(dir, p.storeFingerprint(a), reset)
+	fp := p.storeFingerprint(a)
+	if incremental {
+		fp = incrFingerprint(a)
+	}
+	return store.OpenDisk(dir, fp, reset)
 }
 
 // closeStore folds the store's Close error into the result's StoreErr
@@ -475,6 +519,11 @@ func toResult(r core.Result) Result {
 		PersistedSummaries: r.PersistedSummaries,
 		StoreErr:           r.StoreErr,
 		Provenance:         r.Provenance,
+
+		EditedProcs:          r.EditedProcs,
+		InvalidatedSummaries: r.InvalidatedSummaries,
+		SurvivingSummaries:   r.SurvivingSummaries,
+		ReusedVerdict:        r.ReusedVerdict,
 		Solver: SolverStats{
 			SatCalls:          r.Solver.SatCalls,
 			TheoryChecks:      r.Solver.TheoryChecks,
@@ -505,7 +554,7 @@ func (p *Program) Check(opts Options) Result {
 // the run at the next scheduling boundary with StopReason StopCancelled
 // and all workers joined.
 func (p *Program) CheckContext(ctx context.Context, opts Options) Result {
-	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset, opts.Incremental)
 	if err != nil {
 		return Result{Verdict: Unknown, StoreErr: err}
 	}
@@ -544,7 +593,7 @@ func (p *Program) CheckReachContext(ctx context.Context, proc, pre, post string,
 		return Result{}, fmt.Errorf("bolt: postcondition: %w", err)
 	}
 	q := summary.Question{Proc: proc, Pre: logic.FromBool(preB), Post: logic.FromBool(postB)}
-	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset, opts.Incremental)
 	if err != nil {
 		return Result{}, fmt.Errorf("bolt: summary store: %w", err)
 	}
@@ -586,6 +635,10 @@ type DistOptions struct {
 	// nodes) and persists its union of node databases back into.
 	StorePath  string
 	StoreReset bool
+	// Incremental mirrors Options.Incremental: edit-aware re-checks over
+	// an edit-stable store, with stale-cone invalidation routed to each
+	// summary's owning node (DistResult.PerNodeInvalidated).
+	Incremental bool
 	// TraceTo, TraceJSONLTo, CollectMetrics, MetricsInto and PprofLabels
 	// mirror Options: Chrome trace-event output (one process per node,
 	// one track per node-local worker slot), the streaming JSONL event
@@ -642,6 +695,14 @@ type DistResult struct {
 	// Provenance mirrors Result.Provenance (nil unless
 	// DistOptions.CollectProvenance).
 	Provenance *prov.Provenance
+	// Incremental re-check accounting, mirroring Result; additionally
+	// PerNodeInvalidated routes the tombstoned summaries to their owning
+	// nodes (index = node, sum = InvalidatedSummaries).
+	EditedProcs          []string
+	InvalidatedSummaries int
+	SurvivingSummaries   int
+	ReusedVerdict        bool
+	PerNodeInvalidated   []int
 }
 
 // CheckDistributed verifies the program's assertions on the simulated
@@ -653,7 +714,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 	if err != nil {
 		return DistResult{}, fmt.Errorf("bolt: %w", err)
 	}
-	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset)
+	st, err := p.openStore(opts.StorePath, opts.Analysis, opts.StoreReset, opts.Incremental)
 	if err != nil {
 		return DistResult{}, fmt.Errorf("bolt: summary store: %w", err)
 	}
@@ -678,6 +739,7 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		Tracer:            tr,
 		Metrics:           m,
 		CollectProvenance: opts.CollectProvenance,
+		Incremental:       opts.Incremental,
 		PprofLabels:       opts.PprofLabels,
 		Probe:             opts.Inspect.Probe(),
 
@@ -704,6 +766,12 @@ func (p *Program) CheckDistributed(ctx context.Context, opts DistOptions) (DistR
 		PersistedSummaries: r.PersistedSummaries,
 		StoreErr:           r.StoreErr,
 		Provenance:         r.Provenance,
+
+		EditedProcs:          r.EditedProcs,
+		InvalidatedSummaries: r.InvalidatedSummaries,
+		SurvivingSummaries:   r.SurvivingSummaries,
+		ReusedVerdict:        r.ReusedVerdict,
+		PerNodeInvalidated:   r.PerNodeInvalidated,
 	}
 	closeStore(st, &out.StoreErr)
 	out.Metrics = r.Metrics.Flatten()

@@ -293,3 +293,47 @@ func TestDistObservabilityFacade(t *testing.T) {
 		t.Errorf("workers = %d, want 4 (2 nodes x 2 threads)", res.Metrics["workers"])
 	}
 }
+
+// TestIncrementalFacade drives the edit-recheck workflow end to end
+// through the public API over a disk store: cold populate, verdict reuse
+// on the unchanged program, and cone invalidation after an edit.
+func TestIncrementalFacade(t *testing.T) {
+	dir := t.TempDir()
+	opts := bolt.Options{Threads: 4, Timeout: 30 * time.Second, StorePath: dir, Incremental: true}
+
+	prog, err := bolt.Parse(apiSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := prog.Check(opts)
+	if cold.Verdict != bolt.Safe || cold.StoreErr != nil {
+		t.Fatalf("cold: verdict %v, store err %v", cold.Verdict, cold.StoreErr)
+	}
+	if cold.ReusedVerdict || len(cold.EditedProcs) != 2 || cold.PersistedSummaries == 0 {
+		t.Fatalf("cold: reused=%v edited=%v persisted=%d", cold.ReusedVerdict, cold.EditedProcs, cold.PersistedSummaries)
+	}
+
+	again := prog.Check(opts)
+	if !again.ReusedVerdict || again.Verdict != bolt.Safe || again.StopReason != bolt.StopVerdictReused {
+		t.Fatalf("unchanged: reused=%v verdict=%v stop=%v (err %v)", again.ReusedVerdict, again.Verdict, again.StopReason, again.StoreErr)
+	}
+
+	edited := strings.Replace(apiSample, "proc step { g = g + 1; }", "proc step { assume(1 > 0); g = g + 1; }", 1)
+	prog2, err := bolt.Parse(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := prog2.Check(opts)
+	if re.ReusedVerdict {
+		t.Fatal("edit to step reaches main, must not reuse the verdict")
+	}
+	if re.Verdict != bolt.Safe || re.StoreErr != nil {
+		t.Fatalf("re-check: verdict %v, store err %v", re.Verdict, re.StoreErr)
+	}
+	if len(re.EditedProcs) != 1 || re.EditedProcs[0] != "step" {
+		t.Fatalf("re-check: edited=%v, want [step]", re.EditedProcs)
+	}
+	if re.InvalidatedSummaries == 0 {
+		t.Fatal("re-check invalidated nothing")
+	}
+}

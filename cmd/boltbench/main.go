@@ -40,6 +40,8 @@ func main() {
 		warm      = flag.Bool("warm", false, "run the warm-start experiment: each check cold into a persistent summary store, then warm from it")
 		warmDir   = flag.String("warm-store", "", "store directory for -warm (default: a fresh temp dir, removed afterwards)")
 		warmTh    = flag.Int("warm-threads", 8, "thread count for -warm runs")
+		incrB     = flag.Bool("incr", false, "run the incremental re-analysis experiment: per check, mutate every procedure once and re-check incrementally vs from scratch")
+		incrTh    = flag.Int("incr-threads", 8, "thread count for -incr runs")
 		pprofA    = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/bolt/{state,flight,health} on this address for the bench's duration")
 	)
 	flag.Parse()
@@ -171,6 +173,22 @@ func main() {
 			if r.ColdVerdict != r.WarmVerdict {
 				fmt.Fprintf(os.Stderr, "boltbench: verdict diverged cold vs warm on %s: %v vs %v\n",
 					r.Check.ID(), r.ColdVerdict, r.WarmVerdict)
+				os.Exit(1)
+			}
+		}
+		did = true
+		fmt.Println()
+	}
+	if *incrB {
+		rows := harness.IncrBench(opts, *incrTh, harness.Table1Checks())
+		harness.WriteIncrTable(os.Stdout, *incrTh, rows)
+		for _, r := range rows {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "boltbench: incr store error on %s: %v\n", r.Check.ID(), r.Err)
+				os.Exit(2)
+			}
+			if !r.Confluent {
+				fmt.Fprintf(os.Stderr, "boltbench: incremental re-check verdict diverged on %s\n", r.Check.ID())
 				os.Exit(1)
 			}
 		}

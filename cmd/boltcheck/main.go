@@ -44,6 +44,7 @@ func main() {
 		entCache = flag.Bool("entailcache", true, "cache solver entailment checks across queries (ablation: -entailcache=false)")
 		storeDir = flag.String("store", "", "persistent summary store directory: warm-start from it and persist new summaries back")
 		storeRst = flag.Bool("store-reset", false, "with -store, discard and recreate a store whose fingerprint does not match")
+		incrFlag = flag.Bool("incr", false, "with -store, incremental re-check: diff the program against the store's manifest, invalidate the edited cone, and reuse the verdict when the edit cannot affect it")
 		proc     = flag.String("proc", "", "procedure for a custom reachability question")
 		pre      = flag.String("pre", "true", "precondition over globals (with -proc)")
 		post     = flag.String("post", "", "postcondition over globals (with -proc)")
@@ -84,6 +85,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boltcheck: -faults requires -dist")
 		os.Exit(3)
 	}
+	if *incrFlag && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "boltcheck: -incr requires -store")
+		os.Exit(3)
+	}
 	ob := newObsBundle(*pprofA, *watchT, *watchS, *flightD)
 	var traceOut *os.File
 	if *trace != "" {
@@ -102,7 +107,7 @@ func main() {
 		defer traceJLOut.Close()
 	}
 	if *dist > 0 {
-		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, ob, !*coalesce, !*entCache, *storeDir, *storeRst, *explain, *provOut)
+		runDistributed(prog, *dist, *faults, *analysis, *threads, *timeout, *stats, traceOut, traceJLOut, *metrics, ob, !*coalesce, !*entCache, *storeDir, *storeRst, *incrFlag, *explain, *provOut)
 		return
 	}
 	opts := bolt.Options{
@@ -121,6 +126,7 @@ func main() {
 		DisableEntailmentCache: !*entCache,
 		StorePath:              *storeDir,
 		StoreReset:             *storeRst,
+		Incremental:            *incrFlag,
 	}
 	if traceOut != nil {
 		opts.TraceTo = traceOut
@@ -152,6 +158,7 @@ func main() {
 	if err := reportStore(*storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr); err != nil {
 		ob.fatalf("%v", err)
 	}
+	reportIncr(*incrFlag, res.EditedProcs, res.InvalidatedSummaries, res.SurvivingSummaries, res.ReusedVerdict)
 
 	fmt.Println(res.Verdict)
 	if res.Verdict == bolt.Unknown || *stats {
@@ -385,6 +392,20 @@ func reportStore(dir string, warm, persisted int, err error) error {
 	return nil
 }
 
+// reportIncr confirms the -incr edit-diff accounting: what changed,
+// what was invalidated, what survived, and whether the persisted
+// verdict answered the question without a run.
+func reportIncr(on bool, edited []string, invalidated, surviving int, reused bool) {
+	if !on {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "incr: %d edited %v, invalidated %d summaries, %d surviving", len(edited), edited, invalidated, surviving)
+	if reused {
+		fmt.Fprint(os.Stderr, ", verdict reused (no re-run)")
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
 // reportTrace confirms the -trace / -trace-jsonl outputs; a failed
 // trace write is returned for the caller's exit-3 funnel.
 func reportTrace(chromePath, jsonlPath string, spans int, events int64, err error) error {
@@ -405,7 +426,7 @@ func reportTrace(chromePath, jsonlPath string, spans int, events int64, err erro
 
 // runDistributed verifies the whole-program assertion question on the
 // simulated cluster, optionally under an injected fault plan.
-func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, ob *obsBundle, noCoalesce, noEntCache bool, storeDir string, storeReset bool, explain bool, provOut string) {
+func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, threads int, timeout time.Duration, stats bool, traceOut, traceJLOut *os.File, metrics bool, ob *obsBundle, noCoalesce, noEntCache bool, storeDir string, storeReset, incremental bool, explain bool, provOut string) {
 	opts := bolt.DistOptions{
 		Nodes:                  nodes,
 		ThreadsPerNode:         threads,
@@ -421,6 +442,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 		DisableEntailmentCache: noEntCache,
 		StorePath:              storeDir,
 		StoreReset:             storeReset,
+		Incremental:            incremental,
 	}
 	tracePath := ""
 	if traceOut != nil {
@@ -450,6 +472,7 @@ func runDistributed(prog *bolt.Program, nodes int, faults, analysis string, thre
 	if err := reportStore(storeDir, res.WarmSummaries, res.PersistedSummaries, res.StoreErr); err != nil {
 		ob.fatalf("%v", err)
 	}
+	reportIncr(incremental, res.EditedProcs, res.InvalidatedSummaries, res.SurvivingSummaries, res.ReusedVerdict)
 	fmt.Println(res.Verdict)
 	fmt.Printf("stop reason:  %s\n", res.StopReason)
 	if stats {

@@ -1,64 +1,108 @@
 // Command boltgen emits the synthetic device-driver benchmark suite as
-// source files in the input language.
+// source files in the input language, and mutates generated programs
+// for the incremental re-check workload.
 //
 // Usage:
 //
 //	boltgen -list
 //	boltgen -driver toastmon -property PnpIrpCompletion [-buggy]
+//	boltgen -driver toastmon -property PnpIrpCompletion -mutate dispatch_0@7
 //	boltgen -all -out suite/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/drivers"
+	"repro/internal/incr"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code lifted out, so the tests
+// can drive every mode in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("boltgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list     = flag.Bool("list", false, "list drivers and properties")
-		driver   = flag.String("driver", "", "driver name")
-		property = flag.String("property", "", "property name")
-		buggy    = flag.Bool("buggy", false, "inject a property violation")
-		all      = flag.Bool("all", false, "emit the whole suite")
-		out      = flag.String("out", "suite", "output directory for -all")
+		list     = fs.Bool("list", false, "list drivers and properties")
+		driver   = fs.String("driver", "", "driver name")
+		property = fs.String("property", "", "property name")
+		buggy    = fs.Bool("buggy", false, "inject a property violation")
+		mutate   = fs.String("mutate", "", "with -driver/-property, emit the program with procedure PROC mutated deterministically: PROC@SEED")
+		all      = fs.Bool("all", false, "emit the whole suite")
+		out      = fs.String("out", "suite", "output directory for -all")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
 	case *list:
-		fmt.Println("drivers:")
+		fmt.Fprintln(stdout, "drivers:")
 		for _, d := range drivers.Named() {
-			fmt.Printf("  %-12s fanout=%d depth=%d shared=%d work=%d\n", d.Name, d.Fanout, d.Depth, d.Shared, d.Work)
+			fmt.Fprintf(stdout, "  %-12s fanout=%d depth=%d shared=%d work=%d\n", d.Name, d.Fanout, d.Depth, d.Shared, d.Work)
 		}
-		fmt.Println("properties:")
+		fmt.Fprintln(stdout, "properties:")
 		for _, p := range drivers.PropertyNames() {
-			fmt.Printf("  %s\n", p)
+			fmt.Fprintf(stdout, "  %s\n", p)
 		}
 	case *all:
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		n := 0
 		for _, check := range drivers.SuiteChecks() {
 			name := fmt.Sprintf("%s_%s.bolt", check.Driver, check.Property)
 			src := drivers.Source(check.Config)
 			if err := os.WriteFile(filepath.Join(*out, name), []byte(src), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			n++
 		}
-		fmt.Printf("wrote %d programs to %s\n", n, *out)
+		fmt.Fprintf(stdout, "wrote %d programs to %s\n", n, *out)
 	case *driver != "" && *property != "":
 		check := drivers.NamedCheck(*driver, *property, *buggy)
-		fmt.Print(drivers.Source(check.Config))
+		src := drivers.Source(check.Config)
+		if *mutate != "" {
+			proc, seed, err := parseMutate(*mutate)
+			if err != nil {
+				fmt.Fprintf(stderr, "boltgen: %v\n", err)
+				return 2
+			}
+			src, err = incr.MutateSource(src, proc, seed)
+			if err != nil {
+				fmt.Fprintf(stderr, "boltgen: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprint(stdout, src)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: boltgen -list | -all [-out dir] | -driver D -property P [-buggy]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: boltgen -list | -all [-out dir] | -driver D -property P [-buggy] [-mutate PROC@SEED]")
+		return 2
 	}
+	return 0
+}
+
+// parseMutate splits a -mutate spec PROC@SEED.
+func parseMutate(spec string) (string, int64, error) {
+	proc, seedStr, ok := strings.Cut(spec, "@")
+	if !ok || proc == "" {
+		return "", 0, fmt.Errorf("-mutate %q is not PROC@SEED", spec)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("-mutate %q: bad seed %q", spec, seedStr)
+	}
+	return proc, seed, nil
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// runGen drives run() in-process and returns (stdout, stderr, code).
+func runGen(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestListMode(t *testing.T) {
+	out, _, code := runGen(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"drivers:", "properties:", "toastmon", "parport"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestDriverMode(t *testing.T) {
+	out, _, code := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	prog, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("emitted program does not parse: %v", err)
+	}
+	if len(prog.ProcNames()) == 0 {
+		t.Fatal("emitted program has no procedures")
+	}
+}
+
+func TestBuggyModeDiffers(t *testing.T) {
+	clean, _, code := runGen(t, "-driver", "parport", "-property", "IrqlExAllocatePool")
+	if code != 0 {
+		t.Fatalf("clean exit %d", code)
+	}
+	buggy, _, code := runGen(t, "-driver", "parport", "-property", "IrqlExAllocatePool", "-buggy")
+	if code != 0 {
+		t.Fatalf("buggy exit %d", code)
+	}
+	if clean == buggy {
+		t.Fatal("-buggy emitted the same program as the clean check")
+	}
+	if _, err := parser.Parse(buggy); err != nil {
+		t.Fatalf("buggy program does not parse: %v", err)
+	}
+}
+
+func TestAllMode(t *testing.T) {
+	dir := t.TempDir()
+	out, _, code := runGen(t, "-all", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("-all wrote nothing")
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("-all did not report its write count: %q", out)
+	}
+	// Spot-check one emitted file parses.
+	src, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parser.Parse(string(src)); err != nil {
+		t.Fatalf("%s does not parse: %v", ents[0].Name(), err)
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	base, _, code := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion")
+	if code != 0 {
+		t.Fatalf("base exit %d", code)
+	}
+	prog := parser.MustParse(base)
+	proc := prog.ProcNames()[0]
+
+	a, _, code := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion", "-mutate", proc+"@7")
+	if code != 0 {
+		t.Fatalf("mutate exit %d", code)
+	}
+	b, _, _ := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion", "-mutate", proc+"@7")
+	if a != b {
+		t.Fatal("same seed produced different mutations")
+	}
+	if a == base {
+		t.Fatal("mutation left the program unchanged")
+	}
+	if _, err := parser.Parse(a); err != nil {
+		t.Fatalf("mutated program does not parse: %v", err)
+	}
+	other, _, _ := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion", "-mutate", proc+"@8")
+	if other == a {
+		t.Fatal("different seeds produced identical mutations")
+	}
+}
+
+func TestMutateErrors(t *testing.T) {
+	if _, errOut, code := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion", "-mutate", "nope"); code != 2 || !strings.Contains(errOut, "PROC@SEED") {
+		t.Fatalf("bad spec: code %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runGen(t, "-driver", "toastmon", "-property", "PnpIrpCompletion", "-mutate", "ghost@1"); code != 1 || !strings.Contains(errOut, "ghost") {
+		t.Fatalf("missing proc: code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUsageExit(t *testing.T) {
+	_, errOut, code := runGen(t)
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}

@@ -146,7 +146,22 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	if e.opts.CollectProvenance {
 		rec = prov.NewRecorder(e.opts.Metrics)
 	}
-	e.loadStore(db, rec, &res)
+	var prep incrPrep
+	if e.opts.Incremental && e.opts.Store != nil && !e.opts.DisableSumDB {
+		prep = prepareIncr(e.prog, e.opts.Store, q0)
+		applyIncrPrep(&res, prep)
+		if prep.reuse {
+			res.Verdict = prep.verdict
+			res.ReusedVerdict = true
+			res.setStop(StopVerdictReused)
+			res.WallTime = time.Since(start)
+			return res
+		}
+	}
+	e.loadStore(db, rec, &res, prep.skipLoad, prep.skipAll)
+	if e.opts.Incremental {
+		res.SurvivingSummaries = res.WarmSummaries
+	}
 	rec.Root(root.ID, root.Q.Proc)
 	s := &asyncState{
 		e:       e,
@@ -223,7 +238,7 @@ func (e *Engine) runAsync(ctx0 context.Context, q0 summary.Question) Result {
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
 	e.persistStore(db, &res)
-	e.finishProv(rec, &res, "async")
+	e.finishProv(rec, &res, "async", q0)
 	res.Metrics = s.in.finish(s.clock.vtime, res.SumDB, res.Solver)
 	return res
 }

@@ -85,6 +85,11 @@ type DistOptions struct {
 	// and procedure dependency graph into DistResult.Provenance; see
 	// Options.CollectProvenance.
 	CollectProvenance bool
+	// Incremental turns the warm start into an incremental re-check; see
+	// Options.Incremental. Invalidation is routed to owning nodes:
+	// DistResult.PerNodeInvalidated reports how many summaries each node
+	// lost. Implies CollectProvenance.
+	Incremental bool
 	// PprofLabels wraps each PUNCH invocation in runtime/pprof labels.
 	PprofLabels bool
 	// Probe, when non-nil, receives a live-state snapshot function for
@@ -143,6 +148,15 @@ type DistResult struct {
 	WarmSummaries      int
 	PersistedSummaries int
 	StoreErr           error
+	// EditedProcs, InvalidatedSummaries, SurvivingSummaries and
+	// ReusedVerdict report an incremental re-check; see Result.
+	// PerNodeInvalidated routes the invalidation counts to the nodes
+	// that owned the discarded summaries.
+	EditedProcs          []string
+	InvalidatedSummaries int
+	SurvivingSummaries   int
+	ReusedVerdict        bool
+	PerNodeInvalidated   []int
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -190,6 +204,10 @@ func NewDistributed(prog *cfg.Program, opts DistOptions) *DistEngine {
 	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 1 << 18
+	}
+	if opts.Incremental {
+		// A re-check must persist its dependency graph for the next one.
+		opts.CollectProvenance = true
 	}
 	return &DistEngine{prog: prog, opts: opts}
 }
@@ -262,6 +280,29 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		rec = prov.NewRecorder(e.opts.Metrics)
 	}
 	rec.Root(root.ID, q0.Proc)
+	var prep incrPrep
+	if e.opts.Incremental && e.opts.Store != nil {
+		prep = prepareIncr(e.prog, e.opts.Store, q0)
+		res.EditedProcs = prep.edited
+		res.InvalidatedSummaries = prep.invalidated
+		if prep.surviving >= 0 {
+			res.SurvivingSummaries = prep.surviving
+		}
+		if prep.err != nil && res.StoreErr == nil {
+			res.StoreErr = prep.err
+		}
+		res.PerNodeInvalidated = make([]int, e.opts.Nodes)
+		for proc, n := range prep.perProc {
+			res.PerNodeInvalidated[e.nodeOf(proc)] += n
+		}
+		if prep.reuse {
+			res.Verdict = prep.verdict
+			res.ReusedVerdict = true
+			res.setStop(StopVerdictReused)
+			res.WallTime = time.Since(start)
+			return res
+		}
+	}
 	// Warm start: each stored summary hydrates its owning node (the
 	// node procedure routing would send its questions to) and is marked
 	// known there, so the first gossip exchange spreads it cluster-wide
@@ -271,12 +312,24 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 			res.StoreErr = err
 		} else {
 			for _, s := range sums {
+				if prep.skipAll || prep.skipLoad[s.Proc] {
+					// Deleter-less store: invalidation filtered at
+					// hydration, attributed to the owning node.
+					res.InvalidatedSummaries++
+					if res.PerNodeInvalidated != nil {
+						res.PerNodeInvalidated[e.nodeOf(s.Proc)]++
+					}
+					continue
+				}
 				owner := nodes[e.nodeOf(s.Proc)]
 				owner.db.Add(s)
 				owner.known[summaryKey(s)] = true
 				rec.MarkWarm(s)
+				res.WarmSummaries++
 			}
-			res.WarmSummaries = len(sums)
+			if e.opts.Incremental {
+				res.SurvivingSummaries = res.WarmSummaries
+			}
 		}
 	}
 	var vtime int64
@@ -643,7 +696,7 @@ func (e *DistEngine) RunContext(ctx0 context.Context, q0 summary.Question) DistR
 		res.Provenance = p
 		observeCones(e.opts.Metrics, p)
 		if e.opts.Store != nil {
-			if err := persistProv(e.opts.Store, p, "dist"); err != nil && res.StoreErr == nil {
+			if err := persistProv(e.opts.Store, p, "dist", q0); err != nil && res.StoreErr == nil {
 				res.StoreErr = err
 			}
 		}

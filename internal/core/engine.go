@@ -159,6 +159,14 @@ type Options struct {
 	// check per PUNCH invocation. With a Store attached, the verdict's
 	// read set is also persisted beside the summaries.
 	CollectProvenance bool
+	// Incremental turns the warm start into an incremental re-check:
+	// before hydration the program is diffed against the store's
+	// persisted manifest, the edit's invalidation cone is discarded from
+	// the store, and — when the root lies outside the cone — the
+	// persisted verdict is reused without running (StopVerdictReused).
+	// Implies CollectProvenance (the run's dependency graph must be
+	// persisted for the next re-check). No effect without a Store.
+	Incremental bool
 }
 
 // IterSample is one MAP/REDUCE iteration's instrumentation record; the
@@ -224,6 +232,17 @@ type Result struct {
 	// Options.CollectProvenance was set): the procedure cone, the
 	// summaries read and written, and warm-vs-fresh attribution.
 	Provenance *prov.Provenance
+	// EditedProcs, InvalidatedSummaries and SurvivingSummaries report an
+	// incremental re-check (Options.Incremental): the procedures whose
+	// content changed since the store's manifest, the summaries the edit
+	// cone discarded, and the summaries that survived invalidation.
+	// ReusedVerdict marks a re-check answered entirely from the store —
+	// the edit could not affect the root question, so the persisted
+	// verdict was returned without running (StopVerdictReused).
+	EditedProcs          []string
+	InvalidatedSummaries int
+	SurvivingSummaries   int
+	ReusedVerdict        bool
 }
 
 // setStop records the termination reason exactly once and keeps the
@@ -253,6 +272,10 @@ func New(prog *cfg.Program, opts Options) *Engine {
 	}
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 1 << 20
+	}
+	if opts.Incremental {
+		// A re-check must persist its dependency graph for the next one.
+		opts.CollectProvenance = true
 	}
 	return &Engine{prog: prog, opts: opts}
 }
@@ -294,7 +317,22 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	if e.opts.CollectProvenance {
 		rec = prov.NewRecorder(e.opts.Metrics)
 	}
-	e.loadStore(db, rec, &res)
+	var prep incrPrep
+	if e.opts.Incremental && e.opts.Store != nil && !e.opts.DisableSumDB {
+		prep = prepareIncr(e.prog, e.opts.Store, q0)
+		applyIncrPrep(&res, prep)
+		if prep.reuse {
+			res.Verdict = prep.verdict
+			res.ReusedVerdict = true
+			res.setStop(StopVerdictReused)
+			res.WallTime = time.Since(start)
+			return res
+		}
+	}
+	e.loadStore(db, rec, &res, prep.skipLoad, prep.skipAll)
+	if e.opts.Incremental {
+		res.SurvivingSummaries = res.WarmSummaries
+	}
 	if coalesce {
 		tree.TrackInflight()
 	}
@@ -587,7 +625,7 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 	res.Solver = solver.StatsSnapshot()
 	res.Summaries = db.All()
 	e.persistStore(db, &res)
-	e.finishProv(rec, &res, "barrier")
+	e.finishProv(rec, &res, "barrier", q0)
 	res.Metrics = in.finish(vtime, res.SumDB, res.Solver)
 	return res
 }
@@ -596,7 +634,10 @@ func (e *Engine) RunContext(ctx0 context.Context, q0 summary.Question) Result {
 // sound fact about this program (the store's fingerprint pinned the
 // corpus), so seeding SUMDB with them lets PUNCH answer questions that
 // a cold run would re-derive. A load failure degrades to a cold run.
-func (e *Engine) loadStore(db *summary.DB, rec *prov.Recorder, res *Result) {
+// skip and skipAll implement incremental invalidation on stores without
+// a Deleter: stale summaries are filtered out here instead of deleted,
+// and counted as invalidated.
+func (e *Engine) loadStore(db *summary.DB, rec *prov.Recorder, res *Result, skip map[string]bool, skipAll bool) {
 	if e.opts.Store == nil || e.opts.DisableSumDB {
 		return
 	}
@@ -606,16 +647,20 @@ func (e *Engine) loadStore(db *summary.DB, rec *prov.Recorder, res *Result) {
 		return
 	}
 	for _, s := range sums {
+		if skipAll || skip[s.Proc] {
+			res.InvalidatedSummaries++
+			continue
+		}
 		db.Add(s)
 		rec.MarkWarm(s)
+		res.WarmSummaries++
 	}
-	res.WarmSummaries = len(sums)
 }
 
 // finishProv freezes the recorder into the result, feeds the cone-size
 // histogram, and persists the verdict's read set beside the summaries
 // when the store supports provenance.
-func (e *Engine) finishProv(rec *prov.Recorder, res *Result, engine string) {
+func (e *Engine) finishProv(rec *prov.Recorder, res *Result, engine string, q0 summary.Question) {
 	if rec == nil {
 		return
 	}
@@ -625,7 +670,7 @@ func (e *Engine) finishProv(rec *prov.Recorder, res *Result, engine string) {
 	if e.opts.Store == nil || e.opts.DisableSumDB {
 		return
 	}
-	if err := persistProv(e.opts.Store, p, engine); err != nil && res.StoreErr == nil {
+	if err := persistProv(e.opts.Store, p, engine, q0); err != nil && res.StoreErr == nil {
 		res.StoreErr = err
 	}
 }
@@ -643,12 +688,19 @@ func observeCones(m *obs.Metrics, p *prov.Provenance) {
 
 // persistProv writes a verdict's read set next to the summaries when
 // the store supports provenance (a missing capability is not an error).
-func persistProv(st store.Store, p *prov.Provenance, engine string) error {
+// The record carries the root question's durable key and the run's
+// procedure dependency adjacency, which the next incremental re-check
+// consumes for verdict reuse and invalidation planning.
+func persistProv(st store.Store, p *prov.Provenance, engine string, q0 summary.Question) error {
 	ps, ok := st.(store.ProvStore)
 	if !ok {
 		return nil
 	}
-	wrec := wire.ProvRecord{Root: p.Root, Verdict: p.Verdict, Engine: engine}
+	// An un-encodable question (scripted tests use nil-formula markers
+	// that still encode; real failures are volatile keys) just loses the
+	// reuse fast path, never the record.
+	rootKey, _ := wire.QuestionKey(q0)
+	wrec := wire.ProvRecord{Root: p.Root, Verdict: p.Verdict, Engine: engine, RootKey: rootKey, Deps: p.Deps}
 	for _, r := range p.Reads() {
 		if r.Summary.Pre == nil || r.Summary.Post == nil {
 			// Scripted test summaries carry nil formulas and are not

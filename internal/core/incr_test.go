@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/parser"
+	"repro/internal/punch/maymust"
+	"repro/internal/store"
+)
+
+// incrTestProg has a procedure (idle) the root never reaches, so an
+// edit to it must not force a re-run, and a shared helper chain whose
+// edits invalidate exactly the reverse cone.
+const incrTestProg = `program it;
+globals acc;
+proc main { locals c; havoc c; acc = 0; if (c > 0) { left(); } else { right(); } assert(acc <= 5); }
+proc left { acc = acc + 1; deep(); }
+proc right { acc = acc + 2; }
+proc deep { acc = acc + 1; }
+proc idle { acc = 0; }
+`
+
+func incrOpts(st store.Store, async bool) Options {
+	return Options{
+		Punch:         maymust.New(),
+		MaxThreads:    8,
+		MaxIterations: 60000,
+		Async:         async,
+		Store:         st,
+		Incremental:   true,
+	}
+}
+
+func TestIncrementalRecheck(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		name := "barrier"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			prog := parser.MustParse(incrTestProg)
+			q0 := AssertionQuestion(prog)
+			st := store.NewMem()
+
+			// First incremental run: no manifest, full invalidation of an
+			// empty store, runs cold and persists everything.
+			cold := New(prog, incrOpts(st, async)).Run(q0)
+			if cold.Verdict != Safe || cold.StoreErr != nil {
+				t.Fatalf("cold: verdict %v, store err %v", cold.Verdict, cold.StoreErr)
+			}
+			if cold.ReusedVerdict || len(cold.EditedProcs) != 5 {
+				t.Fatalf("cold: reused=%v edited=%v, want full-program edit set", cold.ReusedVerdict, cold.EditedProcs)
+			}
+			if cold.PersistedSummaries == 0 {
+				t.Fatal("cold run persisted nothing")
+			}
+
+			// Unchanged program: the verdict must be reused without a run.
+			again := New(prog, incrOpts(st, async)).Run(q0)
+			if !again.ReusedVerdict || again.Verdict != Safe || again.StopReason != StopVerdictReused {
+				t.Fatalf("unchanged: reused=%v verdict=%v stop=%v", again.ReusedVerdict, again.Verdict, again.StopReason)
+			}
+			if again.VirtualTicks != 0 || again.SurvivingSummaries == 0 {
+				t.Fatalf("unchanged: ticks=%d surviving=%d", again.VirtualTicks, again.SurvivingSummaries)
+			}
+
+			// Edit a procedure the root never reaches: still reused.
+			mutIdle, err := incr.MutateSource(incrTestProg, "idle", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progIdle := parser.MustParse(mutIdle)
+			idle := New(progIdle, incrOpts(st, async)).Run(AssertionQuestion(progIdle))
+			if !idle.ReusedVerdict || idle.Verdict != Safe {
+				t.Fatalf("idle edit: reused=%v verdict=%v", idle.ReusedVerdict, idle.Verdict)
+			}
+			if len(idle.EditedProcs) != 1 || idle.EditedProcs[0] != "idle" {
+				t.Fatalf("idle edit: edited=%v, want [idle]", idle.EditedProcs)
+			}
+
+			// Edit deep: the cone {deep, left, main} is stale, right and
+			// idle survive, and the re-check verdict stays confluent.
+			// (The store's manifest is now progIdle's, so mutate on top.)
+			mutDeep, err := incr.MutateSource(mutIdle, "deep", 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progDeep := parser.MustParse(mutDeep)
+			re := New(progDeep, incrOpts(st, async)).Run(AssertionQuestion(progDeep))
+			if re.ReusedVerdict {
+				t.Fatal("deep edit reaches the root, must not reuse the verdict")
+			}
+			if re.Verdict != Safe || re.StoreErr != nil {
+				t.Fatalf("deep edit: verdict %v, store err %v", re.Verdict, re.StoreErr)
+			}
+			if len(re.EditedProcs) != 1 || re.EditedProcs[0] != "deep" {
+				t.Fatalf("deep edit: edited=%v, want [deep]", re.EditedProcs)
+			}
+			if re.InvalidatedSummaries == 0 {
+				t.Fatal("deep edit invalidated nothing")
+			}
+			if re.SurvivingSummaries == 0 {
+				t.Fatal("deep edit should leave right/idle summaries alive")
+			}
+			// Confluence with a from-scratch run.
+			scratch := New(progDeep, Options{Punch: maymust.New(), MaxThreads: 8, MaxIterations: 60000, Async: async}).Run(AssertionQuestion(progDeep))
+			if scratch.Verdict != re.Verdict {
+				t.Fatalf("re-check verdict %v, from-scratch %v", re.Verdict, scratch.Verdict)
+			}
+		})
+	}
+}
+
+// TestIncrementalRecheckDistributed mirrors the shared-memory test on
+// the simulated cluster and checks the invalidation routing.
+func TestIncrementalRecheckDistributed(t *testing.T) {
+	prog := parser.MustParse(incrTestProg)
+	q0 := AssertionQuestion(prog)
+	st := store.NewMem()
+	dopts := func() DistOptions {
+		return DistOptions{
+			Punch:          maymust.New(),
+			Nodes:          3,
+			ThreadsPerNode: 4,
+			Store:          st,
+			Incremental:    true,
+		}
+	}
+	cold := NewDistributed(prog, dopts()).Run(q0)
+	if cold.Verdict != Safe || cold.StoreErr != nil {
+		t.Fatalf("cold: verdict %v, store err %v", cold.Verdict, cold.StoreErr)
+	}
+	again := NewDistributed(prog, dopts()).Run(q0)
+	if !again.ReusedVerdict || again.Verdict != Safe || again.StopReason != StopVerdictReused {
+		t.Fatalf("unchanged: reused=%v verdict=%v stop=%v", again.ReusedVerdict, again.Verdict, again.StopReason)
+	}
+	mut, err := incr.MutateSource(incrTestProg, "deep", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2 := parser.MustParse(mut)
+	re := NewDistributed(prog2, dopts()).Run(AssertionQuestion(prog2))
+	if re.ReusedVerdict || re.Verdict != Safe || re.StoreErr != nil {
+		t.Fatalf("deep edit: reused=%v verdict=%v err=%v", re.ReusedVerdict, re.Verdict, re.StoreErr)
+	}
+	if re.InvalidatedSummaries == 0 || re.SurvivingSummaries == 0 {
+		t.Fatalf("deep edit: invalidated=%d surviving=%d", re.InvalidatedSummaries, re.SurvivingSummaries)
+	}
+	routed := 0
+	for _, n := range re.PerNodeInvalidated {
+		routed += n
+	}
+	if routed != re.InvalidatedSummaries {
+		t.Fatalf("per-node invalidation %v sums to %d, want %d", re.PerNodeInvalidated, routed, re.InvalidatedSummaries)
+	}
+}

@@ -49,6 +49,10 @@ const (
 	// StopNodeFailure: injected faults killed every node of the
 	// distributed simulation, leaving nobody to answer the root.
 	StopNodeFailure
+	// StopVerdictReused: an incremental re-check answered the root from
+	// the persisted verdict without running — the edit's invalidation
+	// cone did not touch the root question.
+	StopVerdictReused
 )
 
 func (r StopReason) String() string {
@@ -69,6 +73,8 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case StopNodeFailure:
 		return "node-failure"
+	case StopVerdictReused:
+		return "verdict-reused"
 	}
 	return fmt.Sprintf("StopReason(%d)", int(r))
 }

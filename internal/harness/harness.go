@@ -69,6 +69,10 @@ type Options struct {
 	// Provenance records each run's verdict dependency record into
 	// CheckResult.Prov (see core.Options.CollectProvenance).
 	Provenance bool
+	// Incremental turns a Store-backed run into an edit-aware re-check
+	// (see core.Options.Incremental): manifest diff, cone invalidation,
+	// and verdict reuse, reported in CheckResult's incr fields.
+	Incremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +118,12 @@ type CheckResult struct {
 	// Prov is the verdict's dependency record (nil unless
 	// Options.Provenance).
 	Prov *prov.Provenance
+	// Incremental re-check accounting (see core.Result; populated only
+	// with Options.Incremental + Store).
+	EditedProcs          []string
+	InvalidatedSummaries int
+	SurvivingSummaries   int
+	ReusedVerdict        bool
 }
 
 // RunCheck verifies one driver-property pair with the given thread count.
@@ -140,6 +150,7 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		Store:           opts.Store,
 
 		CollectProvenance:      opts.Provenance,
+		Incremental:            opts.Incremental,
 		DisableCoalesce:        opts.DisableCoalesce,
 		DisableEntailmentCache: opts.DisableEntailmentCache,
 	})
@@ -168,6 +179,11 @@ func RunCheck(check drivers.Check, threads int, opts Options) CheckResult {
 		PersistedSummaries: res.PersistedSummaries,
 		StoreErr:           res.StoreErr,
 		Prov:               res.Provenance,
+
+		EditedProcs:          res.EditedProcs,
+		InvalidatedSummaries: res.InvalidatedSummaries,
+		SurvivingSummaries:   res.SurvivingSummaries,
+		ReusedVerdict:        res.ReusedVerdict,
 	}
 }
 

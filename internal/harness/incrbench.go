@@ -1,0 +1,143 @@
+// The `boltbench -incr` experiment: for each check, an edit session
+// that mutates every procedure once and re-checks incrementally,
+// reporting cold-vs-recheck medians and the surviving-summary ratio.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/drivers"
+	"repro/internal/parser"
+)
+
+// IncrRow is one check's edit-session aggregate.
+type IncrRow struct {
+	Check drivers.Check
+	// Procs is the program size; Steps the mutations applied (one per
+	// procedure).
+	Procs int
+	Steps int
+	// MedianColdTicks / MedianRecheckTicks are the per-step medians; a
+	// reused verdict re-checks in 0 ticks and drags the median down,
+	// which is the honest reading (those edits really cost nothing).
+	MedianColdTicks    int64
+	MedianRecheckTicks int64
+	// MedianSpeedup is the median per-step cold/recheck tick ratio.
+	MedianSpeedup float64
+	// MedianColdWall / MedianRecheckWall are the wall-clock medians.
+	MedianColdWall    time.Duration
+	MedianRecheckWall time.Duration
+	// SurvivingRatio is the mean fraction of warm summaries that
+	// survived invalidation across steps; ReusedSteps counts edits whose
+	// verdict was reused without a run.
+	SurvivingRatio float64
+	ReusedSteps    int
+	// Confluent is the per-check soundness verdict: every step's
+	// re-check agreed with its from-scratch run.
+	Confluent bool
+	Err       error
+}
+
+// IncrBench runs one edit session per check on the streaming engine:
+// every procedure mutated once, re-checked incrementally over a shared
+// session store, with a from-scratch run per step as baseline+oracle.
+func IncrBench(opts Options, threads int, checks []drivers.Check) []IncrRow {
+	var rows []IncrRow
+	for _, check := range checks {
+		rows = append(rows, incrBenchOne(opts, threads, check))
+	}
+	return rows
+}
+
+func incrBenchOne(opts Options, threads int, check drivers.Check) IncrRow {
+	row := IncrRow{Check: check, Confluent: true}
+	src := drivers.Source(check.Config)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		row.Err = err
+		row.Confluent = false
+		return row
+	}
+	row.Procs = len(prog.ProcNames())
+	sess, err := RunEditSession(check.ID(), src, row.Procs, 42, threads, "async", opts)
+	if err != nil {
+		row.Err = err
+		row.Confluent = false
+		return row
+	}
+	row.Steps = len(sess.Steps)
+	var colds, rechecks, coldWalls, recheckWalls []int64
+	var speedups []float64
+	var ratioSum float64
+	ratioN := 0
+	for _, s := range sess.Steps {
+		colds = append(colds, s.ColdTicks)
+		rechecks = append(rechecks, s.RecheckTicks)
+		coldWalls = append(coldWalls, int64(s.ColdWall))
+		recheckWalls = append(recheckWalls, int64(s.RecheckWall))
+		speedups = append(speedups, s.Speedup())
+		if total := s.Surviving + s.Invalidated; total > 0 {
+			ratioSum += float64(s.Surviving) / float64(total)
+			ratioN++
+		}
+		if s.Reused {
+			row.ReusedSteps++
+		}
+		if !s.Confluent {
+			row.Confluent = false
+		}
+	}
+	row.MedianColdTicks = medianInt64(colds)
+	row.MedianRecheckTicks = medianInt64(rechecks)
+	row.MedianSpeedup = medianFloat(speedups)
+	row.MedianColdWall = time.Duration(medianInt64(coldWalls))
+	row.MedianRecheckWall = time.Duration(medianInt64(recheckWalls))
+	if ratioN > 0 {
+		row.SurvivingRatio = ratioSum / float64(ratioN)
+	}
+	return row
+}
+
+func medianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// WriteIncrTable renders the cold-vs-recheck table.
+func WriteIncrTable(w io.Writer, threads int, rows []IncrRow) {
+	fmt.Fprintf(w, "Incremental re-analysis: cold vs re-check after one-procedure edits\n")
+	fmt.Fprintf(w, "(streaming engine, %d threads; one edit session per check, every procedure mutated once;\n", threads)
+	fmt.Fprintf(w, "ticks and wall are per-step medians, speedup the median per-step ratio)\n\n")
+	fmt.Fprintf(w, "%-45s %5s %10s %10s %8s %10s %10s %9s %7s %6s\n",
+		"Check", "procs", "cold tk", "recheck tk", "spd", "cold ms", "recheck ms", "surviving", "reused", "confl")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-45s ERROR: %v\n", r.Check.ID(), r.Err)
+			continue
+		}
+		confl := "yes"
+		if !r.Confluent {
+			confl = "NO"
+		}
+		fmt.Fprintf(w, "%-45s %5d %10d %10d %7.1fx %10.2f %10.2f %8.0f%% %7d %6s\n",
+			r.Check.ID(), r.Procs, r.MedianColdTicks, r.MedianRecheckTicks, r.MedianSpeedup,
+			float64(r.MedianColdWall)/1e6, float64(r.MedianRecheckWall)/1e6,
+			r.SurvivingRatio*100, r.ReusedSteps, confl)
+	}
+}

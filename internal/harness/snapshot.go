@@ -12,12 +12,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strings"
 
 	"repro/internal/drivers"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 )
+
+// provOverheadRuns is the min-of-N sample count for the recorder's
+// wall-clock pricing (each side of the matched pair runs this often).
+const provOverheadRuns = 3
+
+// provOverheadMinTicks is the smallest parallel makespan a check may
+// have and still get a ProvOverheadPct: below it the run is a few
+// hundred milliseconds of mostly fixed startup cost and the per-tick
+// rate is noise, not a price.
+const provOverheadMinTicks = 20000
 
 // StreamingBench is one perf snapshot of the streaming engine across a
 // check set.
@@ -72,18 +84,41 @@ type StreamingCheckBench struct {
 	Propagations   int64 `json:"dpll_propagations"`
 	TheoryChecks   int64 `json:"theory_checks"`
 	HashConsHits   int64 `json:"hashcons_hits"`
-	// Provenance-recording overhead: the same streaming run repeated with
-	// Options.Provenance on. ProvParTicks is its virtual makespan (equal
-	// to ParTicks when the recorder is schedule-neutral, as intended);
-	// ProvWallNs its wall time; ProvOverheadPct the relative wall-clock
-	// cost of recording. ProvConeProcs and ProvSummaryReads size the
-	// verdict's recorded dependency cone. None of these are gated by
-	// CompareStreamingBench — they are review-diff material.
+	// Provenance-recording overhead, priced on matched run pairs: the
+	// streaming run is repeated provOverheadRuns times bare and
+	// provOverheadRuns times with Options.Provenance on — identical
+	// instrumentation otherwise, interleaved so warm-up drift hits both
+	// sides — and ProvOverheadPct compares the two minimum wall-per-tick
+	// rates. Normalizing by virtual ticks matters because the
+	// work-stealing schedule length varies ~15% run to run; min-of-N on
+	// raw walls (let alone the old single-shot comparison against the
+	// differently-instrumented main run) reported nonsense like -31%.
+	// Checks shorter than provOverheadMinTicks are not priced at all
+	// (the field is omitted): a sub-second run is mostly fixed startup
+	// cost and any percentage on it is noise.
+	// ProvParTicks is the recording run's virtual makespan (close to
+	// ParTicks modulo schedule variance — the recorder is
+	// schedule-neutral by design); ProvWallNs its minimum wall.
+	// ProvConeProcs and ProvSummaryReads size the verdict's recorded
+	// dependency cone and are folded into Metrics under the same prov_*
+	// keys. None of these are gated by CompareStreamingBench — they are
+	// review-diff material.
 	ProvParTicks     int64   `json:"prov_par_ticks,omitempty"`
 	ProvWallNs       int64   `json:"prov_wall_ns,omitempty"`
 	ProvOverheadPct  float64 `json:"prov_overhead_pct,omitempty"`
 	ProvConeProcs    int     `json:"prov_cone_procs,omitempty"`
 	ProvSummaryReads int64   `json:"prov_summary_reads,omitempty"`
+	// Incremental re-analysis columns: a one-edit session on the check
+	// (first procedure mutated, seed 42) re-checked incrementally vs
+	// from scratch. IncrSpeedup is the cold/recheck tick ratio,
+	// IncrSurvivingRatio the fraction of warm summaries surviving
+	// invalidation, IncrConfluent the verdict-agreement oracle. Not
+	// gated — review-diff material like the prov_* columns.
+	IncrColdTicks      int64   `json:"incr_cold_ticks,omitempty"`
+	IncrRecheckTicks   int64   `json:"incr_recheck_ticks,omitempty"`
+	IncrSpeedup        float64 `json:"incr_speedup,omitempty"`
+	IncrSurvivingRatio float64 `json:"incr_surviving_ratio,omitempty"`
+	IncrConfluent      bool    `json:"incr_confluent,omitempty"`
 	// Metrics is the streaming run's flattened metrics summary (counters,
 	// sumdb traffic, punch-histogram aggregates, makespan).
 	Metrics map[string]int64 `json:"metrics"`
@@ -155,23 +190,80 @@ func CollectStreaming(opts Options, threads int, checks []drivers.Check) Streami
 					float64(ws.BusyTicks)/float64(par.Metrics.MakespanTicks))
 			}
 		}
-		// Repeat the streaming run with provenance recording on to price
-		// the recorder (metrics and tracing off, so only the recorder
-		// differs from a bare run).
-		provOpts := opts
-		provOpts.Async = true
-		provOpts.Metrics = false
-		provOpts.Tracer = nil
+		// Price the provenance recorder on matched pairs: bare vs
+		// recording runs that differ ONLY in the Provenance flag (both
+		// metrics-on, tracer-off), min-of-N walls on each side. The prov_*
+		// counters in the entry's metrics map are folded in from the
+		// recording run — the main par run has the recorder off, so its
+		// map would report them as zero against a non-zero top-level
+		// ProvSummaryReads.
+		bareOpts := opts
+		bareOpts.Async = true
+		bareOpts.Metrics = true
+		bareOpts.Tracer = nil
+		provOpts := bareOpts
 		provOpts.Provenance = true
-		pr := RunCheck(check, threads, provOpts)
+		// Interleave the pairs (bare, prov, bare, prov, ...) so process
+		// warm-up drift hits both sides equally instead of whichever
+		// block runs first. Each sample is priced as wall per virtual
+		// tick, not raw wall: the work-stealing schedule length varies
+		// ~15% run to run, and raw-wall deltas conflate that schedule
+		// luck with the recorder's actual per-operation cost.
+		var pr CheckResult
+		bareRate := math.Inf(1)
+		provRate := math.Inf(1)
+		provWall := int64(1) << 62
+		minTicks := int64(1) << 62
+		rate := func(r CheckResult) float64 {
+			if r.Ticks < minTicks {
+				minTicks = r.Ticks
+			}
+			if r.Ticks <= 0 {
+				return math.Inf(1)
+			}
+			return float64(r.Wall) / float64(r.Ticks)
+		}
+		for i := 0; i < provOverheadRuns; i++ {
+			if bRate := rate(RunCheck(check, threads, bareOpts)); bRate < bareRate {
+				bareRate = bRate
+			}
+			r := RunCheck(check, threads, provOpts)
+			if pRate := rate(r); pRate < provRate {
+				provRate = pRate
+			}
+			if int64(r.Wall) < provWall {
+				provWall = int64(r.Wall)
+			}
+			pr = r
+		}
 		entry.ProvParTicks = pr.Ticks
-		entry.ProvWallNs = int64(pr.Wall)
-		if par.Wall > 0 {
-			entry.ProvOverheadPct = 100 * (float64(pr.Wall) - float64(par.Wall)) / float64(par.Wall)
+		entry.ProvWallNs = provWall
+		if bareRate > 0 && !math.IsInf(bareRate, 1) && !math.IsInf(provRate, 1) &&
+			minTicks >= provOverheadMinTicks {
+			entry.ProvOverheadPct = 100 * (provRate - bareRate) / bareRate
 		}
 		if pr.Prov != nil {
 			entry.ProvConeProcs = len(pr.Prov.Procedures)
 			entry.ProvSummaryReads = pr.Prov.SummaryReads
+		}
+		if entry.Metrics != nil {
+			for k, v := range pr.Metrics.Flatten() {
+				if strings.HasPrefix(k, "prov_") {
+					entry.Metrics[k] = v
+				}
+			}
+		}
+		// Incremental re-analysis columns: one edit, incremental re-check
+		// vs from scratch.
+		if sess, err := RunEditSession(check.ID(), drivers.Source(check.Config), 1, 42, threads, "async", opts); err == nil && len(sess.Steps) == 1 {
+			s := sess.Steps[0]
+			entry.IncrColdTicks = s.ColdTicks
+			entry.IncrRecheckTicks = s.RecheckTicks
+			entry.IncrSpeedup = s.Speedup()
+			if total := s.Surviving + s.Invalidated; total > 0 {
+				entry.IncrSurvivingRatio = float64(s.Surviving) / float64(total)
+			}
+			entry.IncrConfluent = s.Confluent
 		}
 		bench.Checks = append(bench.Checks, entry)
 		bench.TotalSeqTicks += seq.Ticks

@@ -271,3 +271,31 @@ func TestCommittedSnapshotLoads(t *testing.T) {
 		t.Errorf("self-comparison flagged: %v", regs)
 	}
 }
+
+// TestProvAccountingConsistent: the entry's top-level ProvSummaryReads
+// and the metrics map's prov_summary_reads key must agree — both now
+// come from the same recording run (they used to come from different
+// runs: the map read 0 against a non-zero top-level count). The incr_*
+// columns ride on the same real-check collection.
+func TestProvAccountingConsistent(t *testing.T) {
+	checks := []drivers.Check{drivers.NamedCheck("parport", "PowerDownFail", false)}
+	bench := CollectStreaming(Options{Cores: 4}, 4, checks)
+	if len(bench.Checks) != 1 {
+		t.Fatalf("%d check entries, want 1", len(bench.Checks))
+	}
+	c := bench.Checks[0]
+	if c.ProvSummaryReads == 0 {
+		t.Fatal("recording run observed no summary reads")
+	}
+	if got := c.Metrics["prov_summary_reads"]; got != c.ProvSummaryReads {
+		t.Fatalf("metrics map prov_summary_reads = %d, top-level ProvSummaryReads = %d; must come from the same run",
+			got, c.ProvSummaryReads)
+	}
+	if c.ProvConeProcs == 0 {
+		t.Fatal("recording run produced no dependency cone")
+	}
+	if c.IncrColdTicks == 0 || c.IncrRecheckTicks >= c.IncrColdTicks || !c.IncrConfluent {
+		t.Fatalf("incr columns implausible: cold=%d recheck=%d confluent=%v",
+			c.IncrColdTicks, c.IncrRecheckTicks, c.IncrConfluent)
+	}
+}

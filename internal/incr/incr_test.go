@@ -1,0 +1,150 @@
+package incr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+const testProg = `program t;
+globals g;
+proc main { locals c; havoc c; if (c > 0) { a(); } else { b(); } assert(g <= 1); }
+proc a { g = 0; c(); }
+proc b { g = 1; }
+proc c { skip; }
+`
+
+func TestSnapshotDiff(t *testing.T) {
+	prog, err := parser.Parse(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := Snapshot(prog)
+	if len(m1) != 4 {
+		t.Fatalf("snapshot has %d procs, want 4", len(m1))
+	}
+	m2 := Snapshot(prog)
+	if d := Diff(m1, m2); len(d) != 0 {
+		t.Fatalf("identical programs diff as %v", d)
+	}
+
+	mut, err := MutateSource(testProg, "b", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := parser.Parse(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(m1, Snapshot(prog2))
+	if len(d) != 1 || d[0] != "b" {
+		t.Fatalf("diff after mutating b = %v, want [b]", d)
+	}
+}
+
+func TestDiffAddRemove(t *testing.T) {
+	prog, err := parser.Parse(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Snapshot(prog)
+	// Remove c and retarget a's call (the parser rejects dangling
+	// calls): the diff must report both the removed and the changed
+	// procedure.
+	src := strings.Replace(testProg, "proc c { skip; }", "", 1)
+	src = strings.Replace(src, "g = 0; c();", "g = 0;", 1)
+	dropped := parser.MustParse(src)
+	d := Diff(m, Snapshot(dropped))
+	if len(d) != 2 || d[0] != "a" || d[1] != "c" {
+		t.Fatalf("diff after removing c = %v, want [a c]", d)
+	}
+}
+
+func TestGlobalsChangeInvalidatesAll(t *testing.T) {
+	prog, err := parser.Parse(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := parser.Parse(strings.Replace(testProg, "globals g;", "globals g, h;", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(Snapshot(prog), Snapshot(prog2))
+	if len(d) != 4 {
+		t.Fatalf("globals change staled %v, want every procedure", d)
+	}
+}
+
+func TestPlanInvalidation(t *testing.T) {
+	deps := map[string][]string{
+		"main": {"a", "b"},
+		"a":    {"c"},
+	}
+	plan := PlanInvalidation([]string{"c"}, deps, "main")
+	want := []string{"a", "c", "main"}
+	if len(plan.Stale) != len(want) {
+		t.Fatalf("stale = %v, want %v", plan.Stale, want)
+	}
+	for i := range want {
+		if plan.Stale[i] != want[i] {
+			t.Fatalf("stale = %v, want %v", plan.Stale, want)
+		}
+	}
+	if !plan.RootAffected {
+		t.Fatal("root depends on c transitively, must be affected")
+	}
+
+	plan = PlanInvalidation([]string{"b"}, deps, "a")
+	if plan.RootAffected {
+		t.Fatal("a does not reach b, root must survive")
+	}
+	if len(plan.Stale) != 2 { // b and main
+		t.Fatalf("stale = %v, want [b main]", plan.Stale)
+	}
+}
+
+func TestMergeDeps(t *testing.T) {
+	dst := map[string][]string{"a": {"b"}}
+	dst = MergeDeps(dst, map[string][]string{"a": {"c", "b"}, "d": {"e"}})
+	if got := strings.Join(dst["a"], ","); got != "b,c" {
+		t.Fatalf("a deps = %q, want b,c", got)
+	}
+	if got := strings.Join(dst["d"], ","); got != "e" {
+		t.Fatalf("d deps = %q, want e", got)
+	}
+}
+
+func TestMutateDeterministicAndLocalized(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m1, err := MutateSource(testProg, "main", seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m2, err := MutateSource(testProg, "main", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Fatalf("seed %d: mutation is not deterministic", seed)
+		}
+		if m1 == testProg {
+			t.Fatalf("seed %d: mutation is a no-op", seed)
+		}
+		prog, err := parser.Parse(testProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog2, err := parser.Parse(m1)
+		if err != nil {
+			t.Fatalf("seed %d: mutated program does not parse: %v", seed, err)
+		}
+		d := Diff(Snapshot(prog), Snapshot(prog2))
+		if len(d) != 1 || d[0] != "main" {
+			t.Fatalf("seed %d: mutation touched %v, want only main", seed, d)
+		}
+	}
+	if _, err := MutateSource(testProg, "nosuch", 1); err == nil {
+		t.Fatal("mutating a missing procedure must fail")
+	}
+}

@@ -1,0 +1,110 @@
+// MutateSource is the edit-workload generator behind `boltgen -mutate`
+// and the harness edit sessions: a deterministic, single-procedure,
+// semantics-preserving source edit. The mutation inserts dead control
+// flow (skip statements, possibly under a vacuous branch) at the top of
+// the procedure body, after any locals declaration — it changes the
+// procedure's CFG shape (and therefore its content fingerprint) without
+// changing what the program computes, so every re-check verdict must
+// match the from-scratch verdict. Determinism is by construction: the
+// inserted text is a pure function of the seed.
+
+package incr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/parser"
+)
+
+// MutateSource returns src with a deterministic semantics-preserving
+// mutation applied to the named procedure. The same (src, proc, seed)
+// always yields the same output; different seeds pick different
+// insertion shapes. The mutated source is validated through the parser
+// before being returned.
+func MutateSource(src, proc string, seed int64) (string, error) {
+	body, err := procBodyStart(src, proc)
+	if err != nil {
+		return "", err
+	}
+	// Skip past a locals declaration: it must stay the first item in the
+	// procedure body.
+	insert := body
+	rest := strings.TrimLeft(src[body:], " \t\n")
+	if strings.HasPrefix(rest, "locals") {
+		semi := strings.Index(src[body:], ";")
+		if semi < 0 {
+			return "", fmt.Errorf("incr: proc %s: unterminated locals declaration", proc)
+		}
+		insert = body + semi + 1
+	}
+	if seed < 0 {
+		seed = -seed
+	}
+	// Each shape lowers to real CFG edges (a bare `skip;` statement is a
+	// lowering no-op and would leave the fingerprint unchanged): a
+	// vacuous branch, a trivially true assume, a never-entered loop.
+	var snippet string
+	switch seed % 3 {
+	case 0:
+		snippet = " if (1 > 0) { skip; } else { skip; }"
+	case 1:
+		snippet = " assume(1 > 0);"
+	default:
+		snippet = " while (0 > 1) { skip; }"
+	}
+	out := src[:insert] + snippet + src[insert:]
+	if _, err := parser.Parse(out); err != nil {
+		return "", fmt.Errorf("incr: mutation of %s broke the program: %w", proc, err)
+	}
+	return out, nil
+}
+
+// procBodyStart returns the index just past the opening brace of the
+// named procedure's body.
+func procBodyStart(src, proc string) (int, error) {
+	for pos := 0; ; {
+		i := strings.Index(src[pos:], "proc")
+		if i < 0 {
+			return 0, fmt.Errorf("incr: no procedure %q in source", proc)
+		}
+		i += pos
+		pos = i + len("proc")
+		// "proc" must be a standalone keyword followed by the name.
+		if i > 0 && !isSpace(src[i-1]) {
+			continue
+		}
+		rest := strings.TrimLeft(src[pos:], " \t\n")
+		if !strings.HasPrefix(rest, proc) {
+			continue
+		}
+		after := rest[len(proc):]
+		// The name must end here — "proc double" must not match a
+		// procedure named doubler.
+		if len(after) > 0 && isIdent(after[0]) {
+			continue
+		}
+		after = strings.TrimLeft(after, " \t\n")
+		// Skip an optional parameter list (it contains no braces).
+		if strings.HasPrefix(after, "(") {
+			close := strings.Index(after, ")")
+			if close < 0 {
+				continue
+			}
+			after = strings.TrimLeft(after[close+1:], " \t\n")
+		}
+		if !strings.HasPrefix(after, "{") {
+			continue
+		}
+		brace := strings.Index(src[pos:], "{")
+		return pos + brace + 1, nil
+	}
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

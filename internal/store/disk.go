@@ -9,6 +9,14 @@
 // leaves a truncated final record, which Open detects and trims; a
 // stale or missing index is rebuilt from the segment, never trusted
 // over it.
+//
+// Deletion (incremental invalidation) stays append-only at run time: a
+// tombstone record marks every earlier summary of a procedure dead, and
+// the next reopen compacts the segment — rewrites it without the dead
+// records or the tombstones via tmp+rename, the same atomicity
+// discipline as the index. A crash at any point leaves either the old
+// segment (tombstones intact, still honored on scan) or the compacted
+// one; no intermediate state is visible.
 package store
 
 import (
@@ -48,10 +56,13 @@ type Disk struct {
 	f      *os.File
 	size   int64 // current segment length (all complete records)
 	count  int
-	keys   map[string]struct{}
+	keys   map[string]string  // canonical payload -> procedure
 	byProc map[string][]int64 // record offsets per procedure
 	dirty  bool               // index out of date on disk
 	closed bool
+	// needCompact is set when the scan saw tombstones: the segment holds
+	// dead records and gets rewritten before the store is handed out.
+	needCompact bool
 }
 
 // OpenDisk opens (or creates) the summary store in dir for the given
@@ -66,7 +77,7 @@ func OpenDisk(dir string, fp Fingerprint, reset bool) (*Disk, error) {
 	d := &Disk{
 		dir:    dir,
 		fp:     fp,
-		keys:   map[string]struct{}{},
+		keys:   map[string]string{},
 		byProc: map[string][]int64{},
 	}
 	segPath := filepath.Join(dir, SegName)
@@ -94,6 +105,11 @@ func OpenDisk(dir string, fp Fingerprint, reset bool) (*Disk, error) {
 		}
 		if err := d.scanSegment(segPath, data); err != nil {
 			return nil, err
+		}
+		if d.needCompact {
+			if err := d.compactSegment(segPath, data); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if d.f == nil {
@@ -133,10 +149,11 @@ func (d *Disk) createSegment(segPath string) error {
 	d.f = f
 	d.size = int64(segHeaderSize)
 	d.dirty = true
-	// Drop any index or provenance sidecar left over from a discarded
-	// store (provenance refers to summaries that no longer exist).
+	// Drop any index, provenance, or manifest sidecar left over from a
+	// discarded store (they refer to summaries that no longer exist).
 	_ = os.Remove(filepath.Join(d.dir, IdxName))
 	_ = os.Remove(filepath.Join(d.dir, ProvName))
+	_ = os.Remove(filepath.Join(d.dir, ManName))
 	return nil
 }
 
@@ -155,7 +172,10 @@ func parseSegHeader(path string, data []byte) (Fingerprint, error) {
 // scanSegment walks every record, building the dedup set and the
 // per-procedure offset index. A truncated final record (a crashed
 // append) is trimmed off; a corrupt record in the middle of the file is
-// an error — the store's contents can no longer be trusted.
+// an error — the store's contents can no longer be trusted. A tombstone
+// drops every summary of its procedure appended before it (later
+// re-Puts of the same procedure are live again) and flags the segment
+// for compaction.
 func (d *Disk) scanSegment(segPath string, data []byte) error {
 	pos := int64(segHeaderSize)
 	for pos < int64(len(data)) {
@@ -171,12 +191,28 @@ func (d *Disk) scanSegment(segPath string, data []byte) error {
 			}
 			return fmt.Errorf("store: %s: %w", segPath, err)
 		}
+		if wire.IsTombstone(payload) {
+			proc, _, err := wire.DecodeTombstone(payload)
+			if err != nil {
+				return fmt.Errorf("store: %s: record at offset %d: %w", segPath, pos, err)
+			}
+			d.count -= len(d.byProc[proc])
+			delete(d.byProc, proc)
+			for key, p := range d.keys {
+				if p == proc {
+					delete(d.keys, key)
+				}
+			}
+			d.needCompact = true
+			pos = next
+			continue
+		}
 		s, _, err := wire.DecodeSummary(payload)
 		if err != nil {
 			return fmt.Errorf("store: %s: record at offset %d: %w", segPath, pos, err)
 		}
 		if _, dup := d.keys[string(payload)]; !dup {
-			d.keys[string(payload)] = struct{}{}
+			d.keys[string(payload)] = s.Proc
 			d.byProc[s.Proc] = append(d.byProc[s.Proc], pos)
 			d.count++
 		}
@@ -184,6 +220,100 @@ func (d *Disk) scanSegment(segPath string, data []byte) error {
 	}
 	d.size = pos
 	return nil
+}
+
+// compactSegment rewrites the segment without dead records or
+// tombstones. The new segment is assembled in memory from the live
+// offsets the scan produced and swapped in with tmp+rename; the
+// in-memory index is rebuilt against the new offsets, and the sidecar
+// index (now stale by size) is rewritten on the next flush.
+func (d *Disk) compactSegment(segPath string, data []byte) error {
+	live := make([]int64, 0, d.count)
+	for _, offs := range d.byProc {
+		live = append(live, offs...)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	buf := make([]byte, 0, segHeaderSize)
+	buf = append(buf, segMagic...)
+	buf = append(buf, segVersion)
+	buf = append(buf, d.fp[:]...)
+	byProc := map[string][]int64{}
+	keys := map[string]string{}
+	for _, off := range live {
+		payload, next, err := parseRecord(data, off)
+		if err != nil {
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+		s, _, err := wire.DecodeSummary(payload)
+		if err != nil {
+			return fmt.Errorf("store: compacting record at offset %d: %w", off, err)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], int64(len(buf)))
+		keys[string(payload)] = s.Proc
+		buf = append(buf, data[off:next]...)
+	}
+	tmp := segPath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := os.Rename(tmp, segPath); err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	d.byProc = byProc
+	d.keys = keys
+	d.size = int64(len(buf))
+	d.needCompact = false
+	d.dirty = true
+	return nil
+}
+
+// DeleteProcs discards every summary of the given procedures (all
+// stored procedures when procs is nil or empty) by appending one
+// tombstone record per affected procedure. The segment is compacted on
+// the next reopen; until then reads honor the tombstones through the
+// in-memory index updated here. Returns summaries removed per
+// procedure.
+func (d *Disk) DeleteProcs(procs []string) (map[string]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("store: delete on closed store")
+	}
+	if len(procs) == 0 {
+		procs = make([]string, 0, len(d.byProc))
+		for p := range d.byProc {
+			procs = append(procs, p)
+		}
+	}
+	sort.Strings(procs)
+	removed := map[string]int{}
+	for _, proc := range procs {
+		n := len(d.byProc[proc])
+		if n == 0 {
+			continue
+		}
+		payload, err := wire.AppendTombstone(nil, proc)
+		if err != nil {
+			return removed, fmt.Errorf("store: %w", err)
+		}
+		rec := binary.AppendUvarint(nil, uint64(len(payload)))
+		rec = append(rec, payload...)
+		rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+		if _, err := d.f.Write(rec); err != nil {
+			return removed, fmt.Errorf("store: %w", err)
+		}
+		removed[proc] = n
+		d.count -= n
+		delete(d.byProc, proc)
+		for key, p := range d.keys {
+			if p == proc {
+				delete(d.keys, key)
+			}
+		}
+		d.size += int64(len(rec))
+		d.dirty = true
+	}
+	return removed, nil
 }
 
 type truncatedError struct{ off int64 }
@@ -297,7 +427,7 @@ func (d *Disk) Put(s summary.Summary) (bool, error) {
 	if _, err := d.f.Write(rec); err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
-	d.keys[string(payload)] = struct{}{}
+	d.keys[string(payload)] = s.Proc
 	d.byProc[s.Proc] = append(d.byProc[s.Proc], d.size)
 	d.size += int64(len(rec))
 	d.count++

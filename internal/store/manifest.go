@@ -1,0 +1,128 @@
+// The disk store's manifest sidecar: the per-procedure content
+// fingerprints of the program the stored summaries were computed from,
+// persisted beside the segment in manifest.seg. Unlike the segment and
+// the provenance sidecar the manifest is not append-only — it is a
+// snapshot, replaced wholesale after every invalidation via tmp+rename
+// (the index's atomicity discipline), so a crash leaves either the old
+// manifest or the new one, never a torn mix. A missing manifest loads
+// as nil: the caller must then treat every stored summary as
+// potentially stale (full invalidation), which is the sound default.
+
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	manMagic   = "BOLTMAN1"
+	manVersion = 1
+	// ManName is the manifest sidecar's file name inside a store
+	// directory.
+	ManName = "manifest.seg"
+)
+
+var manHeaderSize = len(manMagic) + 1 + len(Fingerprint{})
+
+// PutManifest atomically replaces the stored manifest.
+func (d *Disk) PutManifest(m map[string]Fingerprint) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: put on closed store")
+	}
+	procs := make([]string, 0, len(m))
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	payload := binary.AppendUvarint(nil, uint64(len(procs)))
+	for _, p := range procs {
+		payload = binary.AppendUvarint(payload, uint64(len(p)))
+		payload = append(payload, p...)
+		fp := m[p]
+		payload = append(payload, fp[:]...)
+	}
+	buf := make([]byte, 0, manHeaderSize+len(payload)+16)
+	buf = append(buf, manMagic...)
+	buf = append(buf, manVersion)
+	buf = append(buf, d.fp[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	path := filepath.Join(d.dir, ManName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest returns the stored manifest, or nil when none was ever
+// written. A manifest written under a different store fingerprint is
+// rejected like a mismatched segment; a torn or corrupt manifest is an
+// error (the tmp+rename write makes that a filesystem fault, not a
+// crash artifact).
+func (d *Disk) LoadManifest() (map[string]Fingerprint, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("store: load on closed store")
+	}
+	path := filepath.Join(d.dir, ManName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(data) < manHeaderSize || string(data[:len(manMagic)]) != manMagic {
+		return nil, fmt.Errorf("store: %s is not a manifest sidecar", path)
+	}
+	if v := data[len(manMagic)]; v != manVersion {
+		return nil, fmt.Errorf("store: %s has manifest version %d, this build reads version %d", path, v, manVersion)
+	}
+	var fp Fingerprint
+	copy(fp[:], data[len(manMagic)+1:manHeaderSize])
+	if fp != d.fp {
+		return nil, &MismatchError{Path: path, Want: d.fp, Got: fp}
+	}
+	payload, _, err := parseRecord(data, int64(manHeaderSize))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	r := bytes.NewReader(payload)
+	n, err := binary.ReadUvarint(r)
+	if err != nil || n > maxRecordLen {
+		return nil, fmt.Errorf("store: %s: corrupt manifest", path)
+	}
+	out := make(map[string]Fingerprint, n)
+	for i := uint64(0); i < n; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil || nameLen > maxRecordLen {
+			return nil, fmt.Errorf("store: %s: corrupt manifest", path)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("store: %s: truncated manifest", path)
+		}
+		var pfp Fingerprint
+		if _, err := io.ReadFull(r, pfp[:]); err != nil {
+			return nil, fmt.Errorf("store: %s: truncated manifest", path)
+		}
+		out[string(name)] = pfp
+	}
+	return out, nil
+}

@@ -49,6 +49,34 @@ type ProvStore interface {
 	LoadProv() ([]wire.ProvRecord, error)
 }
 
+// Deleter is the optional invalidation capability incremental
+// re-analysis needs: discard every summary belonging to the given
+// procedures. A nil or empty slice means "delete everything" — the
+// full-invalidation path a re-check takes when it has no manifest to
+// diff against. Returns the number of summaries removed per procedure
+// (the distributed engine routes these counts to the owning nodes).
+// The disk backend deletes by appending tombstone records and compacts
+// the segment on the next reopen; the in-memory backend deletes
+// eagerly. Both implement it.
+type Deleter interface {
+	DeleteProcs(procs []string) (map[string]int, error)
+}
+
+// ManifestStore is the optional edit-detection capability: a manifest
+// maps every procedure of the analyzed program to its content
+// fingerprint, persisted beside the summaries so the next run can diff
+// the program it sees against the program the summaries were computed
+// from. A missing manifest loads as nil — the caller must then treat
+// every stored summary as potentially stale. Both backends implement
+// it.
+type ManifestStore interface {
+	// PutManifest atomically replaces the stored manifest.
+	PutManifest(m map[string]Fingerprint) error
+	// LoadManifest returns the stored manifest, or nil when none was
+	// ever written.
+	LoadManifest() (map[string]Fingerprint, error)
+}
+
 // Fingerprint identifies the corpus/driver + analysis + wire version a
 // store's contents are valid for.
 type Fingerprint [sha256.Size]byte
@@ -77,15 +105,16 @@ func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:8]) }
 // dedup set. It is the natural store for a long-lived server sharing
 // warm summaries across requests without touching disk.
 type Mem struct {
-	mu   sync.Mutex
-	keys map[string]struct{}
-	db   *summary.DB
-	prov []wire.ProvRecord
+	mu       sync.Mutex
+	keys     map[string]string // canonical wire key -> procedure
+	db       *summary.DB
+	prov     []wire.ProvRecord
+	manifest map[string]Fingerprint
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
-	return &Mem{keys: map[string]struct{}{}, db: summary.New(nil)}
+	return &Mem{keys: map[string]string{}, db: summary.New(nil)}
 }
 
 // Load returns the stored summaries.
@@ -102,9 +131,71 @@ func (m *Mem) Put(s summary.Summary) (bool, error) {
 	if _, dup := m.keys[key]; dup {
 		return false, nil
 	}
-	m.keys[key] = struct{}{}
+	m.keys[key] = s.Proc
 	m.db.Add(s)
 	return true, nil
+}
+
+// DeleteProcs removes every summary of the given procedures (all of
+// them when procs is nil or empty) and reports how many were removed
+// per procedure. The backing SUMDB has no removal operation, so the
+// surviving summaries are rebuilt into a fresh database under the lock.
+func (m *Mem) DeleteProcs(procs []string) (map[string]int, error) {
+	all := len(procs) == 0
+	doomed := make(map[string]bool, len(procs))
+	for _, p := range procs {
+		doomed[p] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed := map[string]int{}
+	keep := map[string]string{}
+	for key, proc := range m.keys {
+		if all || doomed[proc] {
+			removed[proc]++
+		} else {
+			keep[key] = proc
+		}
+	}
+	if len(removed) == 0 {
+		return removed, nil
+	}
+	db := summary.New(nil)
+	for _, s := range m.db.All() {
+		if !(all || doomed[s.Proc]) {
+			db.Add(s)
+		}
+	}
+	m.keys = keep
+	m.db = db
+	return removed, nil
+}
+
+// PutManifest replaces the stored manifest with a copy of m2.
+func (m *Mem) PutManifest(m2 map[string]Fingerprint) error {
+	cp := make(map[string]Fingerprint, len(m2))
+	for k, v := range m2 {
+		cp[k] = v
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.manifest = cp
+	return nil
+}
+
+// LoadManifest returns a copy of the stored manifest, or nil when none
+// was ever written.
+func (m *Mem) LoadManifest() (map[string]Fingerprint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.manifest == nil {
+		return nil, nil
+	}
+	cp := make(map[string]Fingerprint, len(m.manifest))
+	for k, v := range m.manifest {
+		cp[k] = v
+	}
+	return cp, nil
 }
 
 // PutProv stores one provenance record. The record is validated by a

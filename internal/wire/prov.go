@@ -11,6 +11,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/summary"
 )
@@ -38,6 +39,16 @@ type ProvRecord struct {
 	Verdict string
 	Engine  string
 	Reads   []ProvRead
+	// RootKey is the durable identity of the root question (QuestionKey
+	// bytes). It lets an incremental re-check match a persisted verdict
+	// to the question it is about to re-ask; empty on records persisted
+	// before the run knew its durable question key.
+	RootKey string
+	// Deps is the procedure-granularity dependency adjacency the run
+	// observed: proc -> procedures whose summaries or spawned answers it
+	// consumed. Incremental invalidation unions this with the edited
+	// program's static call graph when computing the stale cone.
+	Deps map[string][]string
 }
 
 // AppendProv appends the canonical encoding of p to dst: tag, root,
@@ -70,6 +81,30 @@ func AppendProv(dst []byte, p ProvRecord) ([]byte, error) {
 		dst, err = AppendSummary(dst, r.Summary)
 		if err != nil {
 			return dst, fmt.Errorf("provenance read: %w", err)
+		}
+	}
+	// RootKey is wire bytes (a QuestionKey), not a name — it is durable
+	// by construction and skips the volatility check.
+	dst = appendString(dst, p.RootKey)
+	procs := make([]string, 0, len(p.Deps))
+	for proc := range p.Deps {
+		procs = append(procs, proc)
+	}
+	sort.Strings(procs)
+	dst = binary.AppendUvarint(dst, uint64(len(procs)))
+	for _, proc := range procs {
+		if err := CheckDurable(proc); err != nil {
+			return dst, fmt.Errorf("provenance dep: %w", err)
+		}
+		dst = appendString(dst, proc)
+		callees := append([]string(nil), p.Deps[proc]...)
+		sort.Strings(callees)
+		dst = binary.AppendUvarint(dst, uint64(len(callees)))
+		for _, c := range callees {
+			if err := CheckDurable(c); err != nil {
+				return dst, fmt.Errorf("provenance dep: %w", err)
+			}
+			dst = appendString(dst, c)
 		}
 	}
 	return dst, nil
@@ -118,6 +153,42 @@ func DecodeProv(buf []byte) (ProvRecord, int, error) {
 		r.Summary = s
 		pos += n
 		p.Reads = append(p.Reads, r)
+	}
+	rootKey, n, err := decodeString(buf[pos:])
+	if err != nil {
+		return p, 0, err
+	}
+	p.RootKey = rootKey
+	pos += n
+	nprocs, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || nprocs > uint64(len(buf)) {
+		return p, 0, fmt.Errorf("wire: bad provenance dep count")
+	}
+	pos += n
+	for i := uint64(0); i < nprocs; i++ {
+		proc, n, err := decodeString(buf[pos:])
+		if err != nil {
+			return p, 0, err
+		}
+		pos += n
+		ncallees, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || ncallees > uint64(len(buf)) {
+			return p, 0, fmt.Errorf("wire: bad provenance dep callee count")
+		}
+		pos += n
+		callees := make([]string, 0, ncallees)
+		for j := uint64(0); j < ncallees; j++ {
+			c, n, err := decodeString(buf[pos:])
+			if err != nil {
+				return p, 0, err
+			}
+			callees = append(callees, c)
+			pos += n
+		}
+		if p.Deps == nil {
+			p.Deps = map[string][]string{}
+		}
+		p.Deps[proc] = callees
 	}
 	return p, pos, nil
 }

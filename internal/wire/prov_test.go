@@ -22,6 +22,11 @@ func testProvRecord() wire.ProvRecord {
 			{Summary: s, Warm: true, Count: 3},
 			{Summary: t, Warm: false, Count: 1},
 		},
+		RootKey: "\x51qkey-bytes",
+		Deps: map[string][]string{
+			"main":  {"other", "p"},
+			"other": {"p"},
+		},
 	}
 }
 
@@ -52,6 +57,48 @@ func TestProvRoundTrip(t *testing.T) {
 		if logic.CanonicalKey(r.Summary.Pre) != logic.CanonicalKey(want.Summary.Pre) {
 			t.Fatalf("read %d precondition changed across round trip", i)
 		}
+	}
+	if got.RootKey != p.RootKey {
+		t.Fatalf("root key changed: %q want %q", got.RootKey, p.RootKey)
+	}
+	if len(got.Deps) != 2 || strings.Join(got.Deps["main"], ",") != "other,p" ||
+		strings.Join(got.Deps["other"], ",") != "p" {
+		t.Fatalf("deps changed: %v", got.Deps)
+	}
+}
+
+func TestProvRefusesVolatileDep(t *testing.T) {
+	p := testProvRecord()
+	p.Deps["main"] = append(p.Deps["main"], "#17")
+	if _, err := wire.AppendProv(nil, p); err == nil {
+		t.Fatal("volatile dep name must be rejected")
+	}
+}
+
+func TestTombstoneRoundTrip(t *testing.T) {
+	b, err := wire.AppendTombstone(nil, "deadproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.IsTombstone(b) {
+		t.Fatal("tombstone bytes not recognized")
+	}
+	proc, n, err := wire.DecodeTombstone(b)
+	if err != nil || n != len(b) || proc != "deadproc" {
+		t.Fatalf("decode = %q, %d, %v", proc, n, err)
+	}
+	if _, err := wire.AppendTombstone(nil, "#9"); err == nil {
+		t.Fatal("volatile proc name must be rejected")
+	}
+	if _, _, err := wire.DecodeTombstone([]byte{0x53, 0x01, 'x'}); err == nil {
+		t.Fatal("summary tag accepted as tombstone")
+	}
+	sb, err := wire.AppendSummary(nil, testSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.IsTombstone(sb) {
+		t.Fatal("summary record misidentified as tombstone")
 	}
 }
 

@@ -20,12 +20,17 @@ import (
 // Version is the wire-format version. It participates in every store
 // fingerprint, so bumping it invalidates (rather than misreads) any
 // artifact written under an older encoding.
-const Version = 1
+//
+// v2: provenance records carry the root question's durable key and the
+// procedure dependency adjacency (incremental invalidation planning);
+// segment files may contain tombstone records.
+const Version = 2
 
 // Record tags.
 const (
 	tagSummary  = 0x53 // 'S'
 	tagQuestion = 0x51 // 'Q'
+	tagTomb     = 0x54 // 'T'
 )
 
 const maxStringLen = 1 << 16
@@ -157,6 +162,38 @@ func DecodeQuestion(buf []byte) (summary.Question, int, error) {
 	}
 	pos += n
 	return summary.Question{Proc: proc, Pre: pre, Post: post}, pos, nil
+}
+
+// AppendTombstone appends a tombstone record for proc to dst: tag,
+// proc. A tombstone marks every previously appended summary of proc as
+// deleted; segment readers drop the proc's live records when they scan
+// past one, and compaction on reopen rewrites the segment without
+// either side of the pair.
+func AppendTombstone(dst []byte, proc string) ([]byte, error) {
+	if err := CheckDurable(proc); err != nil {
+		return dst, fmt.Errorf("tombstone for proc %q: %w", proc, err)
+	}
+	dst = append(dst, tagTomb)
+	dst = appendString(dst, proc)
+	return dst, nil
+}
+
+// DecodeTombstone decodes one tombstone record and returns the
+// procedure it deletes plus the bytes consumed.
+func DecodeTombstone(buf []byte) (string, int, error) {
+	if len(buf) < 1 || buf[0] != tagTomb {
+		return "", 0, fmt.Errorf("wire: not a tombstone record")
+	}
+	proc, n, err := decodeString(buf[1:])
+	if err != nil {
+		return "", 0, err
+	}
+	return proc, 1 + n, nil
+}
+
+// IsTombstone reports whether buf starts with a tombstone record.
+func IsTombstone(buf []byte) bool {
+	return len(buf) > 0 && buf[0] == tagTomb
 }
 
 // QuestionKey is the canonical cross-process identity of a question —
